@@ -1,0 +1,44 @@
+//! Ablation bench: exhaustive branch-and-bound vs greedy vs greedy+2-opt
+//! arrangement search on hot-code spaces (the strategies behind the arranged
+//! hot codes of Section 5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanowire_codes::{
+    arrange_min_transitions, hot_code, ArrangementStrategy, LogicLevel, SearchBudget,
+};
+
+fn bench_arrangement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrangement_search");
+    group.sample_size(10);
+
+    let small = hot_code(LogicLevel::BINARY, 6).expect("hot code M=6");
+    let large = hot_code(LogicLevel::BINARY, 8).expect("hot code M=8");
+
+    for (name, strategy) in [
+        ("greedy", ArrangementStrategy::Greedy),
+        ("greedy_two_opt", ArrangementStrategy::GreedyTwoOpt),
+        ("exhaustive", ArrangementStrategy::Exhaustive),
+    ] {
+        group.bench_function(format!("{name}_hc6_20_words"), |b| {
+            b.iter(|| {
+                arrange_min_transitions(small.words().to_vec(), strategy, SearchBudget::default())
+                    .expect("arrangement")
+            })
+        });
+    }
+    for (name, strategy) in [
+        ("greedy", ArrangementStrategy::Greedy),
+        ("greedy_two_opt", ArrangementStrategy::GreedyTwoOpt),
+    ] {
+        group.bench_function(format!("{name}_hc8_70_words"), |b| {
+            b.iter(|| {
+                arrange_min_transitions(large.words().to_vec(), strategy, SearchBudget::default())
+                    .expect("arrangement")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arrangement);
+criterion_main!(benches);

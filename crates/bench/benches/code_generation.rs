@@ -1,0 +1,20 @@
+//! Ablation bench: generation cost of each code family (tree enumeration,
+//! Gray construction, balanced-Gray search, hot enumeration, revolving-door /
+//! search arrangement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mspt_bench::benchmark_code_specs;
+
+fn bench_code_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("code_generation");
+    group.sample_size(20);
+    for spec in benchmark_code_specs() {
+        group.bench_function(format!("{}_M{}", spec.kind().label(), spec.code_length()), |b| {
+            b.iter(|| spec.generate().expect("code generation"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_code_generation);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench for Fig. 6: regenerating the normalised variability maps of TC, GC
+//! and BGC at code lengths 8 and 10 with N = 20 nanowires.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decoder_sim::variability_map;
+use mspt_bench::bench_base_config;
+use nanowire_codes::{CodeKind, LogicLevel};
+
+fn bench_fig6(c: &mut Criterion) {
+    let base = bench_base_config().expect("base config");
+    let mut group = c.benchmark_group("fig6_variability_maps");
+    group.sample_size(20);
+
+    for kind in [CodeKind::Tree, CodeKind::Gray, CodeKind::BalancedGray] {
+        for length in [8usize, 10] {
+            group.bench_function(format!("{}_L{length}_N20", kind.label()), |b| {
+                b.iter(|| {
+                    variability_map(&base, kind, LogicLevel::BINARY, length, 20)
+                        .expect("fig6 panel")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! # mspt-bench
+//!
+//! Criterion benchmark harness for the MSPT nanowire-decoder reproduction.
+//!
+//! One bench target exists per figure of the paper — it regenerates the
+//! figure's data series and measures how long that takes — plus ablation
+//! benches for the design choices called out in `DESIGN.md`:
+//!
+//! * `fig5_complexity` — fabrication-complexity sweep (Fig. 5)
+//! * `fig6_variability` — variability maps (Fig. 6)
+//! * `fig7_yield` — yield sweep (Fig. 7)
+//! * `fig8_bit_area` — bit-area sweep (Fig. 8)
+//! * `code_generation` — generation cost of each code family
+//! * `arrangement_search` — exhaustive vs greedy/2-opt arrangement search
+//! * `monte_carlo` — analytic vs Monte-Carlo yield estimation
+//!
+//! Run them with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use decoder_sim::{Result, SimConfig};
+use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+/// The base configuration shared by the figure benches (the paper's platform
+/// with a binary tree code placeholder).
+///
+/// # Errors
+///
+/// Propagates configuration errors (none for the defaults).
+pub fn bench_base_config() -> Result<SimConfig> {
+    let code = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, 8)?;
+    SimConfig::paper_defaults(code)
+}
+
+/// The binary code specs exercised by the code-generation bench.
+///
+/// # Panics
+///
+/// Never panics: every listed combination is valid.
+#[must_use]
+pub fn benchmark_code_specs() -> Vec<CodeSpec> {
+    [
+        (CodeKind::Tree, 10),
+        (CodeKind::Gray, 10),
+        (CodeKind::BalancedGray, 10),
+        (CodeKind::Hot, 8),
+        (CodeKind::ArrangedHot, 8),
+    ]
+    .into_iter()
+    .map(|(kind, length)| {
+        CodeSpec::new(kind, LogicLevel::BINARY, length).expect("valid benchmark code spec")
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_config_and_specs_are_valid() {
+        assert!(bench_base_config().is_ok());
+        let specs = benchmark_code_specs();
+        assert_eq!(specs.len(), 5);
+        for spec in specs {
+            assert!(spec.generate().is_ok());
+        }
+    }
+}

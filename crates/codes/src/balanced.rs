@@ -1,0 +1,367 @@
+//! Balanced Gray codes (BGC): Gray arrangements whose digit-transition counts
+//! are spread as evenly as possible over the digit positions (Section 2.3,
+//! ref. [3] Bhat & Savage).
+//!
+//! In the decoder this evens out the accumulated threshold-voltage
+//! variability over the doping regions (Fig. 6 e/f of the paper), which in
+//! turn improves the worst-case addressability of a nanowire.
+
+use serde::{Deserialize, Serialize};
+
+use crate::digit::LogicLevel;
+use crate::error::{CodeError, Result};
+use crate::gray::gray_code;
+use crate::sequence::CodeSequence;
+use crate::tree::{base_length_of, MAX_ENUMERATED_WORDS};
+use crate::word::CodeWord;
+
+/// Search limits for the balanced-Gray-code construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BalanceBudget {
+    /// Maximum number of DFS nodes expanded per per-digit limit attempt.
+    pub max_nodes_per_limit: u64,
+    /// Largest slack added to the ideal per-digit limit before giving up and
+    /// falling back to the standard reflected Gray code.
+    pub max_limit_slack: usize,
+}
+
+impl Default for BalanceBudget {
+    fn default() -> Self {
+        BalanceBudget {
+            max_nodes_per_limit: 4_000_000,
+            max_limit_slack: 4,
+        }
+    }
+}
+
+/// Per-digit balance statistics of a code sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BalanceReport {
+    /// Transition count of every digit position.
+    pub per_digit: Vec<usize>,
+    /// Smallest per-digit transition count.
+    pub min: usize,
+    /// Largest per-digit transition count.
+    pub max: usize,
+    /// `max - min`: zero for a perfectly balanced sequence.
+    pub spread: usize,
+    /// Total number of transitions.
+    pub total: usize,
+}
+
+/// Computes the balance statistics of a sequence.
+#[must_use]
+pub fn balance_report(sequence: &CodeSequence) -> BalanceReport {
+    let per_digit = sequence.transitions_per_digit();
+    let min = per_digit.iter().copied().min().unwrap_or(0);
+    let max = per_digit.iter().copied().max().unwrap_or(0);
+    let total = per_digit.iter().sum();
+    BalanceReport {
+        spread: max - min,
+        per_digit,
+        min,
+        max,
+        total,
+    }
+}
+
+/// Generates a balanced Gray code of `base_length` digits over `radix`
+/// (without reflection): a Gray arrangement of the full tree-code space whose
+/// maximum per-digit transition count is as small as the search budget allows.
+///
+/// The construction searches for a Hamiltonian path of the "one digit
+/// differs" graph under a per-digit change limit, starting from the ideal
+/// limit `ceil((n^m - 1) / m)` and relaxing it one unit at a time. If no
+/// balanced path is found within the budget the standard reflected Gray code
+/// is returned (which is still a valid Gray arrangement, just less balanced);
+/// callers that need to know can compare [`balance_report`]s.
+///
+/// # Errors
+///
+/// * [`CodeError::InvalidLength`] when `base_length == 0`.
+/// * [`CodeError::SpaceTooLarge`] when the space exceeds the enumeration
+///   limit.
+///
+/// # Examples
+///
+/// ```
+/// use nanowire_codes::{balanced_gray_code, balance_report, BalanceBudget, LogicLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let bgc = balanced_gray_code(LogicLevel::BINARY, 4, BalanceBudget::default())?;
+/// assert!(bgc.is_gray());
+/// let report = balance_report(&bgc);
+/// // 15 transitions over 4 digits: the best possible maximum is 4.
+/// assert_eq!(report.max, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn balanced_gray_code(
+    radix: LogicLevel,
+    base_length: usize,
+    budget: BalanceBudget,
+) -> Result<CodeSequence> {
+    if base_length == 0 {
+        return Err(CodeError::InvalidLength { length: 0 });
+    }
+    let count = radix.word_count(base_length);
+    if count > MAX_ENUMERATED_WORDS {
+        return Err(CodeError::SpaceTooLarge {
+            words: count,
+            limit: MAX_ENUMERATED_WORDS,
+        });
+    }
+    let count = count as usize;
+    let transitions = count - 1;
+    let ideal_limit = transitions.div_ceil(base_length);
+
+    for slack in 0..=budget.max_limit_slack {
+        let limit = ideal_limit + slack;
+        if let Some(sequence) =
+            search_balanced_path(radix, base_length, limit, budget.max_nodes_per_limit)
+        {
+            return CodeSequence::new(sequence);
+        }
+    }
+    // Fallback: the plain reflected Gray code.
+    gray_code(radix, base_length)
+}
+
+/// Generates the *reflected* balanced Gray code with full code length
+/// `code_length = 2 · base_length`.
+///
+/// # Errors
+///
+/// * [`CodeError::OddReflectedLength`] when `code_length` is odd.
+/// * Any error of [`balanced_gray_code`].
+pub fn reflected_balanced_gray_code(
+    radix: LogicLevel,
+    code_length: usize,
+    budget: BalanceBudget,
+) -> Result<CodeSequence> {
+    let base_length = base_length_of(code_length)?;
+    Ok(balanced_gray_code(radix, base_length, budget)?.reflected())
+}
+
+/// DFS for a Hamiltonian path of the one-digit-difference graph in which no
+/// digit position changes more than `limit` times.
+fn search_balanced_path(
+    radix: LogicLevel,
+    base_length: usize,
+    limit: usize,
+    max_nodes: u64,
+) -> Option<Vec<CodeWord>> {
+    let n = radix.radix_usize();
+    let total: usize = n.pow(base_length as u32);
+
+    // Words are represented by their tree-code index; neighbours differ in
+    // exactly one digit.
+    let mut visited = vec![false; total];
+    let mut digit_changes = vec![0usize; base_length];
+    let mut path: Vec<usize> = Vec::with_capacity(total);
+    let mut nodes: u64 = 0;
+
+    // Start from the all-zero word, like every other code of the crate.
+    visited[0] = true;
+    path.push(0);
+
+    let powers: Vec<usize> = (0..base_length)
+        .rev()
+        .scan(1usize, |acc, _| {
+            let value = *acc;
+            *acc *= n;
+            Some(value)
+        })
+        .collect();
+    // powers[j] is the place value of digit j (digit 0 is most significant).
+    let place = {
+        let mut p = powers;
+        p.reverse();
+        p
+    };
+
+    fn digits_of(mut index: usize, n: usize, len: usize) -> Vec<u8> {
+        let mut digits = vec![0u8; len];
+        for slot in digits.iter_mut().rev() {
+            *slot = (index % n) as u8;
+            index /= n;
+        }
+        digits
+    }
+
+    struct Ctx<'a> {
+        n: usize,
+        base_length: usize,
+        total: usize,
+        limit: usize,
+        max_nodes: u64,
+        place: &'a [usize],
+    }
+
+    fn dfs(
+        ctx: &Ctx<'_>,
+        visited: &mut Vec<bool>,
+        digit_changes: &mut Vec<usize>,
+        path: &mut Vec<usize>,
+        nodes: &mut u64,
+    ) -> bool {
+        if path.len() == ctx.total {
+            return true;
+        }
+        *nodes += 1;
+        if *nodes > ctx.max_nodes {
+            return false;
+        }
+        let current = *path.last().expect("non-empty path");
+        let current_digits = digits_of(current, ctx.n, ctx.base_length);
+
+        // Candidate moves: change one digit to another value. Prefer digits
+        // with the fewest accumulated changes so the balance target is met,
+        // and among them prefer neighbours with low remaining degree.
+        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+        for j in 0..ctx.base_length {
+            if digit_changes[j] >= ctx.limit {
+                continue;
+            }
+            let current_value = usize::from(current_digits[j]);
+            for value in 0..ctx.n {
+                if value == current_value {
+                    continue;
+                }
+                let neighbour = neighbour_index(current, j, value, ctx);
+                if !visited[neighbour] {
+                    candidates.push((digit_changes[j], j, neighbour));
+                }
+            }
+        }
+        candidates.sort_by_key(|&(changes, _, _)| changes);
+
+        for (_, j, neighbour) in candidates {
+            visited[neighbour] = true;
+            digit_changes[j] += 1;
+            path.push(neighbour);
+            if dfs(ctx, visited, digit_changes, path, nodes) {
+                return true;
+            }
+            path.pop();
+            digit_changes[j] -= 1;
+            visited[neighbour] = false;
+            if *nodes > ctx.max_nodes {
+                return false;
+            }
+        }
+        false
+    }
+
+    fn neighbour_index(current: usize, j: usize, new_value: usize, ctx: &Ctx<'_>) -> usize {
+        let digits = digits_of(current, ctx.n, ctx.base_length);
+        let old_value = usize::from(digits[j]);
+        current - old_value * ctx.place[j] + new_value * ctx.place[j]
+    }
+
+    let ctx = Ctx {
+        n,
+        base_length,
+        total,
+        limit,
+        max_nodes,
+        place: &place,
+    };
+
+    if dfs(&ctx, &mut visited, &mut digit_changes, &mut path, &mut nodes) {
+        let words: Option<Vec<CodeWord>> = path
+            .into_iter()
+            .map(|index| CodeWord::from_index(index as u128, base_length, radix).ok())
+            .collect();
+        words
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gray::is_complete_gray_arrangement;
+
+    #[test]
+    fn binary_balanced_gray_codes_are_gray_and_complete() {
+        for base_length in 2..=5 {
+            let bgc =
+                balanced_gray_code(LogicLevel::BINARY, base_length, BalanceBudget::default())
+                    .unwrap();
+            assert!(is_complete_gray_arrangement(&bgc), "m = {base_length}");
+        }
+    }
+
+    #[test]
+    fn binary_balanced_gray_code_is_more_balanced_than_reflected() {
+        for base_length in 4..=5 {
+            let bgc =
+                balanced_gray_code(LogicLevel::BINARY, base_length, BalanceBudget::default())
+                    .unwrap();
+            let gc = gray_code(LogicLevel::BINARY, base_length).unwrap();
+            let balanced = balance_report(&bgc);
+            let standard = balance_report(&gc);
+            assert!(
+                balanced.max <= standard.max,
+                "m = {base_length}: balanced max {} vs standard {}",
+                balanced.max,
+                standard.max
+            );
+            assert!(balanced.spread <= standard.spread);
+        }
+    }
+
+    #[test]
+    fn balanced_m4_reaches_ideal_maximum() {
+        let bgc = balanced_gray_code(LogicLevel::BINARY, 4, BalanceBudget::default()).unwrap();
+        let report = balance_report(&bgc);
+        assert_eq!(report.total, 15);
+        assert_eq!(report.max, 4);
+    }
+
+    #[test]
+    fn ternary_balanced_gray_code_is_gray() {
+        let bgc = balanced_gray_code(LogicLevel::TERNARY, 3, BalanceBudget::default()).unwrap();
+        assert!(bgc.is_gray());
+        assert!(bgc.all_words_distinct());
+        assert_eq!(bgc.len(), 27);
+    }
+
+    #[test]
+    fn reflected_balanced_gray_code_has_even_length_and_distance_two() {
+        let bgc =
+            reflected_balanced_gray_code(LogicLevel::BINARY, 8, BalanceBudget::default()).unwrap();
+        assert_eq!(bgc.word_length(), 8);
+        assert!(bgc.has_uniform_distance(2));
+    }
+
+    #[test]
+    fn tiny_budget_falls_back_to_gray_code() {
+        let budget = BalanceBudget {
+            max_nodes_per_limit: 1,
+            max_limit_slack: 0,
+        };
+        let bgc = balanced_gray_code(LogicLevel::BINARY, 4, budget).unwrap();
+        // Still a valid complete Gray arrangement (the fallback).
+        assert!(is_complete_gray_arrangement(&bgc));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(balanced_gray_code(LogicLevel::BINARY, 0, BalanceBudget::default()).is_err());
+        assert!(
+            reflected_balanced_gray_code(LogicLevel::BINARY, 7, BalanceBudget::default()).is_err()
+        );
+    }
+
+    #[test]
+    fn balance_report_fields_are_consistent() {
+        let gc = gray_code(LogicLevel::BINARY, 4).unwrap();
+        let report = balance_report(&gc);
+        assert_eq!(report.total, 15);
+        assert_eq!(report.per_digit.iter().sum::<usize>(), report.total);
+        assert_eq!(report.spread, report.max - report.min);
+    }
+}

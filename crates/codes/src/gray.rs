@@ -1,0 +1,207 @@
+//! n-ary reflected Gray codes: arrangements of the tree-code space in which
+//! successive words differ in exactly one digit (Section 2.3).
+//!
+//! The paper proves (Propositions 4 and 5) that among all arrangements of a
+//! tree-code space the Gray arrangement minimises both the fabrication
+//! complexity `Φ` and the decoder variability `‖Σ‖₁`, because both costs grow
+//! monotonically with the number of digit transitions between successive
+//! nanowire patterns.
+
+use crate::digit::{Digit, LogicLevel};
+use crate::error::{CodeError, Result};
+use crate::sequence::CodeSequence;
+use crate::tree::{base_length_of, MAX_ENUMERATED_WORDS};
+use crate::word::CodeWord;
+
+/// Generates the n-ary reflected Gray code of `base_length` digits over
+/// `radix`, *without* reflection (complement appending).
+///
+/// The construction is the classical recursive one: the sequence for `m`
+/// digits visits the sequence for `m - 1` digits forwards under leading digit
+/// 0, backwards under leading digit 1, forwards again under 2, and so on.
+/// Successive words therefore differ in exactly one digit, and the sequence
+/// enumerates every one of the `n^m` words exactly once.
+///
+/// # Errors
+///
+/// * [`CodeError::InvalidLength`] when `base_length == 0`.
+/// * [`CodeError::SpaceTooLarge`] when the space exceeds the enumeration
+///   limit.
+///
+/// # Examples
+///
+/// ```
+/// use nanowire_codes::{gray_code, LogicLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let gc = gray_code(LogicLevel::BINARY, 3)?;
+/// assert!(gc.is_gray());
+/// assert_eq!(gc.len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gray_code(radix: LogicLevel, base_length: usize) -> Result<CodeSequence> {
+    if base_length == 0 {
+        return Err(CodeError::InvalidLength { length: 0 });
+    }
+    let count = radix.word_count(base_length);
+    if count > MAX_ENUMERATED_WORDS {
+        return Err(CodeError::SpaceTooLarge {
+            words: count,
+            limit: MAX_ENUMERATED_WORDS,
+        });
+    }
+
+    // Iterative reflected construction, building digit vectors level by level.
+    let mut sequence: Vec<Vec<u8>> = vec![vec![]];
+    for _ in 0..base_length {
+        let mut next = Vec::with_capacity(sequence.len() * radix.radix_usize());
+        for value in 0..radix.radix() {
+            // Even digits traverse the previous level forwards, odd digits
+            // backwards; this is what makes adjacent words differ in exactly
+            // one digit across the digit boundary.
+            if value % 2 == 0 {
+                for suffix in &sequence {
+                    let mut word = Vec::with_capacity(suffix.len() + 1);
+                    word.push(value);
+                    word.extend_from_slice(suffix);
+                    next.push(word);
+                }
+            } else {
+                for suffix in sequence.iter().rev() {
+                    let mut word = Vec::with_capacity(suffix.len() + 1);
+                    word.push(value);
+                    word.extend_from_slice(suffix);
+                    next.push(word);
+                }
+            }
+        }
+        sequence = next;
+    }
+
+    let words: Result<Vec<CodeWord>> = sequence
+        .into_iter()
+        .map(|values| {
+            CodeWord::new(
+                values.into_iter().map(Digit::new).collect(),
+                radix,
+            )
+        })
+        .collect();
+    CodeSequence::new(words?)
+}
+
+/// Generates the *reflected* Gray code with full code length
+/// `code_length = 2 · base_length`: the Gray arrangement of the tree-code
+/// space with every word's complement appended.
+///
+/// Because the complement mirrors every digit change, each step of the
+/// reflected sequence changes exactly two digits (one in the base half, one
+/// in the mirror half) — the minimum achievable for reflected codes.
+///
+/// # Errors
+///
+/// * [`CodeError::OddReflectedLength`] when `code_length` is odd.
+/// * Any error of [`gray_code`].
+pub fn reflected_gray_code(radix: LogicLevel, code_length: usize) -> Result<CodeSequence> {
+    let base_length = base_length_of(code_length)?;
+    Ok(gray_code(radix, base_length)?.reflected())
+}
+
+/// Checks that `sequence` is a valid Gray arrangement of the full tree-code
+/// space of its radix and word length: all `n^m` words appear exactly once
+/// and successive words differ in exactly one digit.
+#[must_use]
+pub fn is_complete_gray_arrangement(sequence: &CodeSequence) -> bool {
+    let expected = sequence.radix().word_count(sequence.word_length());
+    expected == sequence.len() as u128 && sequence.all_words_distinct() && sequence.is_gray()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::tree_code;
+    use std::collections::HashSet;
+
+    #[test]
+    fn binary_gray_code_is_the_classic_sequence() {
+        let gc = gray_code(LogicLevel::BINARY, 3).unwrap();
+        let rendered: Vec<String> = gc.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            rendered,
+            vec!["000", "001", "011", "010", "110", "111", "101", "100"]
+        );
+    }
+
+    #[test]
+    fn gray_codes_have_the_gray_property_for_all_radices() {
+        for radix in [LogicLevel::BINARY, LogicLevel::TERNARY, LogicLevel::QUATERNARY] {
+            for base_length in 1..=4 {
+                let gc = gray_code(radix, base_length).unwrap();
+                assert!(gc.is_gray(), "{radix} base length {base_length}");
+                assert!(gc.all_words_distinct());
+                assert_eq!(gc.len() as u128, radix.word_count(base_length));
+                assert!(is_complete_gray_arrangement(&gc));
+            }
+        }
+    }
+
+    #[test]
+    fn gray_code_is_a_permutation_of_the_tree_code() {
+        let radix = LogicLevel::TERNARY;
+        let gray: HashSet<String> = gray_code(radix, 3)
+            .unwrap()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let tree: HashSet<String> = tree_code(radix, 3)
+            .unwrap()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(gray, tree);
+    }
+
+    #[test]
+    fn gray_minimises_transitions_relative_to_tree_order() {
+        for radix in [LogicLevel::TERNARY, LogicLevel::QUATERNARY] {
+            let gc = gray_code(radix, 3).unwrap();
+            let tc = tree_code(radix, 3).unwrap();
+            // The Gray arrangement attains the absolute minimum: one digit
+            // change per step.
+            assert_eq!(gc.total_transitions(), gc.len() - 1);
+            assert!(tc.total_transitions() > gc.total_transitions());
+        }
+    }
+
+    #[test]
+    fn reflected_gray_changes_exactly_two_digits_per_step() {
+        let rgc = reflected_gray_code(LogicLevel::TERNARY, 8).unwrap();
+        assert_eq!(rgc.word_length(), 8);
+        assert!(rgc.has_uniform_distance(2));
+        assert!(rgc.iter().all(CodeWord::is_reflected));
+    }
+
+    #[test]
+    fn starts_at_zero_word() {
+        let gc = gray_code(LogicLevel::QUATERNARY, 2).unwrap();
+        assert_eq!(gc[0].to_string(), "00");
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(gray_code(LogicLevel::BINARY, 0).is_err());
+        assert!(reflected_gray_code(LogicLevel::BINARY, 5).is_err());
+        assert!(matches!(
+            gray_code(LogicLevel::BINARY, 25),
+            Err(CodeError::SpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn incomplete_sequences_are_not_complete_arrangements() {
+        let gc = gray_code(LogicLevel::BINARY, 3).unwrap();
+        let prefix = gc.take_prefix(4).unwrap();
+        assert!(!is_complete_gray_arrangement(&prefix));
+    }
+}

@@ -1,0 +1,253 @@
+//! Hot codes (HC): constant-composition codes in which every logic value
+//! appears exactly `k` times in every word, so `M = k · n` (Section 2.3).
+//!
+//! For binary logic these are the classical constant-weight (`k`-out-of-`2k`)
+//! codes. Hot codes need no reflection: their composition is balanced by
+//! construction, which is what the nanowire addressing scheme requires.
+
+use crate::digit::{Digit, LogicLevel};
+use crate::error::{CodeError, Result};
+use crate::sequence::CodeSequence;
+use crate::tree::MAX_ENUMERATED_WORDS;
+use crate::word::CodeWord;
+
+/// Parameters of a hot code: word length `M`, per-value multiplicity `k` and
+/// radix `n`, tied together by `M = k · n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HotCodeParams {
+    /// Word length `M`.
+    pub word_length: usize,
+    /// Number of occurrences `k` of every value in every word.
+    pub multiplicity: usize,
+    /// Logic radix `n`.
+    pub radix: LogicLevel,
+}
+
+impl HotCodeParams {
+    /// Derives the hot-code parameters for a word length and radix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidHotLength`] when `word_length` is zero or
+    /// not a multiple of the radix.
+    pub fn for_length(word_length: usize, radix: LogicLevel) -> Result<Self> {
+        if word_length == 0 || word_length % radix.radix_usize() != 0 {
+            return Err(CodeError::InvalidHotLength {
+                length: word_length,
+                radix: radix.radix(),
+            });
+        }
+        Ok(HotCodeParams {
+            word_length,
+            multiplicity: word_length / radix.radix_usize(),
+            radix,
+        })
+    }
+
+    /// The number of words in the code space: the multinomial coefficient
+    /// `M! / (k!)^n`, saturating at `u128::MAX`.
+    #[must_use]
+    pub fn space_size(&self) -> u128 {
+        multinomial_equal_parts(self.word_length, self.multiplicity, self.radix.radix_usize())
+    }
+}
+
+/// `M! / (k!)^n` computed incrementally to avoid overflow for the small
+/// parameters used by decoders; saturates at `u128::MAX`.
+fn multinomial_equal_parts(m: usize, k: usize, n: usize) -> u128 {
+    // Product of binomial coefficients: C(m, k) * C(m-k, k) * ... * C(k, k).
+    let mut total: u128 = 1;
+    let mut remaining = m;
+    for _ in 0..n {
+        total = total.saturating_mul(binomial(remaining, k));
+        remaining -= k;
+    }
+    total
+}
+
+/// Binomial coefficient with saturation.
+fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    let mut den: u128 = 1;
+    for i in 0..k {
+        num = num.saturating_mul((n - i) as u128);
+        den = den.saturating_mul((i + 1) as u128);
+        // Keep the intermediate values small by dividing out common factors.
+        let g = gcd(num, den);
+        num /= g;
+        den /= g;
+    }
+    num / den
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+/// Generates the hot code with word length `word_length` over `radix`, in
+/// lexicographic order.
+///
+/// # Errors
+///
+/// * [`CodeError::InvalidHotLength`] when `word_length` is not a positive
+///   multiple of the radix.
+/// * [`CodeError::SpaceTooLarge`] when the code space exceeds the
+///   enumeration limit.
+///
+/// # Examples
+///
+/// ```
+/// use nanowire_codes::{hot_code, LogicLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Binary (4, 2)-hot code: all words with exactly two 1s: C(4,2) = 6 words.
+/// let hc = hot_code(LogicLevel::BINARY, 4)?;
+/// assert_eq!(hc.len(), 6);
+/// assert!(hc.words().iter().all(|w| w.is_hot(2)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn hot_code(radix: LogicLevel, word_length: usize) -> Result<CodeSequence> {
+    let params = HotCodeParams::for_length(word_length, radix)?;
+    let size = params.space_size();
+    if size > MAX_ENUMERATED_WORDS {
+        return Err(CodeError::SpaceTooLarge {
+            words: size,
+            limit: MAX_ENUMERATED_WORDS,
+        });
+    }
+
+    let mut remaining = vec![params.multiplicity; radix.radix_usize()];
+    let mut current: Vec<u8> = Vec::with_capacity(word_length);
+    let mut words: Vec<CodeWord> = Vec::with_capacity(usize::try_from(size).unwrap_or(0));
+    enumerate_hot(&mut remaining, &mut current, word_length, radix, &mut words)?;
+    CodeSequence::new(words)
+}
+
+fn enumerate_hot(
+    remaining: &mut [usize],
+    current: &mut Vec<u8>,
+    word_length: usize,
+    radix: LogicLevel,
+    out: &mut Vec<CodeWord>,
+) -> Result<()> {
+    if current.len() == word_length {
+        out.push(CodeWord::new(
+            current.iter().copied().map(Digit::new).collect(),
+            radix,
+        )?);
+        return Ok(());
+    }
+    for value in 0..radix.radix() {
+        let slot = usize::from(value);
+        if remaining[slot] > 0 {
+            remaining[slot] -= 1;
+            current.push(value);
+            enumerate_hot(remaining, current, word_length, radix, out)?;
+            current.pop();
+            remaining[slot] += 1;
+        }
+    }
+    Ok(())
+}
+
+/// The number of words in the hot-code space for a word length and radix.
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidHotLength`] when the length is not a positive
+/// multiple of the radix.
+pub fn hot_space_size(radix: LogicLevel, word_length: usize) -> Result<u128> {
+    Ok(HotCodeParams::for_length(word_length, radix)?.space_size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_require_multiple_of_radix() {
+        assert!(HotCodeParams::for_length(6, LogicLevel::TERNARY).is_ok());
+        assert!(matches!(
+            HotCodeParams::for_length(5, LogicLevel::TERNARY),
+            Err(CodeError::InvalidHotLength { length: 5, radix: 3 })
+        ));
+        assert!(HotCodeParams::for_length(0, LogicLevel::BINARY).is_err());
+    }
+
+    #[test]
+    fn space_sizes_match_combinatorics() {
+        // Binary: C(2k, k).
+        assert_eq!(hot_space_size(LogicLevel::BINARY, 4).unwrap(), 6);
+        assert_eq!(hot_space_size(LogicLevel::BINARY, 6).unwrap(), 20);
+        assert_eq!(hot_space_size(LogicLevel::BINARY, 8).unwrap(), 70);
+        // Ternary (6, 2): 6! / (2!)^3 = 90.
+        assert_eq!(hot_space_size(LogicLevel::TERNARY, 6).unwrap(), 90);
+        // Quaternary (4, 1): 4! = 24.
+        assert_eq!(hot_space_size(LogicLevel::QUATERNARY, 4).unwrap(), 24);
+    }
+
+    #[test]
+    fn enumeration_matches_space_size_and_is_hot() {
+        for (radix, length) in [
+            (LogicLevel::BINARY, 4),
+            (LogicLevel::BINARY, 6),
+            (LogicLevel::BINARY, 8),
+            (LogicLevel::TERNARY, 6),
+            (LogicLevel::QUATERNARY, 4),
+        ] {
+            let params = HotCodeParams::for_length(length, radix).unwrap();
+            let hc = hot_code(radix, length).unwrap();
+            assert_eq!(hc.len() as u128, params.space_size());
+            assert!(hc.all_words_distinct());
+            assert!(hc.iter().all(|w| w.is_hot(params.multiplicity)));
+        }
+    }
+
+    #[test]
+    fn paper_hot_code_membership_example() {
+        // Section 2.3: 001122 and 012120 belong to the ternary (6, 2) hot
+        // code; 000121 does not.
+        let hc = hot_code(LogicLevel::TERNARY, 6).unwrap();
+        let contains = |s: &str| hc.iter().any(|w| w.to_string() == s);
+        assert!(contains("001122"));
+        assert!(contains("012120"));
+        assert!(!contains("000121"));
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let hc = hot_code(LogicLevel::BINARY, 4).unwrap();
+        let rendered: Vec<String> = hc.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            rendered,
+            vec!["0011", "0101", "0110", "1001", "1010", "1100"]
+        );
+    }
+
+    #[test]
+    fn binomial_helper() {
+        assert_eq!(binomial(8, 4), 70);
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn too_large_spaces_are_rejected() {
+        // Binary hot code with M = 80 has C(80, 40) >> 2^20 words.
+        assert!(matches!(
+            hot_code(LogicLevel::BINARY, 80),
+            Err(CodeError::SpaceTooLarge { .. })
+        ));
+    }
+}

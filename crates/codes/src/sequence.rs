@@ -1,0 +1,452 @@
+//! Ordered sequences of code words.
+//!
+//! A [`CodeSequence`] is the object the decoder design actually consumes: the
+//! `i`-th word of the sequence becomes the pattern of the `i`-th nanowire of
+//! a half cave (row `i` of the pattern matrix `P`). All the cost functions of
+//! the paper — fabrication complexity `Φ` and variability `‖Σ‖₁` — are
+//! monotone in the number of digit transitions between successive words of
+//! this sequence, which is why the sequence (not just the set) matters.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::digit::LogicLevel;
+use crate::error::{CodeError, Result};
+use crate::word::CodeWord;
+
+/// An ordered sequence of equal-length code words over a common radix.
+///
+/// # Examples
+///
+/// ```
+/// use nanowire_codes::{CodeSequence, CodeWord, LogicLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let words = vec![
+///     CodeWord::from_values(&[0, 0], LogicLevel::BINARY)?,
+///     CodeWord::from_values(&[0, 1], LogicLevel::BINARY)?,
+///     CodeWord::from_values(&[1, 1], LogicLevel::BINARY)?,
+/// ];
+/// let seq = CodeSequence::new(words)?;
+/// assert_eq!(seq.total_transitions(), 2);
+/// assert!(seq.is_gray());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeSequence {
+    words: Vec<CodeWord>,
+    radix: LogicLevel,
+    word_length: usize,
+}
+
+impl CodeSequence {
+    /// Creates a sequence from words, validating that all words share the
+    /// same length and radix.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::EmptySequence`] if `words` is empty.
+    /// * [`CodeError::LengthMismatch`] / [`CodeError::RadixMismatch`] if the
+    ///   words are not mutually compatible.
+    pub fn new(words: Vec<CodeWord>) -> Result<Self> {
+        let first = words.first().ok_or(CodeError::EmptySequence)?;
+        let radix = first.radix();
+        let word_length = first.len();
+        for word in &words {
+            if word.radix() != radix {
+                return Err(CodeError::RadixMismatch {
+                    left: radix.radix(),
+                    right: word.radix().radix(),
+                });
+            }
+            if word.len() != word_length {
+                return Err(CodeError::LengthMismatch {
+                    left: word_length,
+                    right: word.len(),
+                });
+            }
+        }
+        Ok(CodeSequence {
+            words,
+            radix,
+            word_length,
+        })
+    }
+
+    /// Number of words in the sequence.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the sequence contains no words (never true for a constructed
+    /// sequence).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The common radix of all words.
+    #[must_use]
+    pub fn radix(&self) -> LogicLevel {
+        self.radix
+    }
+
+    /// The common word length (number of digits = number of doping regions M).
+    #[must_use]
+    pub fn word_length(&self) -> usize {
+        self.word_length
+    }
+
+    /// The words of the sequence, in order.
+    #[must_use]
+    pub fn words(&self) -> &[CodeWord] {
+        &self.words
+    }
+
+    /// Iterates over the words in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, CodeWord> {
+        self.words.iter()
+    }
+
+    /// The word at position `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::IndexOutOfBounds`] when `i >= len`.
+    pub fn word(&self, i: usize) -> Result<&CodeWord> {
+        self.words.get(i).ok_or(CodeError::IndexOutOfBounds {
+            index: i,
+            len: self.words.len(),
+        })
+    }
+
+    /// Total number of digit transitions between successive words.
+    ///
+    /// This is the quantity the Gray arrangement minimises (Propositions 4
+    /// and 5); both `Φ` and `‖Σ‖₁` grow monotonically with it.
+    #[must_use]
+    pub fn total_transitions(&self) -> usize {
+        self.words
+            .windows(2)
+            .map(|pair| pair[0].transitions_to(&pair[1]).unwrap_or(0))
+            .sum()
+    }
+
+    /// Number of transitions of each digit position over the whole sequence.
+    ///
+    /// Element `j` counts how many successive word pairs differ at digit `j`.
+    /// Balanced Gray codes equalise this vector, which spreads the
+    /// accumulated variability evenly over the doping regions (Fig. 6 e/f).
+    #[must_use]
+    pub fn transitions_per_digit(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.word_length];
+        for pair in self.words.windows(2) {
+            if let Ok(positions) = pair[0].transition_positions(&pair[1]) {
+                for j in positions {
+                    counts[j] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The largest per-digit transition count (see
+    /// [`CodeSequence::transitions_per_digit`]).
+    #[must_use]
+    pub fn max_transitions_per_digit(&self) -> usize {
+        self.transitions_per_digit().into_iter().max().unwrap_or(0)
+    }
+
+    /// Transition counts between each pair of successive words.
+    #[must_use]
+    pub fn transition_profile(&self) -> Vec<usize> {
+        self.words
+            .windows(2)
+            .map(|pair| pair[0].transitions_to(&pair[1]).unwrap_or(0))
+            .collect()
+    }
+
+    /// Whether every pair of successive words differs in exactly one digit
+    /// (the Gray property, Section 2.3).
+    #[must_use]
+    pub fn is_gray(&self) -> bool {
+        self.words
+            .windows(2)
+            .all(|pair| pair[0].transitions_to(&pair[1]) == Ok(1))
+    }
+
+    /// Whether every pair of successive words differs in exactly `d` digits.
+    ///
+    /// Arranged hot codes achieve `d = 2`, the minimum possible for
+    /// constant-weight words (Section 5.2).
+    #[must_use]
+    pub fn has_uniform_distance(&self, d: usize) -> bool {
+        self.words
+            .windows(2)
+            .all(|pair| pair[0].transitions_to(&pair[1]) == Ok(d))
+    }
+
+    /// Whether all words of the sequence are distinct.
+    #[must_use]
+    pub fn all_words_distinct(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.words.iter().all(|w| seen.insert(w.clone()))
+    }
+
+    /// Whether no digit changes more than `limit` times over the sequence —
+    /// the balanced-Gray-code constraint of the paper (Section 2.3, limit 2
+    /// in the paper's examples over short sequences).
+    #[must_use]
+    pub fn respects_change_limit(&self, limit: usize) -> bool {
+        self.transitions_per_digit().iter().all(|&c| c <= limit)
+    }
+
+    /// A new sequence in which every word is replaced by its reflection
+    /// (word ‖ complement), doubling the word length.
+    #[must_use]
+    pub fn reflected(&self) -> CodeSequence {
+        let words = self.words.iter().map(CodeWord::reflected).collect();
+        CodeSequence {
+            words,
+            radix: self.radix,
+            word_length: self.word_length * 2,
+        }
+    }
+
+    /// The first `count` words of the sequence, wrapping around cyclically if
+    /// `count > len`.
+    ///
+    /// This models how a half cave with more nanowires than the code space
+    /// re-uses the code across contact groups: group `g` sees words
+    /// `g·Ω .. (g+1)·Ω` of the cyclic extension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidLength`] when `count == 0`.
+    pub fn take_cyclic(&self, count: usize) -> Result<CodeSequence> {
+        if count == 0 {
+            return Err(CodeError::InvalidLength { length: 0 });
+        }
+        let words = (0..count)
+            .map(|i| self.words[i % self.words.len()].clone())
+            .collect();
+        Ok(CodeSequence {
+            words,
+            radix: self.radix,
+            word_length: self.word_length,
+        })
+    }
+
+    /// The first `count` words of the sequence without wrapping.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::InvalidLength`] when `count == 0`.
+    /// * [`CodeError::IndexOutOfBounds`] when `count > len`.
+    pub fn take_prefix(&self, count: usize) -> Result<CodeSequence> {
+        if count == 0 {
+            return Err(CodeError::InvalidLength { length: 0 });
+        }
+        if count > self.words.len() {
+            return Err(CodeError::IndexOutOfBounds {
+                index: count,
+                len: self.words.len(),
+            });
+        }
+        CodeSequence::new(self.words[..count].to_vec())
+    }
+
+    /// A new sequence with the words in reversed order.
+    #[must_use]
+    pub fn reversed(&self) -> CodeSequence {
+        let mut words = self.words.clone();
+        words.reverse();
+        CodeSequence {
+            words,
+            radix: self.radix,
+            word_length: self.word_length,
+        }
+    }
+
+    /// Consumes the sequence and returns its words.
+    #[must_use]
+    pub fn into_words(self) -> Vec<CodeWord> {
+        self.words
+    }
+}
+
+impl Index<usize> for CodeSequence {
+    type Output = CodeWord;
+
+    fn index(&self, index: usize) -> &Self::Output {
+        &self.words[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a CodeSequence {
+    type Item = &'a CodeWord;
+    type IntoIter = std::slice::Iter<'a, CodeWord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.words.iter()
+    }
+}
+
+impl IntoIterator for CodeSequence {
+    type Item = CodeWord;
+    type IntoIter = std::vec::IntoIter<CodeWord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.words.into_iter()
+    }
+}
+
+impl fmt::Display for CodeSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<String> = self.words.iter().map(ToString::to_string).collect();
+        write!(f, "{}", rendered.join(" => "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(rows: &[&[u8]], radix: LogicLevel) -> CodeSequence {
+        CodeSequence::new(
+            rows.iter()
+                .map(|r| CodeWord::from_values(r, radix).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_compatibility() {
+        let ok = CodeSequence::new(vec![
+            CodeWord::from_values(&[0, 1], LogicLevel::BINARY).unwrap(),
+            CodeWord::from_values(&[1, 1], LogicLevel::BINARY).unwrap(),
+        ]);
+        assert!(ok.is_ok());
+
+        let bad_len = CodeSequence::new(vec![
+            CodeWord::from_values(&[0, 1], LogicLevel::BINARY).unwrap(),
+            CodeWord::from_values(&[1, 1, 0], LogicLevel::BINARY).unwrap(),
+        ]);
+        assert!(matches!(bad_len, Err(CodeError::LengthMismatch { .. })));
+
+        let bad_radix = CodeSequence::new(vec![
+            CodeWord::from_values(&[0, 1], LogicLevel::BINARY).unwrap(),
+            CodeWord::from_values(&[2, 1], LogicLevel::TERNARY).unwrap(),
+        ]);
+        assert!(matches!(bad_radix, Err(CodeError::RadixMismatch { .. })));
+
+        assert!(matches!(
+            CodeSequence::new(vec![]),
+            Err(CodeError::EmptySequence)
+        ));
+    }
+
+    #[test]
+    fn paper_gray_sequence_example() {
+        // Section 2.3: 0000 => 0001 => 0002 => 0010 is not a Gray sequence
+        // (last step changes two digits); 0000 => 0001 => 0002 => 0012 is.
+        let not_gray = seq(
+            &[&[0, 0, 0, 0], &[0, 0, 0, 1], &[0, 0, 0, 2], &[0, 0, 1, 0]],
+            LogicLevel::TERNARY,
+        );
+        assert!(!not_gray.is_gray());
+        let gray = seq(
+            &[&[0, 0, 0, 0], &[0, 0, 0, 1], &[0, 0, 0, 2], &[0, 0, 1, 2]],
+            LogicLevel::TERNARY,
+        );
+        assert!(gray.is_gray());
+        // In the Gray sequence the first two digits never change, the third
+        // changes once and the fourth twice -> respects the limit of 2.
+        assert_eq!(gray.transitions_per_digit(), vec![0, 0, 1, 2]);
+        assert!(gray.respects_change_limit(2));
+        assert!(!gray.respects_change_limit(1));
+    }
+
+    #[test]
+    fn transition_totals() {
+        let s = seq(
+            &[&[0, 0], &[0, 1], &[1, 1], &[0, 0]],
+            LogicLevel::BINARY,
+        );
+        assert_eq!(s.total_transitions(), 1 + 1 + 2);
+        assert_eq!(s.transition_profile(), vec![1, 1, 2]);
+        assert_eq!(s.transitions_per_digit(), vec![2, 2]);
+        assert_eq!(s.max_transitions_per_digit(), 2);
+    }
+
+    #[test]
+    fn uniform_distance_detection() {
+        let swap = seq(
+            &[&[0, 0, 1, 1], &[0, 1, 0, 1], &[1, 1, 0, 0]],
+            LogicLevel::BINARY,
+        );
+        assert!(swap.has_uniform_distance(2));
+        assert!(!swap.has_uniform_distance(1));
+    }
+
+    #[test]
+    fn cyclic_and_prefix_selection() {
+        let s = seq(&[&[0, 0], &[0, 1], &[1, 1]], LogicLevel::BINARY);
+        let cyc = s.take_cyclic(7).unwrap();
+        assert_eq!(cyc.len(), 7);
+        assert_eq!(cyc[3], s[0]);
+        assert_eq!(cyc[6], s[0]);
+        let prefix = s.take_prefix(2).unwrap();
+        assert_eq!(prefix.len(), 2);
+        assert!(s.take_prefix(4).is_err());
+        assert!(s.take_prefix(0).is_err());
+        assert!(s.take_cyclic(0).is_err());
+    }
+
+    #[test]
+    fn reflection_doubles_word_length() {
+        let s = seq(&[&[0, 0], &[0, 1]], LogicLevel::BINARY);
+        let r = s.reflected();
+        assert_eq!(r.word_length(), 4);
+        assert_eq!(r[0].to_string(), "0011");
+        assert_eq!(r[1].to_string(), "0110");
+        // Reflection doubles the number of digit changes per step.
+        assert_eq!(r.total_transitions(), 2 * s.total_transitions());
+    }
+
+    #[test]
+    fn distinctness_and_reversal() {
+        let s = seq(&[&[0, 0], &[0, 1], &[0, 0]], LogicLevel::BINARY);
+        assert!(!s.all_words_distinct());
+        let d = seq(&[&[0, 0], &[0, 1], &[1, 1]], LogicLevel::BINARY);
+        assert!(d.all_words_distinct());
+        let rev = d.reversed();
+        assert_eq!(rev[0], d[2]);
+        assert_eq!(rev.total_transitions(), d.total_transitions());
+    }
+
+    #[test]
+    fn iteration_and_display() {
+        let s = seq(&[&[0, 0], &[0, 1]], LogicLevel::BINARY);
+        assert_eq!(s.iter().count(), 2);
+        assert_eq!((&s).into_iter().count(), 2);
+        assert_eq!(s.clone().into_iter().count(), 2);
+        assert_eq!(s.to_string(), "00 => 01");
+        assert_eq!(s.clone().into_words().len(), 2);
+    }
+
+    #[test]
+    fn word_accessor_bounds() {
+        let s = seq(&[&[0, 0]], LogicLevel::BINARY);
+        assert!(s.word(0).is_ok());
+        assert!(matches!(
+            s.word(1),
+            Err(CodeError::IndexOutOfBounds { index: 1, len: 1 })
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! Sequence statistics: the digit-activity and transition profiles behind the
+//! paper's Fig. 6 discussion ("longer codes have less digit transitions and
+//! help reduce the average variability") and behind the balanced-Gray-code
+//! objective.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sequence::CodeSequence;
+
+/// Transition statistics of an ordered code sequence.
+///
+/// # Examples
+///
+/// ```
+/// use nanowire_codes::{reflected_gray_code, sequence_stats, LogicLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let gc = reflected_gray_code(LogicLevel::BINARY, 8)?;
+/// let stats = sequence_stats(&gc);
+/// // Reflected Gray codes change exactly two digits per step.
+/// assert_eq!(stats.min_step_transitions, 2);
+/// assert_eq!(stats.max_step_transitions, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequenceStats {
+    /// Number of words in the sequence.
+    pub word_count: usize,
+    /// Number of digits per word.
+    pub word_length: usize,
+    /// Total number of digit transitions over the sequence.
+    pub total_transitions: usize,
+    /// Mean number of digit transitions per step.
+    pub mean_step_transitions: f64,
+    /// Smallest number of digit transitions of any step.
+    pub min_step_transitions: usize,
+    /// Largest number of digit transitions of any step.
+    pub max_step_transitions: usize,
+    /// Transition count of every digit position ("digit activity").
+    pub per_digit_transitions: Vec<usize>,
+    /// Mean transitions per digit position.
+    pub mean_digit_activity: f64,
+    /// Spread (max − min) of the per-digit transition counts; zero for a
+    /// perfectly balanced sequence.
+    pub digit_activity_spread: usize,
+    /// Histogram of step transition counts: entry `d` counts the steps that
+    /// change exactly `d` digits.
+    pub step_histogram: Vec<usize>,
+}
+
+/// Computes the transition statistics of a sequence.
+#[must_use]
+pub fn sequence_stats(sequence: &CodeSequence) -> SequenceStats {
+    let profile = sequence.transition_profile();
+    let per_digit = sequence.transitions_per_digit();
+    let total: usize = profile.iter().sum();
+    let steps = profile.len().max(1);
+    let min_step = profile.iter().copied().min().unwrap_or(0);
+    let max_step = profile.iter().copied().max().unwrap_or(0);
+    let mut histogram = vec![0usize; sequence.word_length() + 1];
+    for &d in &profile {
+        histogram[d] += 1;
+    }
+    let digit_min = per_digit.iter().copied().min().unwrap_or(0);
+    let digit_max = per_digit.iter().copied().max().unwrap_or(0);
+    SequenceStats {
+        word_count: sequence.len(),
+        word_length: sequence.word_length(),
+        total_transitions: total,
+        mean_step_transitions: total as f64 / steps as f64,
+        min_step_transitions: min_step,
+        max_step_transitions: max_step,
+        mean_digit_activity: total as f64 / sequence.word_length() as f64,
+        digit_activity_spread: digit_max - digit_min,
+        per_digit_transitions: per_digit,
+        step_histogram: histogram,
+    }
+}
+
+/// Compares two arrangements of (possibly different) code spaces by the
+/// statistics that drive the decoder costs: total transitions (→ `Φ`, `‖Σ‖₁`)
+/// and digit-activity spread (→ variability balance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrangementComparison {
+    /// Statistics of the baseline arrangement.
+    pub baseline: SequenceStats,
+    /// Statistics of the optimised arrangement.
+    pub optimised: SequenceStats,
+    /// Relative reduction of total transitions (0.0 when the baseline has
+    /// none or the optimised arrangement is not better).
+    pub transition_reduction: f64,
+}
+
+/// Builds an [`ArrangementComparison`] between a baseline and an optimised
+/// arrangement.
+#[must_use]
+pub fn compare_arrangements(
+    baseline: &CodeSequence,
+    optimised: &CodeSequence,
+) -> ArrangementComparison {
+    let baseline_stats = sequence_stats(baseline);
+    let optimised_stats = sequence_stats(optimised);
+    let transition_reduction = if baseline_stats.total_transitions == 0
+        || optimised_stats.total_transitions >= baseline_stats.total_transitions
+    {
+        0.0
+    } else {
+        (baseline_stats.total_transitions - optimised_stats.total_transitions) as f64
+            / baseline_stats.total_transitions as f64
+    };
+    ArrangementComparison {
+        baseline: baseline_stats,
+        optimised: optimised_stats,
+        transition_reduction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digit::LogicLevel;
+    use crate::gray::reflected_gray_code;
+    use crate::hot::hot_code;
+    use crate::space::{CodeKind, CodeSpec};
+    use crate::tree::reflected_tree_code;
+
+    #[test]
+    fn gray_code_stats_are_uniform() {
+        let gc = reflected_gray_code(LogicLevel::BINARY, 8).unwrap();
+        let stats = sequence_stats(&gc);
+        assert_eq!(stats.word_count, 16);
+        assert_eq!(stats.word_length, 8);
+        assert_eq!(stats.min_step_transitions, 2);
+        assert_eq!(stats.max_step_transitions, 2);
+        assert_eq!(stats.total_transitions, 2 * 15);
+        assert!((stats.mean_step_transitions - 2.0).abs() < 1e-12);
+        // Every step changes exactly two digits.
+        assert_eq!(stats.step_histogram[2], 15);
+        assert_eq!(stats.step_histogram.iter().sum::<usize>(), 15);
+        assert_eq!(stats.per_digit_transitions.iter().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn tree_code_stats_show_the_toggling_digit() {
+        let tc = reflected_tree_code(LogicLevel::BINARY, 8).unwrap();
+        let stats = sequence_stats(&tc);
+        // The least-significant base digit (and its mirror) toggle at every
+        // step, so the digit-activity spread is large.
+        assert_eq!(stats.per_digit_transitions[3], stats.word_count - 1);
+        assert!(stats.digit_activity_spread > 0);
+        assert!(stats.total_transitions > 2 * (stats.word_count - 1));
+    }
+
+    #[test]
+    fn comparison_quantifies_the_gray_advantage() {
+        let tc = reflected_tree_code(LogicLevel::TERNARY, 6).unwrap();
+        let gc = reflected_gray_code(LogicLevel::TERNARY, 6).unwrap();
+        let comparison = compare_arrangements(&tc, &gc);
+        assert!(comparison.transition_reduction > 0.0);
+        assert!(
+            comparison.optimised.total_transitions < comparison.baseline.total_transitions
+        );
+        // Comparing an arrangement against itself reports no reduction.
+        let same = compare_arrangements(&gc, &gc);
+        assert_eq!(same.transition_reduction, 0.0);
+    }
+
+    #[test]
+    fn balanced_gray_code_has_smaller_digit_spread_than_gray() {
+        let gc = CodeSpec::new(CodeKind::Gray, LogicLevel::BINARY, 10)
+            .unwrap()
+            .generate()
+            .unwrap();
+        let bgc = CodeSpec::new(CodeKind::BalancedGray, LogicLevel::BINARY, 10)
+            .unwrap()
+            .generate()
+            .unwrap();
+        let gc_stats = sequence_stats(&gc);
+        let bgc_stats = sequence_stats(&bgc);
+        assert!(bgc_stats.digit_activity_spread <= gc_stats.digit_activity_spread);
+        assert_eq!(bgc_stats.total_transitions, gc_stats.total_transitions);
+    }
+
+    #[test]
+    fn hot_code_histogram_covers_larger_steps() {
+        let hc = hot_code(LogicLevel::BINARY, 6).unwrap();
+        let stats = sequence_stats(&hc);
+        // Lexicographic hot codes contain steps changing more than two digits.
+        assert!(stats.max_step_transitions > 2);
+        assert_eq!(
+            stats.step_histogram.iter().sum::<usize>(),
+            stats.word_count - 1
+        );
+    }
+}

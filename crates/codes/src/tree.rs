@@ -1,0 +1,186 @@
+//! Tree codes (TC): the full set of `n^m` words of `m` digits over radix `n`,
+//! enumerated in lexicographic (counting) order, and their reflected form.
+//!
+//! Tree codes are the baseline encoding of the paper (Section 2.3). To be
+//! usable as nanowire addresses they are always *reflected*: every word gets
+//! its complement appended, so the full code length is `M = 2·m`.
+
+use crate::digit::LogicLevel;
+use crate::error::{CodeError, Result};
+use crate::sequence::CodeSequence;
+use crate::word::CodeWord;
+
+/// Safety limit on enumerated code-space sizes.
+///
+/// Code spaces of practical decoders contain at most a few hundred words
+/// (the paper goes up to `2^5 = 32` tree words and 70 hot words); the limit
+/// only guards against accidental exponential blow-ups.
+pub const MAX_ENUMERATED_WORDS: u128 = 1 << 20;
+
+/// Generates the tree code of `base_length` digits over `radix`, in
+/// lexicographic order, *without* reflection.
+///
+/// # Errors
+///
+/// * [`CodeError::InvalidLength`] when `base_length == 0`.
+/// * [`CodeError::SpaceTooLarge`] when `radix^base_length` exceeds
+///   [`MAX_ENUMERATED_WORDS`].
+///
+/// # Examples
+///
+/// ```
+/// use nanowire_codes::{tree_code, LogicLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tc = tree_code(LogicLevel::TERNARY, 2)?;
+/// assert_eq!(tc.len(), 9);
+/// assert_eq!(tc[0].to_string(), "00");
+/// assert_eq!(tc[8].to_string(), "22");
+/// # Ok(())
+/// # }
+/// ```
+pub fn tree_code(radix: LogicLevel, base_length: usize) -> Result<CodeSequence> {
+    if base_length == 0 {
+        return Err(CodeError::InvalidLength { length: 0 });
+    }
+    let count = radix.word_count(base_length);
+    if count > MAX_ENUMERATED_WORDS {
+        return Err(CodeError::SpaceTooLarge {
+            words: count,
+            limit: MAX_ENUMERATED_WORDS,
+        });
+    }
+    let words: Result<Vec<CodeWord>> = (0..count)
+        .map(|i| CodeWord::from_index(i, base_length, radix))
+        .collect();
+    CodeSequence::new(words?)
+}
+
+/// Generates the *reflected* tree code with full code length
+/// `code_length = 2 · base_length` (Section 2.3): every word of the tree code
+/// in lexicographic order, with its complement appended.
+///
+/// # Errors
+///
+/// * [`CodeError::OddReflectedLength`] when `code_length` is odd.
+/// * Any error of [`tree_code`].
+///
+/// # Examples
+///
+/// ```
+/// use nanowire_codes::{reflected_tree_code, LogicLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The paper's example: 0010 reflects to 00102212 (ternary).
+/// let tc = reflected_tree_code(LogicLevel::TERNARY, 8)?;
+/// assert_eq!(tc.word_length(), 8);
+/// assert!(tc.words().iter().any(|w| w.to_string() == "00102212"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn reflected_tree_code(radix: LogicLevel, code_length: usize) -> Result<CodeSequence> {
+    let base_length = base_length_of(code_length)?;
+    Ok(tree_code(radix, base_length)?.reflected())
+}
+
+/// Splits a full (reflected) code length `M` into the base half length.
+///
+/// # Errors
+///
+/// Returns [`CodeError::OddReflectedLength`] for odd lengths and
+/// [`CodeError::InvalidLength`] for zero.
+pub fn base_length_of(code_length: usize) -> Result<usize> {
+    if code_length == 0 {
+        return Err(CodeError::InvalidLength { length: 0 });
+    }
+    if code_length % 2 != 0 {
+        return Err(CodeError::OddReflectedLength {
+            length: code_length,
+        });
+    }
+    Ok(code_length / 2)
+}
+
+/// The number of words in a (reflected or raw) tree code space of the given
+/// base length: `radix^base_length`.
+#[must_use]
+pub fn tree_space_size(radix: LogicLevel, base_length: usize) -> u128 {
+    radix.word_count(base_length)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_code_is_lexicographic_and_complete() {
+        let tc = tree_code(LogicLevel::BINARY, 3).unwrap();
+        let rendered: Vec<String> = tc.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            rendered,
+            vec!["000", "001", "010", "011", "100", "101", "110", "111"]
+        );
+        assert!(tc.all_words_distinct());
+    }
+
+    #[test]
+    fn ternary_tree_code_matches_paper_enumeration() {
+        // Section 2.3: for n = 3 and M = 4 the codes are 0000, 0001, 0002,
+        // 0010, ..., 2222.
+        let tc = tree_code(LogicLevel::TERNARY, 4).unwrap();
+        assert_eq!(tc.len(), 81);
+        assert_eq!(tc[0].to_string(), "0000");
+        assert_eq!(tc[1].to_string(), "0001");
+        assert_eq!(tc[2].to_string(), "0002");
+        assert_eq!(tc[3].to_string(), "0010");
+        assert_eq!(tc[80].to_string(), "2222");
+    }
+
+    #[test]
+    fn reflected_tree_code_words_are_reflections() {
+        let tc = reflected_tree_code(LogicLevel::TERNARY, 8).unwrap();
+        assert_eq!(tc.len(), 81);
+        assert_eq!(tc.word_length(), 8);
+        assert!(tc.iter().all(CodeWord::is_reflected));
+        assert_eq!(tc[0].to_string(), "00002222");
+        assert_eq!(tc[1].to_string(), "00012221");
+    }
+
+    #[test]
+    fn reflected_length_must_be_even() {
+        assert!(matches!(
+            reflected_tree_code(LogicLevel::BINARY, 7),
+            Err(CodeError::OddReflectedLength { length: 7 })
+        ));
+        assert!(matches!(
+            base_length_of(0),
+            Err(CodeError::InvalidLength { length: 0 })
+        ));
+        assert_eq!(base_length_of(10).unwrap(), 5);
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        assert!(tree_code(LogicLevel::BINARY, 0).is_err());
+    }
+
+    #[test]
+    fn space_size_guard() {
+        // 2^25 exceeds the 2^20 enumeration limit.
+        assert!(matches!(
+            tree_code(LogicLevel::BINARY, 25),
+            Err(CodeError::SpaceTooLarge { .. })
+        ));
+        assert_eq!(tree_space_size(LogicLevel::BINARY, 5), 32);
+        assert_eq!(tree_space_size(LogicLevel::QUATERNARY, 3), 64);
+    }
+
+    #[test]
+    fn lexicographic_tree_code_toggles_last_digit_every_step() {
+        // This is the reason tree codes are expensive: the least-significant
+        // digit changes at every single step of the sequence.
+        let tc = tree_code(LogicLevel::BINARY, 4).unwrap();
+        let per_digit = tc.transitions_per_digit();
+        assert_eq!(per_digit[3], tc.len() - 1);
+    }
+}

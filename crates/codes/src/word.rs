@@ -1,0 +1,487 @@
+//! Multi-valued code words and the digit-level operations the paper relies
+//! on: complements, reflection, transition counting and value counting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::digit::{Digit, LogicLevel};
+use crate::error::{CodeError, Result};
+
+/// A multi-valued code word: a fixed-length vector of digits over a radix.
+///
+/// Code words identify nanowires: digit `j` selects the threshold-voltage
+/// level of doping region `j` of the nanowire (Section 4, Definition 1 of the
+/// paper).
+///
+/// # Examples
+///
+/// ```
+/// use nanowire_codes::{CodeWord, LogicLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let word = CodeWord::from_values(&[0, 0, 1, 0], LogicLevel::TERNARY)?;
+/// // The complement subtracts from the largest word of the space: 2222 - 0010.
+/// assert_eq!(word.complement().to_string(), "2212");
+/// // Reflected tree codes append the complement (Section 2.3).
+/// assert_eq!(word.reflected().to_string(), "00102212");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CodeWord {
+    digits: Vec<Digit>,
+    radix: LogicLevel,
+}
+
+impl CodeWord {
+    /// Creates a code word from digits, validating each against the radix.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::EmptyWord`] if `digits` is empty.
+    /// * [`CodeError::DigitOutOfRange`] if a digit does not fit the radix.
+    pub fn new(digits: Vec<Digit>, radix: LogicLevel) -> Result<Self> {
+        if digits.is_empty() {
+            return Err(CodeError::EmptyWord);
+        }
+        for digit in &digits {
+            radix.check_digit(digit.value())?;
+        }
+        Ok(CodeWord { digits, radix })
+    }
+
+    /// Creates a code word from raw digit values.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CodeWord::new`].
+    pub fn from_values(values: &[u8], radix: LogicLevel) -> Result<Self> {
+        CodeWord::new(values.iter().copied().map(Digit::new).collect(), radix)
+    }
+
+    /// Creates the all-zero word of a given length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidLength`] when `len == 0`.
+    pub fn zero(len: usize, radix: LogicLevel) -> Result<Self> {
+        if len == 0 {
+            return Err(CodeError::InvalidLength { length: 0 });
+        }
+        Ok(CodeWord {
+            digits: vec![Digit::ZERO; len],
+            radix,
+        })
+    }
+
+    /// Builds the word whose base-`n` value is `index`, zero-padded to `len`
+    /// digits, most-significant digit first.
+    ///
+    /// This is the natural enumeration order of tree codes.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::InvalidLength`] when `len == 0`.
+    /// * [`CodeError::IndexOutOfBounds`] when `index >= radix^len`.
+    pub fn from_index(index: u128, len: usize, radix: LogicLevel) -> Result<Self> {
+        if len == 0 {
+            return Err(CodeError::InvalidLength { length: 0 });
+        }
+        let space = radix.word_count(len);
+        if index >= space {
+            return Err(CodeError::IndexOutOfBounds {
+                index: usize::try_from(index.min(u128::from(u64::MAX))).unwrap_or(usize::MAX),
+                len: usize::try_from(space.min(u128::from(u64::MAX))).unwrap_or(usize::MAX),
+            });
+        }
+        let n = u128::from(radix.radix());
+        let mut remaining = index;
+        let mut digits = vec![Digit::ZERO; len];
+        for slot in digits.iter_mut().rev() {
+            *slot = Digit::new((remaining % n) as u8);
+            remaining /= n;
+        }
+        Ok(CodeWord { digits, radix })
+    }
+
+    /// Interprets the word as a base-`n` number, most-significant digit first.
+    #[must_use]
+    pub fn to_index(&self) -> u128 {
+        let n = u128::from(self.radix.radix());
+        self.digits
+            .iter()
+            .fold(0u128, |acc, d| acc * n + u128::from(d.value()))
+    }
+
+    /// The number of digits in the word.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// Whether the word has no digits. Always `false` for constructed words;
+    /// provided for API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.digits.is_empty()
+    }
+
+    /// The radix of the word.
+    #[must_use]
+    pub fn radix(&self) -> LogicLevel {
+        self.radix
+    }
+
+    /// The digit at position `j` (0 = left-most / first doping region).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::IndexOutOfBounds`] when `j >= len`.
+    pub fn digit(&self, j: usize) -> Result<Digit> {
+        self.digits
+            .get(j)
+            .copied()
+            .ok_or(CodeError::IndexOutOfBounds {
+                index: j,
+                len: self.digits.len(),
+            })
+    }
+
+    /// All digits of the word as a slice.
+    #[must_use]
+    pub fn digits(&self) -> &[Digit] {
+        &self.digits
+    }
+
+    /// All digits as raw `u8` values.
+    #[must_use]
+    pub fn values(&self) -> Vec<u8> {
+        self.digits.iter().map(|d| d.value()).collect()
+    }
+
+    /// The complement word: the largest word of the code space minus this
+    /// word, computed digit-wise as `(n-1) - d` (Section 2.3).
+    #[must_use]
+    pub fn complement(&self) -> CodeWord {
+        let digits = self
+            .digits
+            .iter()
+            .map(|d| Digit::new(self.radix.max_digit() - d.value()))
+            .collect();
+        CodeWord {
+            digits,
+            radix: self.radix,
+        }
+    }
+
+    /// The reflected word: this word with its complement appended, doubling
+    /// the length (Section 2.3). Reflection guarantees every word contains
+    /// each digit value a balanced number of times across base and mirror
+    /// halves, which the addressing scheme of ref. [2] requires.
+    #[must_use]
+    pub fn reflected(&self) -> CodeWord {
+        let mut digits = self.digits.clone();
+        digits.extend(self.complement().digits);
+        CodeWord {
+            digits,
+            radix: self.radix,
+        }
+    }
+
+    /// Splits a reflected word back into its base half.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::OddReflectedLength`] when the word length is odd,
+    /// or [`CodeError::WordNotInSpace`] when the second half is not the
+    /// complement of the first (i.e. the word is not a reflection).
+    pub fn unreflected(&self) -> Result<CodeWord> {
+        if self.len() % 2 != 0 {
+            return Err(CodeError::OddReflectedLength { length: self.len() });
+        }
+        let half = self.len() / 2;
+        let base = CodeWord::new(self.digits[..half].to_vec(), self.radix)?;
+        let expected = base.reflected();
+        if expected == *self {
+            Ok(base)
+        } else {
+            Err(CodeError::WordNotInSpace {
+                word: self.to_string(),
+            })
+        }
+    }
+
+    /// Whether this word is a valid reflection (second half is the complement
+    /// of the first half).
+    #[must_use]
+    pub fn is_reflected(&self) -> bool {
+        self.unreflected().is_ok()
+    }
+
+    /// Number of digit positions in which `self` and `other` differ.
+    ///
+    /// This is the quantity minimised by Gray arrangements: each differing
+    /// position between successive nanowire patterns costs one extra
+    /// lithography/doping dose and one extra unit of accumulated variability
+    /// (Propositions 4 and 5).
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::LengthMismatch`] when the word lengths differ.
+    /// * [`CodeError::RadixMismatch`] when the radices differ.
+    pub fn transitions_to(&self, other: &CodeWord) -> Result<usize> {
+        self.check_compatible(other)?;
+        Ok(self
+            .digits
+            .iter()
+            .zip(other.digits.iter())
+            .filter(|(a, b)| a != b)
+            .count())
+    }
+
+    /// The digit positions in which `self` and `other` differ.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CodeWord::transitions_to`].
+    pub fn transition_positions(&self, other: &CodeWord) -> Result<Vec<usize>> {
+        self.check_compatible(other)?;
+        Ok(self
+            .digits
+            .iter()
+            .zip(other.digits.iter())
+            .enumerate()
+            .filter_map(|(j, (a, b))| (a != b).then_some(j))
+            .collect())
+    }
+
+    /// Alias of [`CodeWord::transitions_to`] using coding-theory vocabulary.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CodeWord::transitions_to`].
+    pub fn hamming_distance(&self, other: &CodeWord) -> Result<usize> {
+        self.transitions_to(other)
+    }
+
+    /// How many times each digit value `0..n` occurs in the word.
+    #[must_use]
+    pub fn value_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.radix.radix_usize()];
+        for d in &self.digits {
+            counts[usize::from(d.value())] += 1;
+        }
+        counts
+    }
+
+    /// Whether the word is a hot-code word with multiplicity `k`: every digit
+    /// value occurs exactly `k` times (Section 2.3).
+    #[must_use]
+    pub fn is_hot(&self, k: usize) -> bool {
+        self.value_counts().iter().all(|&c| c == k)
+    }
+
+    /// Returns a copy of the word with digit `j` replaced by `value`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::IndexOutOfBounds`] when `j >= len`.
+    /// * [`CodeError::DigitOutOfRange`] when `value` does not fit the radix.
+    pub fn with_digit(&self, j: usize, value: u8) -> Result<CodeWord> {
+        if j >= self.digits.len() {
+            return Err(CodeError::IndexOutOfBounds {
+                index: j,
+                len: self.digits.len(),
+            });
+        }
+        self.radix.check_digit(value)?;
+        let mut digits = self.digits.clone();
+        digits[j] = Digit::new(value);
+        Ok(CodeWord {
+            digits,
+            radix: self.radix,
+        })
+    }
+
+    fn check_compatible(&self, other: &CodeWord) -> Result<()> {
+        if self.radix != other.radix {
+            return Err(CodeError::RadixMismatch {
+                left: self.radix.radix(),
+                right: other.radix.radix(),
+            });
+        }
+        if self.len() != other.len() {
+            return Err(CodeError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CodeWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.digits {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[Digit]> for CodeWord {
+    fn as_ref(&self) -> &[Digit] {
+        &self.digits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(values: &[u8], radix: LogicLevel) -> CodeWord {
+        CodeWord::from_values(values, radix).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_digits() {
+        assert!(CodeWord::from_values(&[0, 1, 2], LogicLevel::TERNARY).is_ok());
+        assert_eq!(
+            CodeWord::from_values(&[0, 3], LogicLevel::TERNARY),
+            Err(CodeError::DigitOutOfRange { digit: 3, radix: 3 })
+        );
+        assert_eq!(
+            CodeWord::from_values(&[], LogicLevel::BINARY),
+            Err(CodeError::EmptyWord)
+        );
+    }
+
+    #[test]
+    fn paper_complement_example() {
+        // Section 2.3: the complement of 0010 (ternary, M=4) is 2212 and the
+        // reflected word is 00102212.
+        let word = w(&[0, 0, 1, 0], LogicLevel::TERNARY);
+        assert_eq!(word.complement(), w(&[2, 2, 1, 2], LogicLevel::TERNARY));
+        assert_eq!(word.reflected().to_string(), "00102212");
+        let zero = w(&[0, 0, 0, 0], LogicLevel::TERNARY);
+        assert_eq!(zero.reflected().to_string(), "00002222");
+        let one = w(&[0, 0, 0, 1], LogicLevel::TERNARY);
+        assert_eq!(one.reflected().to_string(), "00012221");
+    }
+
+    #[test]
+    fn reflection_roundtrip() {
+        let base = w(&[1, 0, 2, 1], LogicLevel::TERNARY);
+        let reflected = base.reflected();
+        assert!(reflected.is_reflected());
+        assert_eq!(reflected.unreflected().unwrap(), base);
+    }
+
+    #[test]
+    fn unreflected_rejects_non_reflections() {
+        let not_reflected = w(&[0, 0, 0, 0], LogicLevel::BINARY);
+        assert!(matches!(
+            not_reflected.unreflected(),
+            Err(CodeError::WordNotInSpace { .. })
+        ));
+        let odd = w(&[0, 1, 0], LogicLevel::BINARY);
+        assert!(matches!(
+            odd.unreflected(),
+            Err(CodeError::OddReflectedLength { length: 3 })
+        ));
+    }
+
+    #[test]
+    fn transition_counting() {
+        // Section 2.3: 0002 -> 0010 differ in two digits, 0002 -> 0012 in one.
+        let a = w(&[0, 0, 0, 2], LogicLevel::TERNARY);
+        let b = w(&[0, 0, 1, 0], LogicLevel::TERNARY);
+        let c = w(&[0, 0, 1, 2], LogicLevel::TERNARY);
+        assert_eq!(a.transitions_to(&b).unwrap(), 2);
+        assert_eq!(a.transitions_to(&c).unwrap(), 1);
+        assert_eq!(a.transition_positions(&b).unwrap(), vec![2, 3]);
+        assert_eq!(a.transition_positions(&c).unwrap(), vec![2]);
+        assert_eq!(a.hamming_distance(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn transition_errors_on_incompatible_words() {
+        let a = w(&[0, 1], LogicLevel::BINARY);
+        let b = w(&[0, 1, 1], LogicLevel::BINARY);
+        let c = w(&[0, 1], LogicLevel::TERNARY);
+        assert!(matches!(
+            a.transitions_to(&b),
+            Err(CodeError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            a.transitions_to(&c),
+            Err(CodeError::RadixMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hot_word_detection() {
+        // 001122 and 012120 belong to the (M, k) = (6, 2) ternary hot code;
+        // 000121 does not (Section 2.3).
+        assert!(w(&[0, 0, 1, 1, 2, 2], LogicLevel::TERNARY).is_hot(2));
+        assert!(w(&[0, 1, 2, 1, 2, 0], LogicLevel::TERNARY).is_hot(2));
+        assert!(!w(&[0, 0, 0, 1, 2, 1], LogicLevel::TERNARY).is_hot(2));
+    }
+
+    #[test]
+    fn value_counts() {
+        let word = w(&[0, 1, 1, 2, 2, 2], LogicLevel::TERNARY);
+        assert_eq!(word.value_counts(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let radix = LogicLevel::TERNARY;
+        for index in 0..81u128 {
+            let word = CodeWord::from_index(index, 4, radix).unwrap();
+            assert_eq!(word.to_index(), index);
+            assert_eq!(word.len(), 4);
+        }
+        assert!(CodeWord::from_index(81, 4, radix).is_err());
+    }
+
+    #[test]
+    fn from_index_is_lexicographic() {
+        let radix = LogicLevel::BINARY;
+        let words: Vec<String> = (0..4)
+            .map(|i| CodeWord::from_index(i, 2, radix).unwrap().to_string())
+            .collect();
+        assert_eq!(words, vec!["00", "01", "10", "11"]);
+    }
+
+    #[test]
+    fn with_digit_replaces_one_position() {
+        let word = w(&[0, 0, 0], LogicLevel::TERNARY);
+        let changed = word.with_digit(1, 2).unwrap();
+        assert_eq!(changed.to_string(), "020");
+        assert!(word.with_digit(5, 1).is_err());
+        assert!(word.with_digit(0, 3).is_err());
+    }
+
+    #[test]
+    fn display_concatenates_digits() {
+        assert_eq!(w(&[0, 1, 2, 1], LogicLevel::TERNARY).to_string(), "0121");
+    }
+
+    #[test]
+    fn zero_word() {
+        let zero = CodeWord::zero(5, LogicLevel::BINARY).unwrap();
+        assert_eq!(zero.to_string(), "00000");
+        assert!(CodeWord::zero(0, LogicLevel::BINARY).is_err());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_digits() {
+        let a = w(&[0, 1], LogicLevel::TERNARY);
+        let b = w(&[0, 2], LogicLevel::TERNARY);
+        let c = w(&[1, 0], LogicLevel::TERNARY);
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

@@ -1,0 +1,133 @@
+//! Error types for the `mspt-decoder` crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crossbar_array::CrossbarError;
+use decoder_sim::SimError;
+use device_physics::PhysicsError;
+use mspt_fabrication::FabricationError;
+use nanowire_codes::CodeError;
+
+/// Errors produced by the decoder design layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DecoderError {
+    /// A design parameter is invalid or inconsistent.
+    InvalidDesign {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A design-space exploration was requested over an empty space.
+    EmptyDesignSpace,
+    /// An addressing request referenced a nanowire that does not exist or is
+    /// not addressable.
+    InvalidAddress {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An error bubbled up from the code layer.
+    Code(CodeError),
+    /// An error bubbled up from the device-physics layer.
+    Physics(PhysicsError),
+    /// An error bubbled up from the fabrication layer.
+    Fabrication(FabricationError),
+    /// An error bubbled up from the crossbar layer.
+    Crossbar(CrossbarError),
+    /// An error bubbled up from the simulation layer.
+    Simulation(SimError),
+}
+
+impl fmt::Display for DecoderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecoderError::InvalidDesign { reason } => write!(f, "invalid decoder design: {reason}"),
+            DecoderError::EmptyDesignSpace => {
+                write!(f, "design-space exploration requested over an empty space")
+            }
+            DecoderError::InvalidAddress { reason } => write!(f, "invalid address: {reason}"),
+            DecoderError::Code(err) => write!(f, "code error: {err}"),
+            DecoderError::Physics(err) => write!(f, "device-physics error: {err}"),
+            DecoderError::Fabrication(err) => write!(f, "fabrication error: {err}"),
+            DecoderError::Crossbar(err) => write!(f, "crossbar error: {err}"),
+            DecoderError::Simulation(err) => write!(f, "simulation error: {err}"),
+        }
+    }
+}
+
+impl Error for DecoderError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DecoderError::Code(err) => Some(err),
+            DecoderError::Physics(err) => Some(err),
+            DecoderError::Fabrication(err) => Some(err),
+            DecoderError::Crossbar(err) => Some(err),
+            DecoderError::Simulation(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for DecoderError {
+    fn from(err: CodeError) -> Self {
+        DecoderError::Code(err)
+    }
+}
+
+impl From<PhysicsError> for DecoderError {
+    fn from(err: PhysicsError) -> Self {
+        DecoderError::Physics(err)
+    }
+}
+
+impl From<FabricationError> for DecoderError {
+    fn from(err: FabricationError) -> Self {
+        DecoderError::Fabrication(err)
+    }
+}
+
+impl From<CrossbarError> for DecoderError {
+    fn from(err: CrossbarError) -> Self {
+        DecoderError::Crossbar(err)
+    }
+}
+
+impl From<SimError> for DecoderError {
+    fn from(err: SimError) -> Self {
+        DecoderError::Simulation(err)
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DecoderError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(DecoderError::EmptyDesignSpace.source().is_none());
+        assert!(!DecoderError::EmptyDesignSpace.to_string().is_empty());
+        let wrapped: Vec<DecoderError> = vec![
+            CodeError::EmptyWord.into(),
+            PhysicsError::SolverDidNotConverge { iterations: 1 }.into(),
+            FabricationError::InvalidMatrixShape {
+                reason: "ragged".to_string(),
+            }
+            .into(),
+            CrossbarError::InvalidProbability { value: -1.0 }.into(),
+            SimError::EmptySweep.into(),
+        ];
+        for err in wrapped {
+            assert!(err.source().is_some());
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecoderError>();
+    }
+}

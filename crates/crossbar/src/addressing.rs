@@ -1,0 +1,234 @@
+//! The electrical addressing model of the decoder (Section 2.2 and Fig. 1.c):
+//! mesowires apply a voltage pattern over the doping regions; a nanowire
+//! conducts only if *every* one of its regions is turned on, i.e. its
+//! threshold level does not exceed the applied level.
+//!
+//! Under this model a code word `p` conducts under an applied word `a`
+//! exactly when `p ≤ a` component-wise. A set of code words addresses its
+//! nanowires *uniquely* when applying any word of the set turns on exactly
+//! one nanowire — equivalently when the set is an **antichain** under the
+//! component-wise order. This is precisely why tree codes must be reflected
+//! (Section 2.3) and why hot codes need no reflection: both families are
+//! antichains, while the raw tree code is a chain.
+
+use serde::{Deserialize, Serialize};
+
+use nanowire_codes::{CodeSequence, CodeWord};
+
+use crate::error::{CrossbarError, Result};
+
+/// The outcome of applying a voltage pattern to a contact group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressOutcome {
+    /// Exactly one nanowire conducts — the address is valid.
+    Unique(usize),
+    /// No nanowire conducts.
+    None,
+    /// More than one nanowire conducts — the address is ambiguous.
+    Multiple(Vec<usize>),
+}
+
+impl AddressOutcome {
+    /// The addressed nanowire, if the outcome is unique.
+    #[must_use]
+    pub fn unique(&self) -> Option<usize> {
+        match self {
+            AddressOutcome::Unique(index) => Some(*index),
+            _ => None,
+        }
+    }
+}
+
+/// Whether a nanowire with pattern `pattern` conducts when the applied
+/// voltage pattern is `applied`: every region's threshold level must not
+/// exceed the applied level.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::Code`] when the two words have different lengths
+/// or radices.
+pub fn conducts(pattern: &CodeWord, applied: &CodeWord) -> Result<bool> {
+    // transitions_to validates compatibility; we then compare digit-wise.
+    pattern.transitions_to(applied)?;
+    Ok(pattern
+        .digits()
+        .iter()
+        .zip(applied.digits())
+        .all(|(p, a)| p.value() <= a.value()))
+}
+
+/// Applies a voltage pattern to a group of nanowires and reports which of
+/// them conduct.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::Code`] when a pattern is incompatible with the
+/// applied word.
+pub fn apply_address(patterns: &[CodeWord], applied: &CodeWord) -> Result<AddressOutcome> {
+    let mut conducting = Vec::new();
+    for (index, pattern) in patterns.iter().enumerate() {
+        if conducts(pattern, applied)? {
+            conducting.push(index);
+        }
+    }
+    Ok(match conducting.len() {
+        0 => AddressOutcome::None,
+        1 => AddressOutcome::Unique(conducting[0]),
+        _ => AddressOutcome::Multiple(conducting),
+    })
+}
+
+/// Checks that a code sequence addresses its nanowires uniquely: applying any
+/// word of the sequence as the voltage pattern turns on exactly the nanowire
+/// carrying that word. Equivalent to the sequence being an antichain with
+/// distinct words.
+///
+/// # Errors
+///
+/// * [`CrossbarError::NotUniquelyAddressable`] naming the first conflicting
+///   pair.
+/// * [`CrossbarError::Code`] for incompatible words (cannot happen inside a
+///   constructed sequence).
+pub fn check_unique_addressing(sequence: &CodeSequence) -> Result<()> {
+    let words = sequence.words();
+    for (i, a) in words.iter().enumerate() {
+        for (j, b) in words.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if conducts(a, b)? {
+                return Err(CrossbarError::NotUniquelyAddressable {
+                    conflict: format!("{a} also conducts under the address of {b}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether a code sequence addresses its nanowires uniquely (see
+/// [`check_unique_addressing`]).
+#[must_use]
+pub fn is_uniquely_addressable(sequence: &CodeSequence) -> bool {
+    check_unique_addressing(sequence).is_ok()
+}
+
+/// The number of distinct nanowires a code sequence can uniquely address —
+/// its length if it is an antichain of distinct words, otherwise the size of
+/// the largest prefix that still is.
+#[must_use]
+pub fn addressable_prefix_len(sequence: &CodeSequence) -> usize {
+    let mut best = 0;
+    for len in 1..=sequence.len() {
+        let prefix = match sequence.take_prefix(len) {
+            Ok(prefix) => prefix,
+            Err(_) => break,
+        };
+        if is_uniquely_addressable(&prefix) {
+            best = len;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanowire_codes::{
+        hot_code, reflected_gray_code, reflected_tree_code, tree_code, CodeKind, CodeSpec,
+        LogicLevel,
+    };
+
+    fn word(values: &[u8], radix: LogicLevel) -> CodeWord {
+        CodeWord::from_values(values, radix).unwrap()
+    }
+
+    #[test]
+    fn conduction_is_componentwise_dominance() {
+        let p = word(&[0, 1, 1, 0], LogicLevel::BINARY);
+        assert!(conducts(&p, &word(&[0, 1, 1, 0], LogicLevel::BINARY)).unwrap());
+        assert!(conducts(&p, &word(&[1, 1, 1, 1], LogicLevel::BINARY)).unwrap());
+        assert!(!conducts(&p, &word(&[0, 0, 1, 0], LogicLevel::BINARY)).unwrap());
+        assert!(conducts(&p, &word(&[1, 1, 1], LogicLevel::BINARY)).is_err());
+    }
+
+    #[test]
+    fn reflected_codes_are_uniquely_addressable() {
+        for (kind, length) in [
+            (CodeKind::Tree, 8),
+            (CodeKind::Gray, 8),
+            (CodeKind::BalancedGray, 8),
+            (CodeKind::Hot, 6),
+            (CodeKind::ArrangedHot, 6),
+        ] {
+            let seq = CodeSpec::new(kind, LogicLevel::BINARY, length)
+                .unwrap()
+                .generate()
+                .unwrap();
+            assert!(is_uniquely_addressable(&seq), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn raw_tree_codes_are_not_uniquely_addressable() {
+        // Without reflection the tree code is a chain: 00 conducts whenever
+        // 11 is addressed.
+        let raw = tree_code(LogicLevel::BINARY, 3).unwrap();
+        assert!(!is_uniquely_addressable(&raw));
+        let reflected = reflected_tree_code(LogicLevel::BINARY, 6).unwrap();
+        assert!(is_uniquely_addressable(&reflected));
+    }
+
+    #[test]
+    fn applying_a_words_own_pattern_selects_it() {
+        let seq = reflected_gray_code(LogicLevel::TERNARY, 6).unwrap();
+        for (index, pattern) in seq.words().iter().enumerate() {
+            let outcome = apply_address(seq.words(), pattern).unwrap();
+            assert_eq!(outcome, AddressOutcome::Unique(index));
+            assert_eq!(outcome.unique(), Some(index));
+        }
+    }
+
+    #[test]
+    fn address_outcomes_cover_all_cases() {
+        let patterns = vec![
+            word(&[0, 1], LogicLevel::BINARY),
+            word(&[1, 0], LogicLevel::BINARY),
+        ];
+        // 11 turns on both nanowires.
+        let both = apply_address(&patterns, &word(&[1, 1], LogicLevel::BINARY)).unwrap();
+        assert_eq!(both, AddressOutcome::Multiple(vec![0, 1]));
+        assert_eq!(both.unique(), None);
+        // 00 turns on neither.
+        let none = apply_address(&patterns, &word(&[0, 0], LogicLevel::BINARY)).unwrap();
+        assert_eq!(none, AddressOutcome::None);
+        // 01 selects the first.
+        let one = apply_address(&patterns, &word(&[0, 1], LogicLevel::BINARY)).unwrap();
+        assert_eq!(one, AddressOutcome::Unique(0));
+    }
+
+    #[test]
+    fn hot_codes_are_antichains() {
+        let hc = hot_code(LogicLevel::TERNARY, 6).unwrap();
+        assert!(is_uniquely_addressable(&hc));
+    }
+
+    #[test]
+    fn addressable_prefix_of_a_chain_is_one() {
+        let raw = tree_code(LogicLevel::BINARY, 2).unwrap();
+        // 00, 01, 10, 11: the first two words already conflict (00 < 01).
+        assert_eq!(addressable_prefix_len(&raw), 1);
+        let reflected = reflected_tree_code(LogicLevel::BINARY, 4).unwrap();
+        assert_eq!(addressable_prefix_len(&reflected), reflected.len());
+    }
+
+    #[test]
+    fn unique_addressing_error_names_the_conflict() {
+        let raw = tree_code(LogicLevel::BINARY, 2).unwrap();
+        let err = check_unique_addressing(&raw).unwrap_err();
+        assert!(matches!(err, CrossbarError::NotUniquelyAddressable { .. }));
+        assert!(err.to_string().contains("conducts"));
+    }
+}

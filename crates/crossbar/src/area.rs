@@ -1,0 +1,200 @@
+//! The crossbar area model: total footprint of the array including decoder
+//! mesowires, cave walls and contact groups, and the effective area per
+//! functional bit (Fig. 8 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use device_physics::{AreaNm2, Nanometers};
+
+use crate::array::CrossbarSpec;
+use crate::contact::ContactGroupLayout;
+use crate::error::{CrossbarError, Result};
+use crate::yield_model::CaveYield;
+
+/// The footprint breakdown of a square crossbar.
+///
+/// Both dimensions of the square array carry the same overheads: one layer's
+/// nanowires run in each direction, and each layer needs its decoder
+/// mesowires, its contact-group landing pads and its cave walls at one end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarArea {
+    core: Nanometers,
+    cave_walls: Nanometers,
+    decoder_mesowires: Nanometers,
+    contact_groups: Nanometers,
+}
+
+impl CrossbarArea {
+    /// Computes the area breakdown of a crossbar addressed with a code of
+    /// `code_length` digits and the given contact-group layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidSpec`] when the code length is zero.
+    pub fn compute(
+        spec: &CrossbarSpec,
+        code_length: usize,
+        layout: &ContactGroupLayout,
+    ) -> Result<Self> {
+        if code_length == 0 {
+            return Err(CrossbarError::InvalidSpec {
+                reason: "code length must be at least one digit".to_string(),
+            });
+        }
+        let rules = spec.rules();
+        let core = spec.core_width();
+        // Every cave is bounded by a sacrificial-layer wall of one litho pitch.
+        let cave_walls = rules.litho_pitch() * spec.caves_per_layer() as f64;
+        // One mesowire of one litho pitch per code digit (address line).
+        let decoder_mesowires = rules.litho_pitch() * code_length as f64;
+        // The contact-group landing pads of one half cave, staggered along
+        // the nanowire direction.
+        let contact_groups = layout.contact_region_length();
+        Ok(CrossbarArea {
+            core,
+            cave_walls,
+            decoder_mesowires,
+            contact_groups,
+        })
+    }
+
+    /// The nanowire-core width of one side.
+    #[must_use]
+    pub fn core(&self) -> Nanometers {
+        self.core
+    }
+
+    /// The cave-wall overhead of one side.
+    #[must_use]
+    pub fn cave_walls(&self) -> Nanometers {
+        self.cave_walls
+    }
+
+    /// The decoder-mesowire overhead of one side.
+    #[must_use]
+    pub fn decoder_mesowires(&self) -> Nanometers {
+        self.decoder_mesowires
+    }
+
+    /// The contact-group overhead of one side.
+    #[must_use]
+    pub fn contact_groups(&self) -> Nanometers {
+        self.contact_groups
+    }
+
+    /// The side length of the (square) crossbar including all overheads.
+    #[must_use]
+    pub fn side_length(&self) -> Nanometers {
+        self.core + self.cave_walls + self.decoder_mesowires + self.contact_groups
+    }
+
+    /// The total footprint of the crossbar.
+    #[must_use]
+    pub fn total(&self) -> AreaNm2 {
+        self.side_length().squared()
+    }
+
+    /// The decoder overhead fraction: how much of the footprint is not
+    /// nanowire core.
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        let side = self.side_length().value();
+        let core = self.core.value();
+        1.0 - (core * core) / (side * side)
+    }
+
+    /// The raw area per crosspoint (total footprint divided by the raw
+    /// crosspoint count), before any yield loss.
+    #[must_use]
+    pub fn raw_bit_area(&self, spec: &CrossbarSpec) -> AreaNm2 {
+        AreaNm2::new(self.total().value() / spec.raw_crosspoints() as f64)
+    }
+
+    /// The effective area per *functional* bit (Fig. 8): the total footprint
+    /// divided by `D_RAW · Y²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidSpec`] when the crossbar yield is
+    /// zero (no functional bits).
+    pub fn effective_bit_area(&self, spec: &CrossbarSpec, yield_: &CaveYield) -> Result<AreaNm2> {
+        let effective_bits = yield_.effective_bits(spec.raw_crosspoints());
+        if effective_bits <= 0.0 {
+            return Err(CrossbarError::InvalidSpec {
+                reason: "crossbar yield is zero; no functional bits".to_string(),
+            });
+        }
+        Ok(AreaNm2::new(self.total().value() / effective_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::LayoutRules;
+    use crate::yield_model::AddressabilityProfile;
+
+    fn spec() -> CrossbarSpec {
+        CrossbarSpec::paper_default().unwrap()
+    }
+
+    fn layout(code_space: u128) -> ContactGroupLayout {
+        ContactGroupLayout::new(40, code_space, LayoutRules::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn area_breakdown_adds_up() {
+        let area = CrossbarArea::compute(&spec(), 10, &layout(32)).unwrap();
+        assert_eq!(area.core().value(), 3630.0);
+        assert_eq!(area.cave_walls().value(), 5.0 * 32.0);
+        assert_eq!(area.decoder_mesowires().value(), 10.0 * 32.0);
+        assert_eq!(area.contact_groups().value(), 2.0 * 48.0);
+        let side = area.side_length().value();
+        assert_eq!(side, 3630.0 + 160.0 + 320.0 + 96.0);
+        assert!((area.total().value() - side * side).abs() < 1e-6);
+        assert!(area.overhead_fraction() > 0.0 && area.overhead_fraction() < 0.5);
+    }
+
+    #[test]
+    fn zero_code_length_is_rejected() {
+        assert!(CrossbarArea::compute(&spec(), 0, &layout(32)).is_err());
+    }
+
+    #[test]
+    fn raw_bit_area_is_near_the_pitch_squared() {
+        let area = CrossbarArea::compute(&spec(), 10, &layout(32)).unwrap();
+        let raw = area.raw_bit_area(&spec()).value();
+        // 10 nm pitch -> 100 nm² core bit area, plus some overhead.
+        assert!(raw > 100.0 && raw < 200.0, "raw bit area {raw}");
+    }
+
+    #[test]
+    fn effective_bit_area_divides_by_the_yield() {
+        let area = CrossbarArea::compute(&spec(), 10, &layout(32)).unwrap();
+        let profile = AddressabilityProfile::new(vec![0.9; 40]).unwrap();
+        let yield_ = CaveYield::compute(&profile, &layout(32)).unwrap();
+        let effective = area.effective_bit_area(&spec(), &yield_).unwrap().value();
+        let raw = area.raw_bit_area(&spec()).value();
+        assert!(effective > raw);
+        assert!(
+            (effective - raw / yield_.crossbar_yield()).abs() < 1.0,
+            "effective {effective}, raw {raw}"
+        );
+    }
+
+    #[test]
+    fn zero_yield_is_rejected() {
+        let area = CrossbarArea::compute(&spec(), 10, &layout(32)).unwrap();
+        let profile = AddressabilityProfile::new(vec![0.0; 40]).unwrap();
+        let yield_ = CaveYield::compute(&profile, &layout(32)).unwrap();
+        assert!(area.effective_bit_area(&spec(), &yield_).is_err());
+    }
+
+    #[test]
+    fn longer_codes_cost_more_mesowire_area_but_fewer_contacts() {
+        let short = CrossbarArea::compute(&spec(), 6, &layout(8)).unwrap();
+        let long = CrossbarArea::compute(&spec(), 10, &layout(32)).unwrap();
+        assert!(long.decoder_mesowires().value() > short.decoder_mesowires().value());
+        assert!(long.contact_groups().value() < short.contact_groups().value());
+    }
+}

@@ -1,0 +1,352 @@
+//! Contact groups: the lithography-scale ohmic contacts that bridge sets of
+//! adjacent nanowires to the outer CMOS circuit (Fig. 1 of the paper).
+//!
+//! Every contact group can uniquely address at most `Ω` nanowires (the code
+//! space size), must be at least `1.5 × P_L` wide, and loses the nanowires
+//! that sit inside the alignment uncertainty of its boundaries (they may be
+//! contacted by two adjacent groups and are removed from the addressable
+//! set, following ref. [6]).
+
+use serde::{Deserialize, Serialize};
+
+use device_physics::Nanometers;
+
+use crate::error::{CrossbarError, Result};
+use crate::geometry::LayoutRules;
+
+/// How a nanowire position inside a half cave can be used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PositionKind {
+    /// The nanowire can be uniquely addressed by its contact group.
+    Addressable,
+    /// The nanowire sits in the alignment uncertainty between two adjacent
+    /// contact groups and may be contacted by both — removed from the
+    /// addressable set.
+    Ambiguous,
+    /// The nanowire is covered by a contact group that already addresses its
+    /// full code space (`Ω` nanowires); there is no code word left for it.
+    Unaddressed,
+}
+
+/// The partitioning of one half cave's nanowires into contact groups.
+///
+/// # Examples
+///
+/// ```
+/// use crossbar_array::{ContactGroupLayout, LayoutRules};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 40 nanowires per half cave, addressed with a code space of 16 words.
+/// let layout = ContactGroupLayout::new(40, 16, LayoutRules::paper_default())?;
+/// assert_eq!(layout.group_count(), 3);
+/// assert_eq!(layout.nanowires_per_group(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContactGroupLayout {
+    nanowire_count: usize,
+    span: usize,
+    addressable_per_group: usize,
+    group_count: usize,
+    rules: LayoutRules,
+}
+
+impl ContactGroupLayout {
+    /// Computes the contact-group partitioning of a half cave with
+    /// `nanowire_count` nanowires addressed by a code space of
+    /// `code_space_size` words.
+    ///
+    /// The number of groups is minimised (Section 6.1): groups span as many
+    /// nanowires as the code space allows, but never less than the minimum
+    /// lithographic contact width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidSpec`] when either count is zero.
+    pub fn new(nanowire_count: usize, code_space_size: u128, rules: LayoutRules) -> Result<Self> {
+        if nanowire_count == 0 {
+            return Err(CrossbarError::InvalidSpec {
+                reason: "a half cave needs at least one nanowire".to_string(),
+            });
+        }
+        if code_space_size == 0 {
+            return Err(CrossbarError::InvalidSpec {
+                reason: "the code space must contain at least one word".to_string(),
+            });
+        }
+        let code_space = usize::try_from(code_space_size.min(nanowire_count as u128))
+            .expect("bounded by nanowire_count");
+        let min_span = rules.min_nanowires_per_contact_group();
+        let span = code_space.max(min_span).min(nanowire_count).max(1);
+        let group_count = nanowire_count.div_ceil(span);
+        let addressable_per_group = code_space.min(span);
+        Ok(ContactGroupLayout {
+            nanowire_count,
+            span,
+            addressable_per_group,
+            group_count,
+            rules,
+        })
+    }
+
+    /// The number of nanowires in the half cave.
+    #[must_use]
+    pub fn nanowire_count(&self) -> usize {
+        self.nanowire_count
+    }
+
+    /// The number of nanowires physically covered by one contact group.
+    #[must_use]
+    pub fn nanowires_per_group(&self) -> usize {
+        self.span
+    }
+
+    /// The number of nanowires one contact group can uniquely address
+    /// (`min(Ω, span)`).
+    #[must_use]
+    pub fn addressable_per_group(&self) -> usize {
+        self.addressable_per_group
+    }
+
+    /// The number of contact groups in the half cave.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.group_count
+    }
+
+    /// The layout rules the partitioning was computed with.
+    #[must_use]
+    pub fn rules(&self) -> &LayoutRules {
+        &self.rules
+    }
+
+    /// The number of internal boundaries between adjacent contact groups.
+    #[must_use]
+    pub fn internal_boundary_count(&self) -> usize {
+        self.group_count.saturating_sub(1)
+    }
+
+    /// The nanowire positions at which internal group boundaries sit (the
+    /// first position of every group but the first).
+    #[must_use]
+    pub fn internal_boundary_positions(&self) -> Vec<usize> {
+        (1..self.group_count).map(|g| g * self.span).collect()
+    }
+
+    /// The contact group that covers a nanowire position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidAddress`] when the position is outside
+    /// the half cave.
+    pub fn group_of(&self, position: usize) -> Result<usize> {
+        if position >= self.nanowire_count {
+            return Err(CrossbarError::InvalidAddress {
+                reason: format!(
+                    "nanowire position {position} outside half cave of {} nanowires",
+                    self.nanowire_count
+                ),
+            });
+        }
+        Ok(position / self.span)
+    }
+
+    /// The index of a nanowire within its contact group (this is the index
+    /// into the code sequence assigned to the group).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidAddress`] when the position is outside
+    /// the half cave.
+    pub fn offset_within_group(&self, position: usize) -> Result<usize> {
+        self.group_of(position)?;
+        Ok(position % self.span)
+    }
+
+    /// The expected number of nanowires lost to contact-group boundary
+    /// ambiguity over the whole half cave (may be fractional: it is the
+    /// alignment tolerance divided by the nanowire pitch, per internal
+    /// boundary).
+    #[must_use]
+    pub fn expected_ambiguous_count(&self) -> f64 {
+        self.internal_boundary_count() as f64 * self.rules.ambiguous_nanowires_per_boundary()
+    }
+
+    /// The number of nanowires that have no code word because their group
+    /// already addresses `Ω` nanowires.
+    #[must_use]
+    pub fn unaddressed_count(&self) -> usize {
+        (0..self.group_count)
+            .map(|g| {
+                let start = g * self.span;
+                let size = self.span.min(self.nanowire_count - start);
+                size.saturating_sub(self.addressable_per_group)
+            })
+            .sum()
+    }
+
+    /// The purely geometric fraction of nanowires that remain addressable
+    /// (before any threshold-voltage variability is considered).
+    #[must_use]
+    pub fn geometric_addressable_fraction(&self) -> f64 {
+        let usable = self.nanowire_count as f64
+            - self.unaddressed_count() as f64
+            - self.expected_ambiguous_count();
+        (usable / self.nanowire_count as f64).clamp(0.0, 1.0)
+    }
+
+    /// Classifies every nanowire position of the half cave. Ambiguous
+    /// positions are assigned deterministically: the expected per-boundary
+    /// count is rounded and split between the two sides of each internal
+    /// boundary.
+    #[must_use]
+    pub fn classify_positions(&self) -> Vec<PositionKind> {
+        let mut kinds = vec![PositionKind::Addressable; self.nanowire_count];
+        // Positions beyond the addressable range of their group.
+        for (position, kind) in kinds.iter_mut().enumerate() {
+            let offset = position % self.span;
+            if offset >= self.addressable_per_group {
+                *kind = PositionKind::Unaddressed;
+            }
+        }
+        // Ambiguous positions around every internal boundary. Positions that
+        // are already unaddressed stay unaddressed (they were unusable
+        // regardless of the boundary).
+        let per_boundary = self.rules.ambiguous_nanowires_per_boundary().round() as usize;
+        for boundary in self.internal_boundary_positions() {
+            let below = per_boundary / 2;
+            let above = per_boundary - below;
+            for d in 1..=below {
+                if boundary >= d && kinds[boundary - d] == PositionKind::Addressable {
+                    kinds[boundary - d] = PositionKind::Ambiguous;
+                }
+            }
+            for d in 0..above {
+                if boundary + d < self.nanowire_count
+                    && kinds[boundary + d] == PositionKind::Addressable
+                {
+                    kinds[boundary + d] = PositionKind::Ambiguous;
+                }
+            }
+        }
+        kinds
+    }
+
+    /// The total length the contact groups add along the nanowire direction:
+    /// every group needs its own lithographic landing pad, staggered along
+    /// the nanowires so the mesowire routing can reach it.
+    #[must_use]
+    pub fn contact_region_length(&self) -> Nanometers {
+        self.rules.min_contact_width() * self.group_count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> LayoutRules {
+        LayoutRules::paper_default()
+    }
+
+    #[test]
+    fn construction_validates_counts() {
+        assert!(ContactGroupLayout::new(0, 16, rules()).is_err());
+        assert!(ContactGroupLayout::new(40, 0, rules()).is_err());
+        assert!(ContactGroupLayout::new(40, 16, rules()).is_ok());
+    }
+
+    #[test]
+    fn large_code_space_needs_one_group() {
+        let layout = ContactGroupLayout::new(40, 1 << 20, rules()).unwrap();
+        assert_eq!(layout.group_count(), 1);
+        assert_eq!(layout.nanowires_per_group(), 40);
+        assert_eq!(layout.addressable_per_group(), 40);
+        assert_eq!(layout.internal_boundary_count(), 0);
+        assert_eq!(layout.expected_ambiguous_count(), 0.0);
+        assert_eq!(layout.unaddressed_count(), 0);
+        assert_eq!(layout.geometric_addressable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn small_code_space_needs_many_groups_and_wastes_nanowires() {
+        // Ω = 6 < the minimum contact span of 5? No: 6 >= 5, so span = 6.
+        let layout = ContactGroupLayout::new(40, 6, rules()).unwrap();
+        assert_eq!(layout.nanowires_per_group(), 6);
+        assert_eq!(layout.group_count(), 7);
+        assert_eq!(layout.internal_boundary_count(), 6);
+        assert!(layout.expected_ambiguous_count() > 0.0);
+
+        // Ω = 2 < 5: the group must still be 5 nanowires wide, 3 of which
+        // cannot be addressed.
+        let tiny = ContactGroupLayout::new(40, 2, rules()).unwrap();
+        assert_eq!(tiny.nanowires_per_group(), 5);
+        assert_eq!(tiny.addressable_per_group(), 2);
+        assert_eq!(tiny.group_count(), 8);
+        assert_eq!(tiny.unaddressed_count(), 8 * 3);
+        assert!(tiny.geometric_addressable_fraction() < 0.5);
+    }
+
+    #[test]
+    fn longer_codes_improve_the_geometric_fraction() {
+        // This is the first mechanism behind Fig. 7: larger code spaces mean
+        // fewer groups and fewer boundary losses.
+        let mut previous = 0.0;
+        for space in [4u128, 8, 16, 32, 64] {
+            let layout = ContactGroupLayout::new(64, space, rules()).unwrap();
+            let fraction = layout.geometric_addressable_fraction();
+            assert!(
+                fraction >= previous - 1e-12,
+                "fraction must not decrease with code space ({space})"
+            );
+            previous = fraction;
+        }
+    }
+
+    #[test]
+    fn group_and_offset_lookup() {
+        let layout = ContactGroupLayout::new(40, 16, rules()).unwrap();
+        assert_eq!(layout.group_of(0).unwrap(), 0);
+        assert_eq!(layout.group_of(15).unwrap(), 0);
+        assert_eq!(layout.group_of(16).unwrap(), 1);
+        assert_eq!(layout.offset_within_group(17).unwrap(), 1);
+        assert!(layout.group_of(40).is_err());
+        assert!(layout.offset_within_group(99).is_err());
+        assert_eq!(layout.internal_boundary_positions(), vec![16, 32]);
+    }
+
+    #[test]
+    fn classification_accounts_for_boundaries_and_excess() {
+        let layout = ContactGroupLayout::new(12, 4, rules()).unwrap();
+        // span = max(5, 4) = 5, addressable 4, groups ceil(12/5) = 3.
+        assert_eq!(layout.nanowires_per_group(), 5);
+        assert_eq!(layout.addressable_per_group(), 4);
+        assert_eq!(layout.group_count(), 3);
+        let kinds = layout.classify_positions();
+        assert_eq!(kinds.len(), 12);
+        // Position 4 is the unaddressed fifth nanowire of group 0 unless the
+        // boundary rounding marked it ambiguous (the boundary at 5 marks
+        // positions 4 and 5 with a rounded count of 2).
+        assert_ne!(kinds[0], PositionKind::Unaddressed);
+        assert!(kinds.iter().any(|k| *k == PositionKind::Ambiguous));
+        assert!(kinds.iter().any(|k| *k == PositionKind::Unaddressed));
+        // Classification is consistent with the geometric fraction: the
+        // addressable count differs from the expectation by at most the
+        // rounding of the ambiguity model.
+        let addressable = kinds
+            .iter()
+            .filter(|k| **k == PositionKind::Addressable)
+            .count() as f64;
+        let expected = layout.geometric_addressable_fraction() * 12.0;
+        assert!((addressable - expected).abs() <= 2.0);
+    }
+
+    #[test]
+    fn contact_region_length_scales_with_group_count() {
+        let few = ContactGroupLayout::new(40, 64, rules()).unwrap();
+        let many = ContactGroupLayout::new(40, 6, rules()).unwrap();
+        assert!(many.contact_region_length().value() > few.contact_region_length().value());
+        assert_eq!(few.contact_region_length().value(), 48.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Defect injection — an extension beyond the paper's scope.
+//!
+//! The paper explicitly neglects broken nanowires ("we actually noticed that
+//! the fabricated nanowires had a yield close to unit") and molecular-switch
+//! defects. Real MSPT arrays of very high aspect ratio will eventually break
+//! some spacers, so this module models the two first-order defect mechanisms
+//! and composes them with the decoder yield:
+//!
+//! * **broken nanowires** — a nanowire that is mechanically interrupted can
+//!   never conduct, independent of its decoder pattern;
+//! * **stuck crosspoints** — a crosspoint whose molecular/phase-change layer
+//!   is shorted or open, independent of the decoders.
+//!
+//! Both defect types are independent of the decoder-induced losses, so the
+//! composite crossbar yield is the product of the three factors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CrossbarError, Result};
+use crate::yield_model::CaveYield;
+
+/// The defect rates of the crossbar, all as independent probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DefectModel {
+    /// Probability that a nanowire is mechanically broken.
+    nanowire_breakage: f64,
+    /// Probability that a crosspoint's switching layer is defective.
+    crosspoint_defect: f64,
+}
+
+impl DefectModel {
+    /// Creates a defect model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidProbability`] when either rate is
+    /// outside `[0, 1]`.
+    pub fn new(nanowire_breakage: f64, crosspoint_defect: f64) -> Result<Self> {
+        for value in [nanowire_breakage, crosspoint_defect] {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(CrossbarError::InvalidProbability { value });
+            }
+        }
+        Ok(DefectModel {
+            nanowire_breakage,
+            crosspoint_defect,
+        })
+    }
+
+    /// The paper's assumption: no breakage, no switch defects.
+    #[must_use]
+    pub fn ideal() -> Self {
+        DefectModel {
+            nanowire_breakage: 0.0,
+            crosspoint_defect: 0.0,
+        }
+    }
+
+    /// The nanowire breakage probability.
+    #[must_use]
+    pub fn nanowire_breakage(&self) -> f64 {
+        self.nanowire_breakage
+    }
+
+    /// The crosspoint defect probability.
+    #[must_use]
+    pub fn crosspoint_defect(&self) -> f64 {
+        self.crosspoint_defect
+    }
+
+    /// The probability that a given crosspoint survives both of its nanowires
+    /// being intact and its own switching layer being functional —
+    /// independent of the decoder.
+    #[must_use]
+    pub fn crosspoint_survival(&self) -> f64 {
+        let wire_ok = 1.0 - self.nanowire_breakage;
+        wire_ok * wire_ok * (1.0 - self.crosspoint_defect)
+    }
+
+    /// Composes the decoder yield with the defect model: the fraction of
+    /// crosspoints that are both addressable (decoder) and functional
+    /// (defects).
+    #[must_use]
+    pub fn compose_with(&self, decoder_yield: &CaveYield) -> CompositeYield {
+        let crossbar_yield = decoder_yield.crossbar_yield() * self.crosspoint_survival();
+        CompositeYield {
+            decoder_yield: decoder_yield.crossbar_yield(),
+            defect_survival: self.crosspoint_survival(),
+            crossbar_yield,
+        }
+    }
+
+    /// Samples a defect map for a `rows × columns` crossbar with a
+    /// deterministic seed: which nanowires are broken and which crosspoints
+    /// are defective.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidSpec`] when either dimension is zero.
+    pub fn sample_map(&self, rows: usize, columns: usize, seed: u64) -> Result<DefectMap> {
+        if rows == 0 || columns == 0 {
+            return Err(CrossbarError::InvalidSpec {
+                reason: format!("defect map dimensions {rows}x{columns} must be positive"),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let broken_rows = (0..rows)
+            .map(|_| rng.gen::<f64>() < self.nanowire_breakage)
+            .collect();
+        let broken_columns = (0..columns)
+            .map(|_| rng.gen::<f64>() < self.nanowire_breakage)
+            .collect();
+        let defective = (0..rows * columns)
+            .map(|_| rng.gen::<f64>() < self.crosspoint_defect)
+            .collect();
+        Ok(DefectMap {
+            rows,
+            columns,
+            broken_rows,
+            broken_columns,
+            defective,
+        })
+    }
+}
+
+impl Default for DefectModel {
+    fn default() -> Self {
+        DefectModel::ideal()
+    }
+}
+
+/// The decoder yield combined with the defect survival.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompositeYield {
+    /// The decoder-limited crossbar yield `Y²`.
+    pub decoder_yield: f64,
+    /// The defect survival probability of a crosspoint.
+    pub defect_survival: f64,
+    /// The composite crossbar yield (product of the two).
+    pub crossbar_yield: f64,
+}
+
+impl CompositeYield {
+    /// The effective number of usable bits of a crossbar with `raw_bits`
+    /// crosspoints.
+    #[must_use]
+    pub fn effective_bits(&self, raw_bits: u64) -> f64 {
+        raw_bits as f64 * self.crossbar_yield
+    }
+}
+
+/// A sampled defect map of one crossbar instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefectMap {
+    rows: usize,
+    columns: usize,
+    broken_rows: Vec<bool>,
+    broken_columns: Vec<bool>,
+    defective: Vec<bool>,
+}
+
+impl DefectMap {
+    /// Number of row nanowires.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of column nanowires.
+    #[must_use]
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Whether a row nanowire is broken.
+    #[must_use]
+    pub fn row_broken(&self, row: usize) -> bool {
+        self.broken_rows.get(row).copied().unwrap_or(true)
+    }
+
+    /// Whether a column nanowire is broken.
+    #[must_use]
+    pub fn column_broken(&self, column: usize) -> bool {
+        self.broken_columns.get(column).copied().unwrap_or(true)
+    }
+
+    /// Whether a crosspoint's switching layer is defective.
+    #[must_use]
+    pub fn crosspoint_defective(&self, row: usize, column: usize) -> bool {
+        if row >= self.rows || column >= self.columns {
+            return true;
+        }
+        self.defective[row * self.columns + column]
+    }
+
+    /// Whether a crosspoint is usable under this defect map (both nanowires
+    /// intact and the switching layer functional).
+    #[must_use]
+    pub fn crosspoint_usable(&self, row: usize, column: usize) -> bool {
+        !self.row_broken(row)
+            && !self.column_broken(column)
+            && !self.crosspoint_defective(row, column)
+    }
+
+    /// The fraction of usable crosspoints of the sampled instance.
+    #[must_use]
+    pub fn usable_fraction(&self) -> f64 {
+        let usable = (0..self.rows)
+            .flat_map(|r| (0..self.columns).map(move |c| (r, c)))
+            .filter(|&(r, c)| self.crosspoint_usable(r, c))
+            .count();
+        usable as f64 / (self.rows * self.columns) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::ContactGroupLayout;
+    use crate::geometry::LayoutRules;
+    use crate::yield_model::AddressabilityProfile;
+
+    fn decoder_yield() -> CaveYield {
+        let layout = ContactGroupLayout::new(20, 32, LayoutRules::paper_default()).unwrap();
+        let profile = AddressabilityProfile::new(vec![0.9; 20]).unwrap();
+        CaveYield::compute(&profile, &layout).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_probabilities() {
+        assert!(DefectModel::new(-0.1, 0.0).is_err());
+        assert!(DefectModel::new(0.0, 1.5).is_err());
+        assert!(DefectModel::new(f64::NAN, 0.0).is_err());
+        assert!(DefectModel::new(0.02, 0.01).is_ok());
+        assert_eq!(DefectModel::default(), DefectModel::ideal());
+    }
+
+    #[test]
+    fn ideal_model_does_not_change_the_decoder_yield() {
+        let decoder = decoder_yield();
+        let composite = DefectModel::ideal().compose_with(&decoder);
+        assert_eq!(composite.defect_survival, 1.0);
+        assert!((composite.crossbar_yield - decoder.crossbar_yield()).abs() < 1e-12);
+        assert!(
+            (composite.effective_bits(1_000) - decoder.effective_bits(1_000)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn defects_compose_multiplicatively() {
+        let decoder = decoder_yield();
+        let model = DefectModel::new(0.05, 0.02).unwrap();
+        let composite = model.compose_with(&decoder);
+        let expected_survival = 0.95 * 0.95 * 0.98;
+        assert!((composite.defect_survival - expected_survival).abs() < 1e-12);
+        assert!(
+            (composite.crossbar_yield - decoder.crossbar_yield() * expected_survival).abs()
+                < 1e-12
+        );
+        assert!(composite.crossbar_yield < composite.decoder_yield);
+    }
+
+    #[test]
+    fn sampled_maps_match_the_rates_statistically() {
+        let model = DefectModel::new(0.1, 0.05).unwrap();
+        let map = model.sample_map(200, 200, 42).unwrap();
+        assert_eq!(map.rows(), 200);
+        assert_eq!(map.columns(), 200);
+        let usable = map.usable_fraction();
+        let expected = model.crosspoint_survival();
+        assert!(
+            (usable - expected).abs() < 0.05,
+            "sampled {usable}, expected {expected}"
+        );
+        // Determinism: the same seed gives the same map.
+        assert_eq!(map, model.sample_map(200, 200, 42).unwrap());
+        assert_ne!(map, model.sample_map(200, 200, 43).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_lookups_count_as_defective() {
+        let map = DefectModel::ideal().sample_map(4, 4, 1).unwrap();
+        assert!(map.crosspoint_defective(10, 0));
+        assert!(map.row_broken(10));
+        assert!(map.column_broken(10));
+        assert!(!map.crosspoint_usable(10, 0));
+        assert!(map.crosspoint_usable(1, 1));
+        assert_eq!(map.usable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn zero_sized_maps_are_rejected() {
+        assert!(DefectModel::ideal().sample_map(0, 4, 1).is_err());
+        assert!(DefectModel::ideal().sample_map(4, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Error types for the `crossbar-array` crate.
+
+use std::error::Error;
+use std::fmt;
+
+use device_physics::PhysicsError;
+use mspt_fabrication::FabricationError;
+use nanowire_codes::CodeError;
+
+/// Errors produced by the crossbar geometry, addressing, yield and area
+/// models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CrossbarError {
+    /// A layout-rule parameter is outside its physical range.
+    InvalidLayout {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A crossbar specification is inconsistent (zero capacity, zero
+    /// nanowires per cave, ...).
+    InvalidSpec {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An addressing operation referenced a nanowire or address that does not
+    /// exist.
+    InvalidAddress {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The code assigned to a contact group does not address its nanowires
+    /// uniquely (it is not an antichain under component-wise comparison).
+    NotUniquelyAddressable {
+        /// Display form of two conflicting code words.
+        conflict: String,
+    },
+    /// A probability input was outside `[0, 1]` or otherwise unusable.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// An error bubbled up from the code layer.
+    Code(CodeError),
+    /// An error bubbled up from the device-physics layer.
+    Physics(PhysicsError),
+    /// An error bubbled up from the fabrication layer.
+    Fabrication(FabricationError),
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::InvalidLayout { reason } => write!(f, "invalid layout rules: {reason}"),
+            CrossbarError::InvalidSpec { reason } => {
+                write!(f, "invalid crossbar specification: {reason}")
+            }
+            CrossbarError::InvalidAddress { reason } => write!(f, "invalid address: {reason}"),
+            CrossbarError::NotUniquelyAddressable { conflict } => {
+                write!(f, "code does not address nanowires uniquely: {conflict}")
+            }
+            CrossbarError::InvalidProbability { value } => {
+                write!(f, "probability {value} is outside [0, 1]")
+            }
+            CrossbarError::Code(err) => write!(f, "code error: {err}"),
+            CrossbarError::Physics(err) => write!(f, "device-physics error: {err}"),
+            CrossbarError::Fabrication(err) => write!(f, "fabrication error: {err}"),
+        }
+    }
+}
+
+impl Error for CrossbarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CrossbarError::Code(err) => Some(err),
+            CrossbarError::Physics(err) => Some(err),
+            CrossbarError::Fabrication(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for CrossbarError {
+    fn from(err: CodeError) -> Self {
+        CrossbarError::Code(err)
+    }
+}
+
+impl From<PhysicsError> for CrossbarError {
+    fn from(err: PhysicsError) -> Self {
+        CrossbarError::Physics(err)
+    }
+}
+
+impl From<FabricationError> for CrossbarError {
+    fn from(err: FabricationError) -> Self {
+        CrossbarError::Fabrication(err)
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CrossbarError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let layout = CrossbarError::InvalidLayout {
+            reason: "negative pitch".to_string(),
+        };
+        assert!(layout.to_string().contains("layout"));
+        assert!(layout.source().is_none());
+
+        let nested = CrossbarError::from(CodeError::EmptyWord);
+        assert!(nested.source().is_some());
+        let physics = CrossbarError::from(PhysicsError::SolverDidNotConverge { iterations: 3 });
+        assert!(physics.source().is_some());
+        let fabrication = CrossbarError::from(FabricationError::InvalidMatrixShape {
+            reason: "ragged".to_string(),
+        });
+        assert!(fabrication.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CrossbarError>();
+    }
+}

@@ -1,0 +1,202 @@
+//! Layout rules of the crossbar: the lithographic pitch of the CMOS-scale
+//! wiring, the sub-lithographic nanowire pitch, and the contact-group design
+//! rules of Section 6.1.
+
+use serde::{Deserialize, Serialize};
+
+use device_physics::Nanometers;
+
+use crate::error::{CrossbarError, Result};
+
+/// The geometric design rules of the crossbar and its decoder.
+///
+/// The paper's simulation platform fixes the lithography pitch `P_L` to
+/// 32 nm, the nanowire pitch `P_N` to 10 nm, and requires every contact group
+/// to be at least `1.5 × P_L` wide (Section 6.1).
+///
+/// # Examples
+///
+/// ```
+/// use crossbar_array::LayoutRules;
+///
+/// let rules = LayoutRules::paper_default();
+/// assert_eq!(rules.litho_pitch().value(), 32.0);
+/// assert_eq!(rules.nanowire_pitch().value(), 10.0);
+/// // A contact group must span at least ceil(48 / 10) = 5 nanowires.
+/// assert_eq!(rules.min_nanowires_per_contact_group(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayoutRules {
+    litho_pitch: Nanometers,
+    nanowire_pitch: Nanometers,
+    min_contact_width_factor: f64,
+    contact_alignment_tolerance: Nanometers,
+}
+
+impl LayoutRules {
+    /// Creates layout rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidLayout`] when a pitch is not positive,
+    /// the minimum-width factor is below 1, or the alignment tolerance is
+    /// negative.
+    pub fn new(
+        litho_pitch: Nanometers,
+        nanowire_pitch: Nanometers,
+        min_contact_width_factor: f64,
+        contact_alignment_tolerance: Nanometers,
+    ) -> Result<Self> {
+        if !(litho_pitch.value() > 0.0 && litho_pitch.is_finite()) {
+            return Err(CrossbarError::InvalidLayout {
+                reason: format!("lithography pitch must be positive, got {litho_pitch}"),
+            });
+        }
+        if !(nanowire_pitch.value() > 0.0 && nanowire_pitch.is_finite()) {
+            return Err(CrossbarError::InvalidLayout {
+                reason: format!("nanowire pitch must be positive, got {nanowire_pitch}"),
+            });
+        }
+        if nanowire_pitch.value() > litho_pitch.value() {
+            return Err(CrossbarError::InvalidLayout {
+                reason: format!(
+                    "nanowire pitch {nanowire_pitch} must not exceed the lithography pitch {litho_pitch}"
+                ),
+            });
+        }
+        if !(min_contact_width_factor >= 1.0 && min_contact_width_factor.is_finite()) {
+            return Err(CrossbarError::InvalidLayout {
+                reason: format!(
+                    "minimum contact width factor must be at least 1, got {min_contact_width_factor}"
+                ),
+            });
+        }
+        if !(contact_alignment_tolerance.value() >= 0.0 && contact_alignment_tolerance.is_finite())
+        {
+            return Err(CrossbarError::InvalidLayout {
+                reason: format!(
+                    "contact alignment tolerance must be non-negative, got {contact_alignment_tolerance}"
+                ),
+            });
+        }
+        Ok(LayoutRules {
+            litho_pitch,
+            nanowire_pitch,
+            min_contact_width_factor,
+            contact_alignment_tolerance,
+        })
+    }
+
+    /// The paper's simulation parameters: `P_L = 32 nm`, `P_N = 10 nm`,
+    /// minimum contact-group width `1.5 × P_L`, and an alignment tolerance of
+    /// half a lithography pitch (the overlay budget of the contact mask).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        LayoutRules {
+            litho_pitch: Nanometers::new(32.0),
+            nanowire_pitch: Nanometers::new(10.0),
+            min_contact_width_factor: 1.5,
+            contact_alignment_tolerance: Nanometers::new(16.0),
+        }
+    }
+
+    /// The lithography pitch `P_L` of the CMOS-scale wiring (mesowires).
+    #[must_use]
+    pub fn litho_pitch(&self) -> Nanometers {
+        self.litho_pitch
+    }
+
+    /// The nanowire pitch `P_N`.
+    #[must_use]
+    pub fn nanowire_pitch(&self) -> Nanometers {
+        self.nanowire_pitch
+    }
+
+    /// The minimum contact-group width as a multiple of `P_L` (1.5 in the
+    /// paper).
+    #[must_use]
+    pub fn min_contact_width_factor(&self) -> f64 {
+        self.min_contact_width_factor
+    }
+
+    /// The overlay/alignment tolerance of the contact-group mask; nanowires
+    /// within this distance of a group boundary may be contacted by both
+    /// adjacent groups and are removed from the addressable set (ref. [6]).
+    #[must_use]
+    pub fn contact_alignment_tolerance(&self) -> Nanometers {
+        self.contact_alignment_tolerance
+    }
+
+    /// The minimum physical width of a contact group
+    /// (`min_contact_width_factor × P_L`).
+    #[must_use]
+    pub fn min_contact_width(&self) -> Nanometers {
+        self.litho_pitch * self.min_contact_width_factor
+    }
+
+    /// The minimum number of nanowires a contact group spans, regardless of
+    /// how many it can uniquely address.
+    #[must_use]
+    pub fn min_nanowires_per_contact_group(&self) -> usize {
+        (self.min_contact_width().value() / self.nanowire_pitch.value()).ceil() as usize
+    }
+
+    /// The expected number of nanowires that fall inside the alignment
+    /// uncertainty of one contact-group boundary (may be fractional).
+    #[must_use]
+    pub fn ambiguous_nanowires_per_boundary(&self) -> f64 {
+        self.contact_alignment_tolerance.value() / self.nanowire_pitch.value()
+    }
+
+    /// How many nanowires fit under a wire of one lithography pitch — the
+    /// density ratio between the two scales.
+    #[must_use]
+    pub fn nanowires_per_litho_pitch(&self) -> f64 {
+        self.litho_pitch.value() / self.nanowire_pitch.value()
+    }
+}
+
+impl Default for LayoutRules {
+    fn default() -> Self {
+        LayoutRules::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_inputs() {
+        let nm = Nanometers::new;
+        assert!(LayoutRules::new(nm(0.0), nm(10.0), 1.5, nm(16.0)).is_err());
+        assert!(LayoutRules::new(nm(32.0), nm(0.0), 1.5, nm(16.0)).is_err());
+        assert!(LayoutRules::new(nm(32.0), nm(40.0), 1.5, nm(16.0)).is_err());
+        assert!(LayoutRules::new(nm(32.0), nm(10.0), 0.5, nm(16.0)).is_err());
+        assert!(LayoutRules::new(nm(32.0), nm(10.0), 1.5, nm(-1.0)).is_err());
+        assert!(LayoutRules::new(nm(32.0), nm(10.0), 1.5, nm(16.0)).is_ok());
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let rules = LayoutRules::paper_default();
+        assert_eq!(rules, LayoutRules::default());
+        assert_eq!(rules.litho_pitch().value(), 32.0);
+        assert_eq!(rules.nanowire_pitch().value(), 10.0);
+        assert_eq!(rules.min_contact_width().value(), 48.0);
+        assert_eq!(rules.min_nanowires_per_contact_group(), 5);
+        assert!((rules.ambiguous_nanowires_per_boundary() - 1.6).abs() < 1e-12);
+        assert!((rules.nanowires_per_litho_pitch() - 3.2).abs() < 1e-12);
+        assert_eq!(rules.min_contact_width_factor(), 1.5);
+        assert_eq!(rules.contact_alignment_tolerance().value(), 16.0);
+    }
+
+    #[test]
+    fn min_group_size_scales_with_the_pitch_ratio() {
+        let nm = Nanometers::new;
+        let dense = LayoutRules::new(nm(32.0), nm(4.0), 1.5, nm(8.0)).unwrap();
+        assert_eq!(dense.min_nanowires_per_contact_group(), 12);
+        let coarse = LayoutRules::new(nm(32.0), nm(16.0), 1.5, nm(8.0)).unwrap();
+        assert_eq!(coarse.min_nanowires_per_contact_group(), 3);
+    }
+}

@@ -1,0 +1,257 @@
+//! A functional crossbar-memory model: crosspoints store bits, and a bit can
+//! only be used when *both* the row and the column nanowire are addressable
+//! through their decoders (Section 6.1 assumes the crossbar functions as a
+//! memory and only decoder defects are considered).
+
+use serde::{Deserialize, Serialize};
+
+use nanowire_codes::{CodeSequence, CodeWord};
+
+use crate::addressing::{apply_address, AddressOutcome};
+use crate::contact::{ContactGroupLayout, PositionKind};
+use crate::error::{CrossbarError, Result};
+
+/// A small functional crossbar memory: one half cave of row nanowires crossed
+/// with one half cave of column nanowires.
+///
+/// # Examples
+///
+/// ```
+/// use crossbar_array::{ContactGroupLayout, CrossbarMemory, LayoutRules};
+/// use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let code = CodeSpec::new(CodeKind::Hot, LogicLevel::BINARY, 6)?.generate()?;
+/// let layout = ContactGroupLayout::new(20, 20, LayoutRules::paper_default())?;
+/// let mut memory = CrossbarMemory::new(&code, layout.clone(), &code, layout)?;
+/// memory.write(3, 7, true)?;
+/// assert_eq!(memory.read(3, 7)?, true);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarMemory {
+    row_words: Vec<CodeWord>,
+    column_words: Vec<CodeWord>,
+    row_kinds: Vec<PositionKind>,
+    column_kinds: Vec<PositionKind>,
+    row_span: usize,
+    column_span: usize,
+    bits: Vec<bool>,
+}
+
+impl CrossbarMemory {
+    /// Builds a memory from the row and column code assignments and their
+    /// contact-group layouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidSpec`] when an assignment does not
+    /// cover its layout's nanowire count, or propagates code errors.
+    pub fn new(
+        row_code: &CodeSequence,
+        row_layout: ContactGroupLayout,
+        column_code: &CodeSequence,
+        column_layout: ContactGroupLayout,
+    ) -> Result<Self> {
+        let row_words = row_code
+            .take_cyclic(row_layout.nanowire_count())?
+            .into_words();
+        let column_words = column_code
+            .take_cyclic(column_layout.nanowire_count())?
+            .into_words();
+        let row_kinds = row_layout.classify_positions();
+        let column_kinds = column_layout.classify_positions();
+        let bits = vec![false; row_words.len() * column_words.len()];
+        Ok(CrossbarMemory {
+            row_words,
+            column_words,
+            row_kinds,
+            column_kinds,
+            row_span: row_layout.nanowires_per_group(),
+            column_span: column_layout.nanowires_per_group(),
+            bits,
+        })
+    }
+
+    /// Number of row nanowires.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.row_words.len()
+    }
+
+    /// Number of column nanowires.
+    #[must_use]
+    pub fn column_count(&self) -> usize {
+        self.column_words.len()
+    }
+
+    /// Raw crosspoint capacity.
+    #[must_use]
+    pub fn raw_capacity(&self) -> usize {
+        self.row_count() * self.column_count()
+    }
+
+    /// Whether a row nanowire is addressable (geometrically and by a unique
+    /// code word within its contact group).
+    #[must_use]
+    pub fn row_addressable(&self, row: usize) -> bool {
+        self.row_kinds.get(row) == Some(&PositionKind::Addressable)
+            && Self::address_selects(&self.row_words, row, self.row_span)
+    }
+
+    /// Whether a column nanowire is addressable.
+    #[must_use]
+    pub fn column_addressable(&self, column: usize) -> bool {
+        self.column_kinds.get(column) == Some(&PositionKind::Addressable)
+            && Self::address_selects(&self.column_words, column, self.column_span)
+    }
+
+    /// Whether the crosspoint `(row, column)` can be used.
+    #[must_use]
+    pub fn crosspoint_usable(&self, row: usize, column: usize) -> bool {
+        self.row_addressable(row) && self.column_addressable(column)
+    }
+
+    /// The number of usable crosspoints — the functional capacity of the
+    /// memory.
+    #[must_use]
+    pub fn effective_capacity(&self) -> usize {
+        let usable_rows = (0..self.row_count())
+            .filter(|&r| self.row_addressable(r))
+            .count();
+        let usable_columns = (0..self.column_count())
+            .filter(|&c| self.column_addressable(c))
+            .count();
+        usable_rows * usable_columns
+    }
+
+    /// Writes a bit at a crosspoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidAddress`] when the crosspoint does not
+    /// exist or is not usable.
+    pub fn write(&mut self, row: usize, column: usize, value: bool) -> Result<()> {
+        let index = self.checked_index(row, column)?;
+        self.bits[index] = value;
+        Ok(())
+    }
+
+    /// Reads a bit from a crosspoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidAddress`] when the crosspoint does not
+    /// exist or is not usable.
+    pub fn read(&self, row: usize, column: usize) -> Result<bool> {
+        let index = self.checked_index(row, column)?;
+        Ok(self.bits[index])
+    }
+
+    fn checked_index(&self, row: usize, column: usize) -> Result<usize> {
+        if row >= self.row_count() || column >= self.column_count() {
+            return Err(CrossbarError::InvalidAddress {
+                reason: format!(
+                    "crosspoint ({row}, {column}) outside a {}x{} array",
+                    self.row_count(),
+                    self.column_count()
+                ),
+            });
+        }
+        if !self.crosspoint_usable(row, column) {
+            return Err(CrossbarError::InvalidAddress {
+                reason: format!("crosspoint ({row}, {column}) is not addressable"),
+            });
+        }
+        Ok(row * self.column_count() + column)
+    }
+
+    /// Whether applying the code word of `position` within its contact group
+    /// selects exactly that nanowire.
+    fn address_selects(words: &[CodeWord], position: usize, group_span: usize) -> bool {
+        // The contact group of `position` spans a window of words; applying
+        // the position's own word must select it uniquely within the window.
+        let group = position / group_span;
+        let start = group * group_span;
+        let end = (start + group_span).min(words.len());
+        let group_words = &words[start..end];
+        let offset = position - start;
+        matches!(
+            apply_address(group_words, &words[position]),
+            Ok(AddressOutcome::Unique(index)) if index == offset
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::LayoutRules;
+    use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+    fn memory(code_length: usize, nanowires: usize) -> CrossbarMemory {
+        let code = CodeSpec::new(CodeKind::ArrangedHot, LogicLevel::BINARY, code_length)
+            .unwrap()
+            .generate()
+            .unwrap();
+        let layout = ContactGroupLayout::new(
+            nanowires,
+            code.len() as u128,
+            LayoutRules::paper_default(),
+        )
+        .unwrap();
+        CrossbarMemory::new(&code, layout.clone(), &code, layout).unwrap()
+    }
+
+    #[test]
+    fn construction_and_capacity() {
+        let m = memory(6, 20);
+        assert_eq!(m.row_count(), 20);
+        assert_eq!(m.column_count(), 20);
+        assert_eq!(m.raw_capacity(), 400);
+        assert!(m.effective_capacity() <= m.raw_capacity());
+        assert!(m.effective_capacity() > 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip_on_usable_crosspoints() {
+        let mut m = memory(6, 20);
+        let mut written = 0;
+        for row in 0..m.row_count() {
+            for column in 0..m.column_count() {
+                if m.crosspoint_usable(row, column) {
+                    m.write(row, column, (row + column) % 2 == 0).unwrap();
+                    written += 1;
+                }
+            }
+        }
+        assert_eq!(written, m.effective_capacity());
+        for row in 0..m.row_count() {
+            for column in 0..m.column_count() {
+                if m.crosspoint_usable(row, column) {
+                    assert_eq!(m.read(row, column).unwrap(), (row + column) % 2 == 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_and_unusable_accesses_fail() {
+        let mut m = memory(6, 20);
+        assert!(m.write(100, 0, true).is_err());
+        assert!(m.read(0, 100).is_err());
+        // Find an unusable crosspoint if any exists (boundary positions).
+        if let Some(row) = (0..m.row_count()).find(|&r| !m.row_addressable(r)) {
+            assert!(m.read(row, 0).is_err());
+        }
+    }
+
+    #[test]
+    fn single_group_memory_uses_every_crosspoint() {
+        // 10 nanowires, code space 70 >= 10: single contact group, no
+        // boundary or excess losses.
+        let m = memory(8, 10);
+        assert_eq!(m.effective_capacity(), m.raw_capacity());
+    }
+}

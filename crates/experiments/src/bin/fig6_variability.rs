@@ -1,0 +1,9 @@
+//! Regenerates Fig. 6 of the paper: normalised variability maps
+//! sqrt(Σ)/σ_T for binary TC, GC and BGC at code lengths 8 and 10,
+//! N = 20 nanowires per half cave.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let report = mspt_experiments::fig6_report()?;
+    print!("{report}");
+    Ok(())
+}

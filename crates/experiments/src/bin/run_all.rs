@@ -1,0 +1,18 @@
+//! Regenerates every figure and the headline numbers in one run — the
+//! command EXPERIMENTS.md is produced from.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("==============================================================");
+    println!(" Reproduction of the DAC 2009 MSPT nanowire-decoder evaluation");
+    println!("==============================================================\n");
+    print!("{}", mspt_experiments::fig5_report()?);
+    println!();
+    print!("{}", mspt_experiments::fig6_report()?);
+    println!();
+    print!("{}", mspt_experiments::fig7_report()?);
+    println!();
+    print!("{}", mspt_experiments::fig8_report()?);
+    println!();
+    print!("{}", mspt_experiments::headline_numbers()?);
+    Ok(())
+}

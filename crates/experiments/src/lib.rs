@@ -1,0 +1,436 @@
+//! # mspt-experiments
+//!
+//! The experiment definitions that regenerate every figure of the DAC 2009
+//! MSPT-decoder paper, plus the headline numbers quoted in its abstract and
+//! conclusions. The binaries in `src/bin/` are thin wrappers that print the
+//! reports produced here; integration tests and the benchmark harness call
+//! the same functions so every consumer sees identical rows.
+//!
+//! | Experiment | Paper artefact | Function |
+//! |---|---|---|
+//! | FIG5 | Fig. 5 — fabrication complexity vs code & logic type | [`fig5_report`] |
+//! | FIG6 | Fig. 6 — variability maps | [`fig6_report`] |
+//! | FIG7 | Fig. 7 — crossbar yield vs code length | [`fig7_report`] |
+//! | FIG8 | Fig. 8 — bit area vs code type & length | [`fig8_report`] |
+//! | HEAD | Abstract / Section 7 headline claims | [`headline_numbers`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use decoder_sim::{
+    bit_area_sweep, complexity_sweep, variability_map, yield_sweep, Fig5Report, Fig6Report,
+    Fig7Report, Fig8Report, Result, SimConfig,
+};
+use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+/// The baseline configuration every experiment starts from: the paper's
+/// platform parameters with a placeholder code (each experiment swaps in the
+/// codes it sweeps).
+///
+/// # Errors
+///
+/// Never fails in practice; propagates configuration validation errors.
+pub fn paper_base_config() -> Result<SimConfig> {
+    let code = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, 8)?;
+    SimConfig::paper_defaults(code)
+}
+
+/// Number of nanowires per half cave used by Fig. 5 (fabrication
+/// complexity).
+pub const FIG5_NANOWIRES: usize = 10;
+/// Code length used by Fig. 5.
+pub const FIG5_CODE_LENGTH: usize = 8;
+/// Number of nanowires per half cave used by Fig. 6 (variability maps).
+pub const FIG6_NANOWIRES: usize = 20;
+/// Code lengths used by Figs. 6–8 for the tree-code family.
+pub const TREE_FAMILY_LENGTHS: [usize; 3] = [6, 8, 10];
+/// Code lengths used by Fig. 7 for the hot-code family.
+pub const HOT_FAMILY_LENGTHS: [usize; 3] = [4, 6, 8];
+
+/// Regenerates Fig. 5: fabrication complexity of TC and GC for binary,
+/// ternary and quaternary logic with `N = 10` nanowires per half cave.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn fig5_report() -> Result<Fig5Report> {
+    let base = paper_base_config()?;
+    let points = complexity_sweep(
+        &base,
+        &[CodeKind::Tree, CodeKind::Gray],
+        &[
+            LogicLevel::BINARY,
+            LogicLevel::TERNARY,
+            LogicLevel::QUATERNARY,
+        ],
+        FIG5_CODE_LENGTH,
+        FIG5_NANOWIRES,
+    )?;
+    Ok(Fig5Report { points })
+}
+
+/// Regenerates Fig. 6: the normalised variability maps of binary TC, GC and
+/// BGC at code lengths 8 and 10 with `N = 20`.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn fig6_report() -> Result<Fig6Report> {
+    let base = paper_base_config()?;
+    let mut maps = Vec::new();
+    for kind in [CodeKind::Tree, CodeKind::Gray, CodeKind::BalancedGray] {
+        for length in [8usize, 10] {
+            maps.push(variability_map(
+                &base,
+                kind,
+                LogicLevel::BINARY,
+                length,
+                FIG6_NANOWIRES,
+            )?);
+        }
+    }
+    Ok(Fig6Report { maps })
+}
+
+/// Regenerates Fig. 7: crossbar yield against code length for TC/BGC
+/// (lengths 6, 8, 10) and HC/AHC (lengths 4, 6, 8).
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn fig7_report() -> Result<Fig7Report> {
+    let base = paper_base_config()?;
+    let mut series = Vec::new();
+    for kind in [CodeKind::Tree, CodeKind::BalancedGray] {
+        series.push((
+            kind,
+            yield_sweep(&base, kind, LogicLevel::BINARY, &TREE_FAMILY_LENGTHS)?,
+        ));
+    }
+    for kind in [CodeKind::Hot, CodeKind::ArrangedHot] {
+        series.push((
+            kind,
+            yield_sweep(&base, kind, LogicLevel::BINARY, &HOT_FAMILY_LENGTHS)?,
+        ));
+    }
+    Ok(Fig7Report { series })
+}
+
+/// Regenerates Fig. 8: effective bit area for every code family at lengths
+/// 6, 8 and 10 (hot-family lengths 4, 6, 8 are included as well so the HC/AHC
+/// bars exist at their valid lengths).
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn fig8_report() -> Result<Fig8Report> {
+    let base = paper_base_config()?;
+    let mut series = Vec::new();
+    for kind in [CodeKind::Tree, CodeKind::Gray, CodeKind::BalancedGray] {
+        series.push((
+            kind,
+            bit_area_sweep(&base, kind, LogicLevel::BINARY, &TREE_FAMILY_LENGTHS)?,
+        ));
+    }
+    for kind in [CodeKind::Hot, CodeKind::ArrangedHot] {
+        let mut lengths = HOT_FAMILY_LENGTHS.to_vec();
+        lengths.push(10);
+        series.push((kind, bit_area_sweep(&base, kind, LogicLevel::BINARY, &lengths)?));
+    }
+    Ok(Fig8Report { series })
+}
+
+/// The headline numbers of the abstract and Section 7, computed from the same
+/// sweeps that regenerate the figures. All values are fractions (0.17 means
+/// 17 %), except the two bit areas which are in nm².
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineNumbers {
+    /// Fabrication-complexity saving of GC over TC for ternary logic
+    /// (paper: ~17 %).
+    pub gray_complexity_saving_ternary: f64,
+    /// Fabrication-complexity saving of GC over TC for quaternary logic.
+    pub gray_complexity_saving_quaternary: f64,
+    /// Average-variability reduction of BGC over TC at N = 20
+    /// (paper: ~18 %).
+    pub bgc_variability_reduction: f64,
+    /// Relative yield gain of the tree code when the length grows from 6 to
+    /// 10 (paper: ~40 %).
+    pub tc_yield_gain_6_to_10: f64,
+    /// Relative yield gain of the arranged hot code when the length grows
+    /// from 4 to 8 (paper: ~40 %).
+    pub ahc_yield_gain_4_to_8: f64,
+    /// Relative yield gain of BGC over TC at length 8 (paper: ~42 %).
+    pub bgc_vs_tc_yield_gain_at_8: f64,
+    /// Relative yield gain of AHC over HC at length 8 (paper: ~19 %).
+    pub ahc_vs_hc_yield_gain_at_8: f64,
+    /// Bit-area saving of the tree code when the length grows from 6 to 10
+    /// (paper: ~51 %).
+    pub tc_bit_area_saving_6_to_10: f64,
+    /// Density gain (bits per area) of BGC over TC at length 8
+    /// (paper: ~30 %).
+    pub bgc_vs_tc_density_gain_at_8: f64,
+    /// Bit-area saving of AHC over HC at length 6 (paper: ~13 %).
+    pub ahc_vs_hc_area_saving_at_6: f64,
+    /// Smallest bit area reached by the balanced Gray code, nm²
+    /// (paper: ~169 nm²).
+    pub best_bgc_bit_area: f64,
+    /// Smallest bit area reached by the arranged hot code, nm²
+    /// (paper: ~175 nm²).
+    pub best_ahc_bit_area: f64,
+}
+
+impl fmt::Display for HeadlineNumbers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Headline numbers (paper value in parentheses)")?;
+        writeln!(
+            f,
+            "GC vs TC fabrication-step saving, ternary:    {:5.1}%  (17%)",
+            self.gray_complexity_saving_ternary * 100.0
+        )?;
+        writeln!(
+            f,
+            "GC vs TC fabrication-step saving, quaternary: {:5.1}%  (~20%)",
+            self.gray_complexity_saving_quaternary * 100.0
+        )?;
+        writeln!(
+            f,
+            "BGC vs TC average-variability reduction:      {:5.1}%  (18%)",
+            self.bgc_variability_reduction * 100.0
+        )?;
+        writeln!(
+            f,
+            "TC yield gain, code length 6 -> 10:            {:5.1}%  (~40%)",
+            self.tc_yield_gain_6_to_10 * 100.0
+        )?;
+        writeln!(
+            f,
+            "AHC yield gain, code length 4 -> 8:            {:5.1}%  (~40%)",
+            self.ahc_yield_gain_4_to_8 * 100.0
+        )?;
+        writeln!(
+            f,
+            "BGC vs TC yield gain at M = 8:                 {:5.1}%  (42%)",
+            self.bgc_vs_tc_yield_gain_at_8 * 100.0
+        )?;
+        writeln!(
+            f,
+            "AHC vs HC yield gain at M = 8:                 {:5.1}%  (19%)",
+            self.ahc_vs_hc_yield_gain_at_8 * 100.0
+        )?;
+        writeln!(
+            f,
+            "TC bit-area saving, code length 6 -> 10:       {:5.1}%  (51%)",
+            self.tc_bit_area_saving_6_to_10 * 100.0
+        )?;
+        writeln!(
+            f,
+            "BGC vs TC density gain at M = 8:               {:5.1}%  (30%)",
+            self.bgc_vs_tc_density_gain_at_8 * 100.0
+        )?;
+        writeln!(
+            f,
+            "AHC vs HC bit-area saving at M = 6:            {:5.1}%  (13%)",
+            self.ahc_vs_hc_area_saving_at_6 * 100.0
+        )?;
+        writeln!(
+            f,
+            "Best BGC bit area:                             {:5.1} nm² (169 nm²)",
+            self.best_bgc_bit_area
+        )?;
+        writeln!(
+            f,
+            "Best AHC bit area:                             {:5.1} nm² (175 nm²)",
+            self.best_ahc_bit_area
+        )?;
+        Ok(())
+    }
+}
+
+/// Computes every headline number from the figure sweeps.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn headline_numbers() -> Result<HeadlineNumbers> {
+    let base = paper_base_config()?;
+
+    // Fig. 5 inputs: complexity of TC vs GC at higher radices.
+    let complexity = complexity_sweep(
+        &base,
+        &[CodeKind::Tree, CodeKind::Gray],
+        &[LogicLevel::TERNARY, LogicLevel::QUATERNARY],
+        FIG5_CODE_LENGTH,
+        FIG5_NANOWIRES,
+    )?;
+    let phi = |kind: CodeKind, radix: LogicLevel| -> f64 {
+        complexity
+            .iter()
+            .find(|p| p.kind == kind && p.radix == radix)
+            .map(|p| p.fabrication_steps as f64)
+            .unwrap_or(f64::NAN)
+    };
+    let saving = |radix: LogicLevel| -> f64 {
+        let tc = phi(CodeKind::Tree, radix);
+        let gc = phi(CodeKind::Gray, radix);
+        (tc - gc) / tc
+    };
+
+    // Fig. 6 inputs: mean variability of TC vs BGC at N = 20, averaged over
+    // the two lengths the paper plots.
+    let mean_variability = |kind: CodeKind| -> Result<f64> {
+        let mut total = 0.0;
+        for length in [8usize, 10] {
+            total += variability_map(&base, kind, LogicLevel::BINARY, length, FIG6_NANOWIRES)?
+                .mean_variability;
+        }
+        Ok(total / 2.0)
+    };
+    let tc_variability = mean_variability(CodeKind::Tree)?;
+    let bgc_variability = mean_variability(CodeKind::BalancedGray)?;
+
+    // Fig. 7 inputs.
+    let tc_yield = yield_sweep(&base, CodeKind::Tree, LogicLevel::BINARY, &TREE_FAMILY_LENGTHS)?;
+    let bgc_yield = yield_sweep(
+        &base,
+        CodeKind::BalancedGray,
+        LogicLevel::BINARY,
+        &TREE_FAMILY_LENGTHS,
+    )?;
+    let hc_yield = yield_sweep(&base, CodeKind::Hot, LogicLevel::BINARY, &HOT_FAMILY_LENGTHS)?;
+    let ahc_yield = yield_sweep(
+        &base,
+        CodeKind::ArrangedHot,
+        LogicLevel::BINARY,
+        &HOT_FAMILY_LENGTHS,
+    )?;
+    let yield_at = |points: &[decoder_sim::YieldPoint], length: usize| -> f64 {
+        points
+            .iter()
+            .find(|p| p.code_length == length)
+            .map(|p| p.crossbar_yield)
+            .unwrap_or(f64::NAN)
+    };
+
+    // Fig. 8 inputs.
+    let tc_area = bit_area_sweep(&base, CodeKind::Tree, LogicLevel::BINARY, &TREE_FAMILY_LENGTHS)?;
+    let bgc_area = bit_area_sweep(
+        &base,
+        CodeKind::BalancedGray,
+        LogicLevel::BINARY,
+        &[6, 8, 10],
+    )?;
+    let hc_area = bit_area_sweep(&base, CodeKind::Hot, LogicLevel::BINARY, &HOT_FAMILY_LENGTHS)?;
+    let ahc_area = bit_area_sweep(
+        &base,
+        CodeKind::ArrangedHot,
+        LogicLevel::BINARY,
+        &HOT_FAMILY_LENGTHS,
+    )?;
+    let area_at = |points: &[decoder_sim::BitAreaPoint], length: usize| -> f64 {
+        points
+            .iter()
+            .find(|p| p.code_length == length)
+            .map(|p| p.bit_area)
+            .unwrap_or(f64::NAN)
+    };
+    let best_area = |points: &[decoder_sim::BitAreaPoint]| -> f64 {
+        points
+            .iter()
+            .map(|p| p.bit_area)
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    Ok(HeadlineNumbers {
+        gray_complexity_saving_ternary: saving(LogicLevel::TERNARY),
+        gray_complexity_saving_quaternary: saving(LogicLevel::QUATERNARY),
+        bgc_variability_reduction: (tc_variability - bgc_variability) / tc_variability,
+        tc_yield_gain_6_to_10: (yield_at(&tc_yield, 10) - yield_at(&tc_yield, 6))
+            / yield_at(&tc_yield, 6),
+        ahc_yield_gain_4_to_8: (yield_at(&ahc_yield, 8) - yield_at(&ahc_yield, 4))
+            / yield_at(&ahc_yield, 4),
+        bgc_vs_tc_yield_gain_at_8: (yield_at(&bgc_yield, 8) - yield_at(&tc_yield, 8))
+            / yield_at(&tc_yield, 8),
+        ahc_vs_hc_yield_gain_at_8: (yield_at(&ahc_yield, 8) - yield_at(&hc_yield, 8))
+            / yield_at(&hc_yield, 8),
+        tc_bit_area_saving_6_to_10: (area_at(&tc_area, 6) - area_at(&tc_area, 10))
+            / area_at(&tc_area, 6),
+        bgc_vs_tc_density_gain_at_8: area_at(&tc_area, 8) / area_at(&bgc_area, 8) - 1.0,
+        ahc_vs_hc_area_saving_at_6: (area_at(&hc_area, 6) - area_at(&ahc_area, 6))
+            / area_at(&hc_area, 6),
+        best_bgc_bit_area: best_area(&bgc_area),
+        best_ahc_bit_area: best_area(&ahc_area),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_has_six_points_with_the_expected_ordering() {
+        let report = fig5_report().unwrap();
+        assert_eq!(report.points.len(), 6);
+        let phi = |kind: CodeKind, radix: LogicLevel| {
+            report
+                .points
+                .iter()
+                .find(|p| p.kind == kind && p.radix == radix)
+                .unwrap()
+                .fabrication_steps
+        };
+        assert_eq!(phi(CodeKind::Tree, LogicLevel::BINARY), 20);
+        assert!(phi(CodeKind::Gray, LogicLevel::TERNARY) <= phi(CodeKind::Tree, LogicLevel::TERNARY));
+    }
+
+    #[test]
+    fn fig6_has_six_panels() {
+        let report = fig6_report().unwrap();
+        assert_eq!(report.maps.len(), 6);
+        assert!(report.maps.iter().all(|m| m.nanowires == 20));
+    }
+
+    #[test]
+    fn fig7_series_cover_four_families() {
+        let report = fig7_report().unwrap();
+        assert_eq!(report.series.len(), 4);
+        for (_, points) in &report.series {
+            assert_eq!(points.len(), 3);
+        }
+    }
+
+    #[test]
+    fn fig8_best_is_an_optimised_code() {
+        let report = fig8_report().unwrap();
+        let (kind, _, area) = report.best().unwrap();
+        assert!(kind.is_optimised(), "best code {kind:?}");
+        assert!(area > 100.0 && area < 300.0, "best bit area {area}");
+    }
+
+    #[test]
+    fn headline_numbers_have_the_papers_signs_and_orders() {
+        let headline = headline_numbers().unwrap();
+        // Savings and gains must all be positive (the optimised codes win).
+        assert!(headline.gray_complexity_saving_ternary > 0.05);
+        assert!(headline.gray_complexity_saving_quaternary > 0.05);
+        assert!(headline.bgc_variability_reduction > 0.05);
+        assert!(headline.tc_yield_gain_6_to_10 > 0.1);
+        assert!(headline.ahc_yield_gain_4_to_8 > 0.0);
+        assert!(headline.bgc_vs_tc_yield_gain_at_8 > 0.0);
+        assert!(headline.ahc_vs_hc_yield_gain_at_8 > 0.0);
+        assert!(headline.tc_bit_area_saving_6_to_10 > 0.1);
+        assert!(headline.bgc_vs_tc_density_gain_at_8 > 0.0);
+        assert!(headline.ahc_vs_hc_area_saving_at_6 > 0.0);
+        // The best optimised-code bit areas land in the paper's ballpark.
+        assert!(headline.best_bgc_bit_area > 120.0 && headline.best_bgc_bit_area < 260.0);
+        assert!(headline.best_ahc_bit_area > 120.0 && headline.best_ahc_bit_area < 280.0);
+        // Rendering mentions the paper values.
+        let text = headline.to_string();
+        assert!(text.contains("169 nm²"));
+        assert!(text.contains("(42%)"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Fabrication (technology) complexity `Φ` (Definition 4): the total number
+//! of additional lithography/doping steps needed to pattern the nanowires of
+//! a half cave.
+//!
+//! Every MSPT iteration that defines a nanowire is followed by a patterning
+//! procedure; the number of *distinct non-zero doses* used in that procedure
+//! equals the number of separate lithography + implantation passes it needs
+//! (`φ_i`). `Φ = Σ φ_i` is the cost the Gray arrangement minimises
+//! (Proposition 5).
+
+use serde::{Deserialize, Serialize};
+
+use device_physics::DopingLadder;
+use nanowire_codes::CodeSequence;
+
+use crate::error::Result;
+use crate::pattern::PatternMatrix;
+use crate::steps::StepDopingMatrix;
+
+/// The fabrication-complexity breakdown of a decoder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricationCost {
+    per_step: Vec<usize>,
+    total: usize,
+}
+
+impl FabricationCost {
+    /// Computes the cost from a step doping matrix.
+    #[must_use]
+    pub fn from_steps(steps: &StepDopingMatrix) -> Self {
+        let per_step = steps.distinct_doses_per_step();
+        let total = per_step.iter().sum();
+        FabricationCost { per_step, total }
+    }
+
+    /// Computes the cost of patterning `pattern` with the doses implied by
+    /// `ladder`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`StepDopingMatrix::from_pattern`].
+    pub fn from_pattern(pattern: &PatternMatrix, ladder: &DopingLadder) -> Result<Self> {
+        Ok(FabricationCost::from_steps(&StepDopingMatrix::from_pattern(
+            pattern, ladder,
+        )?))
+    }
+
+    /// Computes the cost of a code sequence used as the patterns of
+    /// successive nanowires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`PatternMatrix::from_sequence`] and
+    /// [`FabricationCost::from_pattern`].
+    pub fn from_sequence(sequence: &CodeSequence, ladder: &DopingLadder) -> Result<Self> {
+        FabricationCost::from_pattern(&PatternMatrix::from_sequence(sequence)?, ladder)
+    }
+
+    /// The per-procedure lithography/doping counts `φ_i`.
+    #[must_use]
+    pub fn per_step(&self) -> &[usize] {
+        &self.per_step
+    }
+
+    /// The total number of additional lithography/doping steps `Φ`.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The number of nanowire-definition iterations the cost covers (`N`).
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        self.per_step.len()
+    }
+
+    /// Average number of lithography/doping passes per MSPT iteration.
+    #[must_use]
+    pub fn average_per_step(&self) -> f64 {
+        if self.per_step.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.per_step.len() as f64
+        }
+    }
+}
+
+/// Relative saving of `optimised` over `baseline` in total steps, as a
+/// fraction in `[0, 1]` (e.g. the paper's "17 % fewer steps" for GC vs TC).
+/// Returns 0 when the baseline is zero or the optimised cost is not smaller.
+#[must_use]
+pub fn relative_saving(baseline: &FabricationCost, optimised: &FabricationCost) -> f64 {
+    if baseline.total() == 0 || optimised.total() >= baseline.total() {
+        return 0.0;
+    }
+    (baseline.total() - optimised.total()) as f64 / baseline.total() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use device_physics::{ThresholdModel, Volts};
+    use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+    fn ladder_for(radix: LogicLevel) -> DopingLadder {
+        DopingLadder::from_model(
+            &ThresholdModel::default_mspt(),
+            radix.radix_usize(),
+            (Volts::new(0.0), Volts::new(1.0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_3_cost() {
+        let pattern = PatternMatrix::from_rows(
+            vec![vec![0, 1, 2, 1], vec![0, 2, 2, 0], vec![1, 0, 1, 2]],
+            LogicLevel::TERNARY,
+        )
+        .unwrap();
+        let cost =
+            FabricationCost::from_pattern(&pattern, &DopingLadder::paper_example()).unwrap();
+        assert_eq!(cost.per_step(), &[2, 4, 3]);
+        assert_eq!(cost.total(), 9);
+        assert_eq!(cost.step_count(), 3);
+        assert!((cost.average_per_step() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_6_gray_cost() {
+        let pattern = PatternMatrix::from_rows(
+            vec![vec![0, 1, 2, 1], vec![0, 2, 2, 0], vec![1, 2, 1, 0]],
+            LogicLevel::TERNARY,
+        )
+        .unwrap();
+        let cost =
+            FabricationCost::from_pattern(&pattern, &DopingLadder::paper_example()).unwrap();
+        assert_eq!(cost.per_step(), &[2, 2, 3]);
+        assert_eq!(cost.total(), 7);
+    }
+
+    #[test]
+    fn binary_codes_cost_two_steps_per_nanowire() {
+        // Section 6.2 / Fig. 5: Φ is constant for all binary codes and equals
+        // twice the number of nanowires in a half cave.
+        let n = 10;
+        let ladder = ladder_for(LogicLevel::BINARY);
+        for kind in [CodeKind::Tree, CodeKind::Gray, CodeKind::BalancedGray] {
+            let seq = CodeSpec::new(kind, LogicLevel::BINARY, 8)
+                .unwrap()
+                .generate()
+                .unwrap()
+                .take_cyclic(n)
+                .unwrap();
+            let cost = FabricationCost::from_sequence(&seq, &ladder).unwrap();
+            assert_eq!(cost.total(), 2 * n, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn gray_code_is_cheaper_than_tree_code_for_higher_radix() {
+        // Fig. 5: for ternary and quaternary logic the Gray code removes the
+        // extra steps the tree code needs.
+        let n = 10;
+        for radix in [LogicLevel::TERNARY, LogicLevel::QUATERNARY] {
+            let ladder = ladder_for(radix);
+            let tree = CodeSpec::new(CodeKind::Tree, radix, 8)
+                .unwrap()
+                .generate()
+                .unwrap()
+                .take_cyclic(n)
+                .unwrap();
+            let gray = CodeSpec::new(CodeKind::Gray, radix, 8)
+                .unwrap()
+                .generate()
+                .unwrap()
+                .take_cyclic(n)
+                .unwrap();
+            let tree_cost = FabricationCost::from_sequence(&tree, &ladder).unwrap();
+            let gray_cost = FabricationCost::from_sequence(&gray, &ladder).unwrap();
+            assert!(
+                gray_cost.total() < tree_cost.total(),
+                "{radix}: GC {} vs TC {}",
+                gray_cost.total(),
+                tree_cost.total()
+            );
+            assert!(relative_saving(&tree_cost, &gray_cost) > 0.0);
+        }
+    }
+
+    #[test]
+    fn relative_saving_edge_cases() {
+        let pattern = PatternMatrix::from_rows(
+            vec![vec![0, 1], vec![1, 0]],
+            LogicLevel::BINARY,
+        )
+        .unwrap();
+        let ladder = ladder_for(LogicLevel::BINARY);
+        let cost = FabricationCost::from_pattern(&pattern, &ladder).unwrap();
+        assert_eq!(relative_saving(&cost, &cost), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Error types for the `mspt-fabrication` crate.
+
+use std::error::Error;
+use std::fmt;
+
+use device_physics::PhysicsError;
+use nanowire_codes::CodeError;
+
+/// Errors produced by the MSPT fabrication model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FabricationError {
+    /// A matrix was constructed with inconsistent row lengths or zero size.
+    InvalidMatrixShape {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An index into a matrix was out of bounds.
+    IndexOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        column: usize,
+        /// Matrix row count.
+        rows: usize,
+        /// Matrix column count.
+        columns: usize,
+    },
+    /// The doping ladder has fewer levels than the pattern radix requires.
+    LadderTooSmall {
+        /// Number of levels the ladder provides.
+        levels: usize,
+        /// Radix the pattern requires.
+        radix: u8,
+    },
+    /// The spacer geometry is physically impossible (non-positive thickness,
+    /// cave narrower than one spacer pair, ...).
+    InvalidGeometry {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A process plan was replayed against a pattern it does not produce.
+    PlanMismatch {
+        /// Human-readable description of the first mismatch.
+        reason: String,
+    },
+    /// An error bubbled up from the code layer.
+    Code(CodeError),
+    /// An error bubbled up from the device-physics layer.
+    Physics(PhysicsError),
+}
+
+impl fmt::Display for FabricationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricationError::InvalidMatrixShape { reason } => {
+                write!(f, "invalid matrix shape: {reason}")
+            }
+            FabricationError::IndexOutOfBounds {
+                row,
+                column,
+                rows,
+                columns,
+            } => write!(
+                f,
+                "index ({row}, {column}) out of bounds for a {rows}x{columns} matrix"
+            ),
+            FabricationError::LadderTooSmall { levels, radix } => write!(
+                f,
+                "doping ladder provides {levels} levels but the pattern radix is {radix}"
+            ),
+            FabricationError::InvalidGeometry { reason } => {
+                write!(f, "invalid spacer geometry: {reason}")
+            }
+            FabricationError::PlanMismatch { reason } => {
+                write!(f, "fabrication plan mismatch: {reason}")
+            }
+            FabricationError::Code(err) => write!(f, "code error: {err}"),
+            FabricationError::Physics(err) => write!(f, "device-physics error: {err}"),
+        }
+    }
+}
+
+impl Error for FabricationError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FabricationError::Code(err) => Some(err),
+            FabricationError::Physics(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for FabricationError {
+    fn from(err: CodeError) -> Self {
+        FabricationError::Code(err)
+    }
+}
+
+impl From<PhysicsError> for FabricationError {
+    fn from(err: PhysicsError) -> Self {
+        FabricationError::Physics(err)
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, FabricationError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let code_err = FabricationError::from(CodeError::EmptyWord);
+        assert!(code_err.to_string().contains("code error"));
+        assert!(code_err.source().is_some());
+
+        let physics_err = FabricationError::from(PhysicsError::SolverDidNotConverge {
+            iterations: 10,
+        });
+        assert!(physics_err.to_string().contains("device-physics"));
+        assert!(physics_err.source().is_some());
+
+        let shape = FabricationError::InvalidMatrixShape {
+            reason: "rows differ".to_string(),
+        };
+        assert!(shape.source().is_none());
+        assert!(!shape.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FabricationError>();
+    }
+}

@@ -1,0 +1,91 @@
+//! # mspt-fabrication
+//!
+//! The Multi-Spacer Patterning Technique (MSPT) fabrication model of the
+//! DAC 2009 paper: the abstract matrices of Section 4 — pattern `P`, final
+//! doping `D`, step doping `S` — together with the two cost functions the
+//! decoder design optimises, fabrication complexity `Φ` (Definition 4) and
+//! variability `Σ` (Definition 5), and an event-level process-flow simulator
+//! that audits the algebra end-to-end.
+//!
+//! The central constraint of the MSPT decoder is that nanowires are patterned
+//! *while the array is being built*: the doping procedure that patterns
+//! nanowire `i` also hits every nanowire defined before it. Proposition 2
+//! (`D_i = Σ_{k≥i} S_k`) captures this, and its constructive inverse
+//! (`S_i = D_i − D_{i+1}`) shows a valid dose schedule exists for any
+//! pattern.
+//!
+//! # Examples
+//!
+//! Reproducing Examples 1–4 of the paper:
+//!
+//! ```
+//! use device_physics::{DopingLadder, VariabilityModel};
+//! use mspt_fabrication::{
+//!     FabricationCost, PatternMatrix, StepDopingMatrix, VariabilityMatrix,
+//! };
+//! use nanowire_codes::LogicLevel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pattern = PatternMatrix::from_rows(
+//!     vec![vec![0, 1, 2, 1], vec![0, 2, 2, 0], vec![1, 0, 1, 2]],
+//!     LogicLevel::TERNARY,
+//! )?;
+//! let ladder = DopingLadder::paper_example();
+//!
+//! let cost = FabricationCost::from_pattern(&pattern, &ladder)?;
+//! assert_eq!(cost.total(), 9); // Example 3
+//!
+//! let variability = VariabilityMatrix::from_pattern(
+//!     &pattern,
+//!     &ladder,
+//!     &VariabilityModel::paper_default(),
+//! )?;
+//! assert_eq!(variability.l1_norm_in_sigma_units(), 22); // Example 4
+//!
+//! let steps = StepDopingMatrix::from_pattern(&pattern, &ladder)?;
+//! assert_eq!(steps.in_1e18().row(0), &[0.0, -5.0, 0.0, 2.0]); // Example 2
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod complexity;
+mod doping;
+mod error;
+mod matrix;
+mod pattern;
+mod process;
+mod spacer;
+mod steps;
+mod variability;
+
+pub use complexity::{relative_saving, FabricationCost};
+pub use doping::{nominal_threshold, threshold_matrix, FinalDopingMatrix};
+pub use error::{FabricationError, Result};
+pub use matrix::Matrix;
+pub use pattern::PatternMatrix;
+pub use process::{FabricationPlan, ProcessAudit, ProcessEvent, ReplayedArray};
+pub use spacer::SpacerGeometry;
+pub use steps::{StepDopingMatrix, DOSE_EQUALITY_TOLERANCE};
+pub use variability::{relative_variability_reduction, DoseCountMatrix, VariabilityMatrix};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PatternMatrix>();
+        assert_send_sync::<FinalDopingMatrix>();
+        assert_send_sync::<StepDopingMatrix>();
+        assert_send_sync::<FabricationCost>();
+        assert_send_sync::<VariabilityMatrix>();
+        assert_send_sync::<FabricationPlan>();
+        assert_send_sync::<SpacerGeometry>();
+        assert_send_sync::<FabricationError>();
+    }
+}

@@ -1,0 +1,399 @@
+//! The decoder-aware MSPT process flow (Figs. 2 and 4 of the paper): an
+//! event-level simulation of spacer definition and the interleaved
+//! lithography/implantation steps that pattern the decoder.
+//!
+//! The simulator serves two purposes:
+//!
+//! 1. It produces the explicit *fabrication plan* — the ordered list of
+//!    process events a fab would execute — for a given pattern matrix.
+//! 2. It *replays* that plan against an initially undoped array and checks
+//!    that the accumulated doping equals the final doping matrix `D`, and
+//!    that the number of lithography passes and per-region dose hits agree
+//!    with `Φ` and `ν`. This is an end-to-end audit of Propositions 1–3.
+
+use serde::{Deserialize, Serialize};
+
+use device_physics::DopingLadder;
+
+use crate::complexity::FabricationCost;
+use crate::doping::FinalDopingMatrix;
+use crate::error::{FabricationError, Result};
+use crate::matrix::Matrix;
+use crate::pattern::PatternMatrix;
+use crate::steps::StepDopingMatrix;
+use crate::variability::DoseCountMatrix;
+
+/// One event of the decoder-aware MSPT flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProcessEvent {
+    /// Conformal deposition and anisotropic etch defining poly-Si spacer
+    /// (nanowire) `index` (steps 2–3 of Fig. 2).
+    DefineSpacer {
+        /// Index of the nanowire being defined (0 = first / innermost).
+        index: usize,
+    },
+    /// Deposition and etch of the SiO₂ spacer separating nanowire `index`
+    /// from the next one (step 4 of Fig. 2).
+    DefineInsulator {
+        /// Index of the nanowire the insulator follows.
+        index: usize,
+    },
+    /// One lithography + implantation pass of the patterning procedure that
+    /// follows the definition of nanowire `step` (Fig. 4): a single dose is
+    /// applied to a set of doping regions of *all* nanowires defined so far.
+    LithographyDoping {
+        /// The MSPT iteration the pass belongs to.
+        step: usize,
+        /// The implanted dose in cm⁻³ (signed: positive p-type, negative
+        /// n-type).
+        dose: f64,
+        /// The doping regions (digit positions) covered by the mask.
+        regions: Vec<usize>,
+    },
+    /// Gate (mesowire) patterning over the finished array (step 5 of Fig. 2).
+    GatePatterning,
+    /// Metallisation and via definition (step 6 of Fig. 2).
+    Metallization,
+}
+
+/// The ordered list of process events implementing a decoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricationPlan {
+    events: Vec<ProcessEvent>,
+    nanowire_count: usize,
+    region_count: usize,
+}
+
+impl FabricationPlan {
+    /// Builds the fabrication plan for a pattern matrix: for every MSPT
+    /// iteration, define the spacer, then run one lithography/doping pass per
+    /// distinct non-zero dose of that step's row of `S`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`StepDopingMatrix::from_pattern`].
+    pub fn for_pattern(pattern: &PatternMatrix, ladder: &DopingLadder) -> Result<Self> {
+        let steps = StepDopingMatrix::from_pattern(pattern, ladder)?;
+        let n = steps.step_count();
+        let m = steps.region_count();
+        let mut events = Vec::new();
+        for i in 0..n {
+            events.push(ProcessEvent::DefineSpacer { index: i });
+            // Group the regions of this step by dose value; one lithography
+            // pass per distinct non-zero dose.
+            let mut groups: Vec<(f64, Vec<usize>)> = Vec::new();
+            for j in 0..m {
+                let dose = steps.dose(i, j)?;
+                if !steps.is_nonzero_dose(dose) {
+                    continue;
+                }
+                match groups
+                    .iter_mut()
+                    .find(|(d, _)| (*d - dose).abs() <= f64::EPSILON * d.abs().max(1.0) * 4.0)
+                {
+                    Some((_, regions)) => regions.push(j),
+                    None => groups.push((dose, vec![j])),
+                }
+            }
+            for (dose, regions) in groups {
+                events.push(ProcessEvent::LithographyDoping {
+                    step: i,
+                    dose,
+                    regions,
+                });
+            }
+            events.push(ProcessEvent::DefineInsulator { index: i });
+        }
+        events.push(ProcessEvent::GatePatterning);
+        events.push(ProcessEvent::Metallization);
+        Ok(FabricationPlan {
+            events,
+            nanowire_count: n,
+            region_count: m,
+        })
+    }
+
+    /// The events of the plan, in execution order.
+    #[must_use]
+    pub fn events(&self) -> &[ProcessEvent] {
+        &self.events
+    }
+
+    /// The number of nanowires the plan defines.
+    #[must_use]
+    pub fn nanowire_count(&self) -> usize {
+        self.nanowire_count
+    }
+
+    /// The number of doping regions per nanowire.
+    #[must_use]
+    pub fn region_count(&self) -> usize {
+        self.region_count
+    }
+
+    /// The number of lithography/doping passes in the plan — must equal the
+    /// fabrication complexity `Φ` of the pattern it was built from.
+    #[must_use]
+    pub fn lithography_pass_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ProcessEvent::LithographyDoping { .. }))
+            .count()
+    }
+
+    /// The number of spacer-definition iterations in the plan.
+    #[must_use]
+    pub fn spacer_definition_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ProcessEvent::DefineSpacer { .. }))
+            .count()
+    }
+
+    /// Replays the plan against an initially undoped array and returns the
+    /// resulting state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricationError::PlanMismatch`] if an event references a
+    /// nanowire or region outside the array.
+    pub fn replay(&self) -> Result<ReplayedArray> {
+        let n = self.nanowire_count;
+        let m = self.region_count;
+        let mut doping = Matrix::filled(n, m, 0.0f64)?;
+        let mut hits = Matrix::filled(n, m, 0usize)?;
+        let mut defined = vec![false; n];
+
+        for event in &self.events {
+            match event {
+                ProcessEvent::DefineSpacer { index } => {
+                    if *index >= n {
+                        return Err(FabricationError::PlanMismatch {
+                            reason: format!("spacer index {index} out of range ({n})"),
+                        });
+                    }
+                    defined[*index] = true;
+                }
+                ProcessEvent::DefineInsulator { index } => {
+                    if *index >= n {
+                        return Err(FabricationError::PlanMismatch {
+                            reason: format!("insulator index {index} out of range ({n})"),
+                        });
+                    }
+                }
+                ProcessEvent::LithographyDoping { step, dose, regions } => {
+                    if *step >= n || !defined[*step] {
+                        return Err(FabricationError::PlanMismatch {
+                            reason: format!(
+                                "doping step {step} executed before its spacer was defined"
+                            ),
+                        });
+                    }
+                    for &region in regions {
+                        if region >= m {
+                            return Err(FabricationError::PlanMismatch {
+                                reason: format!("region {region} out of range ({m})"),
+                            });
+                        }
+                        // The implant hits every nanowire defined so far.
+                        for (wire, wire_defined) in defined.iter().enumerate() {
+                            if *wire_defined {
+                                let current = *doping.get(wire, region)?;
+                                doping.set(wire, region, current + dose)?;
+                                let count = *hits.get(wire, region)?;
+                                hits.set(wire, region, count + 1)?;
+                            }
+                        }
+                    }
+                }
+                ProcessEvent::GatePatterning | ProcessEvent::Metallization => {}
+            }
+        }
+
+        Ok(ReplayedArray {
+            doping,
+            dose_hits: hits,
+        })
+    }
+
+    /// Full audit of the plan against the pattern it implements: the replayed
+    /// doping must equal `D`, the lithography pass count must equal `Φ`, and
+    /// the per-region dose hits must equal `ν`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricationError::PlanMismatch`] describing the first
+    /// discrepancy, or propagates construction errors.
+    pub fn audit(&self, pattern: &PatternMatrix, ladder: &DopingLadder) -> Result<ProcessAudit> {
+        let replayed = self.replay()?;
+        let expected_doping = FinalDopingMatrix::from_pattern(pattern, ladder)?;
+        let steps = StepDopingMatrix::from_pattern(pattern, ladder)?;
+        let expected_doses = DoseCountMatrix::from_steps(&steps);
+        let cost = FabricationCost::from_steps(&steps);
+
+        let n = pattern.nanowire_count();
+        let m = pattern.region_count();
+        let scale = expected_doping
+            .as_matrix()
+            .iter()
+            .fold(1.0f64, |acc, &v| acc.max(v.abs()));
+        for i in 0..n {
+            for j in 0..m {
+                let replayed_level = *replayed.doping.get(i, j)?;
+                let expected_level = expected_doping.level(i, j)?.value();
+                if (replayed_level - expected_level).abs() > 1e-9 * scale {
+                    return Err(FabricationError::PlanMismatch {
+                        reason: format!(
+                            "doping mismatch at nanowire {i}, region {j}: replayed {replayed_level}, expected {expected_level}"
+                        ),
+                    });
+                }
+                let replayed_hits = *replayed.dose_hits.get(i, j)?;
+                let expected_hits = expected_doses.count(i, j)?;
+                if replayed_hits != expected_hits {
+                    return Err(FabricationError::PlanMismatch {
+                        reason: format!(
+                            "dose-count mismatch at nanowire {i}, region {j}: replayed {replayed_hits}, expected {expected_hits}"
+                        ),
+                    });
+                }
+            }
+        }
+        if self.lithography_pass_count() != cost.total() {
+            return Err(FabricationError::PlanMismatch {
+                reason: format!(
+                    "lithography pass count {} does not match Φ = {}",
+                    self.lithography_pass_count(),
+                    cost.total()
+                ),
+            });
+        }
+
+        Ok(ProcessAudit {
+            lithography_passes: self.lithography_pass_count(),
+            fabrication_cost: cost,
+            dose_counts: expected_doses,
+        })
+    }
+}
+
+/// The state of the array after replaying a fabrication plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedArray {
+    /// Accumulated doping of every region (cm⁻³).
+    pub doping: Matrix<f64>,
+    /// Number of implantation hits of every region.
+    pub dose_hits: Matrix<usize>,
+}
+
+/// The result of a successful plan audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessAudit {
+    /// Number of lithography/doping passes in the plan.
+    pub lithography_passes: usize,
+    /// The fabrication cost derived from the step matrix (must agree).
+    pub fabrication_cost: FabricationCost,
+    /// The dose-count matrix derived from the step matrix (must agree).
+    pub dose_counts: DoseCountMatrix,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+    fn paper_pattern() -> PatternMatrix {
+        PatternMatrix::from_rows(
+            vec![vec![0, 1, 2, 1], vec![0, 2, 2, 0], vec![1, 0, 1, 2]],
+            LogicLevel::TERNARY,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_structure_for_the_paper_example() {
+        let plan =
+            FabricationPlan::for_pattern(&paper_pattern(), &DopingLadder::paper_example())
+                .unwrap();
+        assert_eq!(plan.nanowire_count(), 3);
+        assert_eq!(plan.region_count(), 4);
+        assert_eq!(plan.spacer_definition_count(), 3);
+        // Example 3: Φ = 9 lithography/doping passes.
+        assert_eq!(plan.lithography_pass_count(), 9);
+        // The plan ends with gate patterning and metallisation.
+        let tail: Vec<_> = plan.events().iter().rev().take(2).collect();
+        assert!(matches!(tail[0], ProcessEvent::Metallization));
+        assert!(matches!(tail[1], ProcessEvent::GatePatterning));
+    }
+
+    #[test]
+    fn replay_matches_the_final_doping_matrix() {
+        let ladder = DopingLadder::paper_example();
+        let pattern = paper_pattern();
+        let plan = FabricationPlan::for_pattern(&pattern, &ladder).unwrap();
+        let audit = plan.audit(&pattern, &ladder).unwrap();
+        assert_eq!(audit.lithography_passes, 9);
+        assert_eq!(audit.fabrication_cost.total(), 9);
+        assert_eq!(audit.dose_counts.total(), 22);
+    }
+
+    #[test]
+    fn audit_detects_a_foreign_pattern() {
+        let ladder = DopingLadder::paper_example();
+        let pattern = paper_pattern();
+        let other = PatternMatrix::from_rows(
+            vec![vec![0, 1, 2, 1], vec![0, 2, 2, 0], vec![1, 2, 1, 0]],
+            LogicLevel::TERNARY,
+        )
+        .unwrap();
+        let plan = FabricationPlan::for_pattern(&pattern, &ladder).unwrap();
+        assert!(matches!(
+            plan.audit(&other, &ladder),
+            Err(FabricationError::PlanMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn audits_pass_for_generated_codes() {
+        let ladder = DopingLadder::paper_example();
+        for kind in [CodeKind::Tree, CodeKind::Gray] {
+            let seq = CodeSpec::new(kind, LogicLevel::TERNARY, 6)
+                .unwrap()
+                .generate()
+                .unwrap()
+                .take_cyclic(12)
+                .unwrap();
+            let pattern = PatternMatrix::from_sequence(&seq).unwrap();
+            let plan = FabricationPlan::for_pattern(&pattern, &ladder).unwrap();
+            plan.audit(&pattern, &ladder).unwrap();
+        }
+    }
+
+    #[test]
+    fn gray_plans_need_fewer_passes_than_tree_plans() {
+        let ladder = DopingLadder::paper_example();
+        let tree = CodeSpec::new(CodeKind::Tree, LogicLevel::TERNARY, 6)
+            .unwrap()
+            .generate()
+            .unwrap()
+            .take_cyclic(10)
+            .unwrap();
+        let gray = CodeSpec::new(CodeKind::Gray, LogicLevel::TERNARY, 6)
+            .unwrap()
+            .generate()
+            .unwrap()
+            .take_cyclic(10)
+            .unwrap();
+        let tree_plan = FabricationPlan::for_pattern(
+            &PatternMatrix::from_sequence(&tree).unwrap(),
+            &ladder,
+        )
+        .unwrap();
+        let gray_plan = FabricationPlan::for_pattern(
+            &PatternMatrix::from_sequence(&gray).unwrap(),
+            &ladder,
+        )
+        .unwrap();
+        assert!(gray_plan.lithography_pass_count() < tree_plan.lithography_pass_count());
+    }
+}

@@ -1,0 +1,229 @@
+//! Spacer and cave geometry of the MSPT (Section 3.1): iterated conformal
+//! deposition and anisotropic etching of poly-Si/SiO₂ pairs inside a
+//! lithographically defined cave produces two symmetric half caves of
+//! parallel nanowires whose pitch is set by film thicknesses, not by the
+//! lithography.
+
+use serde::{Deserialize, Serialize};
+
+use device_physics::Nanometers;
+
+use crate::error::{FabricationError, Result};
+
+/// Geometry of the multi-spacer stack inside one cave.
+///
+/// # Examples
+///
+/// ```
+/// use device_physics::Nanometers;
+/// use mspt_fabrication::SpacerGeometry;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 5 nm poly-Si nanowires separated by 5 nm SiO2 inside a 0.8 µm cave.
+/// let geometry = SpacerGeometry::new(
+///     Nanometers::new(5.0),
+///     Nanometers::new(5.0),
+///     Nanometers::from_micrometers(0.8),
+///     Nanometers::new(300.0),
+/// )?;
+/// assert_eq!(geometry.nanowire_pitch(), Nanometers::new(10.0));
+/// assert_eq!(geometry.nanowires_per_half_cave(), 40);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpacerGeometry {
+    poly_thickness: Nanometers,
+    oxide_thickness: Nanometers,
+    cave_width: Nanometers,
+    spacer_height: Nanometers,
+}
+
+impl SpacerGeometry {
+    /// Creates a spacer geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricationError::InvalidGeometry`] when any thickness is
+    /// non-positive or the cave cannot hold at least one spacer pair per half
+    /// cave.
+    pub fn new(
+        poly_thickness: Nanometers,
+        oxide_thickness: Nanometers,
+        cave_width: Nanometers,
+        spacer_height: Nanometers,
+    ) -> Result<Self> {
+        for (name, value) in [
+            ("poly_thickness", poly_thickness),
+            ("oxide_thickness", oxide_thickness),
+            ("cave_width", cave_width),
+            ("spacer_height", spacer_height),
+        ] {
+            if !(value.value() > 0.0 && value.is_finite()) {
+                return Err(FabricationError::InvalidGeometry {
+                    reason: format!("{name} must be positive, got {}", value.value()),
+                });
+            }
+        }
+        let geometry = SpacerGeometry {
+            poly_thickness,
+            oxide_thickness,
+            cave_width,
+            spacer_height,
+        };
+        if geometry.nanowires_per_half_cave() == 0 {
+            return Err(FabricationError::InvalidGeometry {
+                reason: format!(
+                    "cave of {} cannot hold one spacer pair per half cave",
+                    cave_width
+                ),
+            });
+        }
+        Ok(geometry)
+    }
+
+    /// The geometry of the paper's experimental arrays: ~5 nm films inside a
+    /// 0.8 µm cave (the academic 0.8 µm photolithography of Section 3.1),
+    /// 300 nm tall spacers, giving a nanowire pitch of 10 nm — the value the
+    /// simulation platform uses for `P_N`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SpacerGeometry {
+            poly_thickness: Nanometers::new(5.0),
+            oxide_thickness: Nanometers::new(5.0),
+            cave_width: Nanometers::from_micrometers(0.8),
+            spacer_height: Nanometers::new(300.0),
+        }
+    }
+
+    /// Poly-Si (nanowire) film thickness.
+    #[must_use]
+    pub fn poly_thickness(&self) -> Nanometers {
+        self.poly_thickness
+    }
+
+    /// SiO₂ (insulator) film thickness.
+    #[must_use]
+    pub fn oxide_thickness(&self) -> Nanometers {
+        self.oxide_thickness
+    }
+
+    /// Width of the lithographically defined cave.
+    #[must_use]
+    pub fn cave_width(&self) -> Nanometers {
+        self.cave_width
+    }
+
+    /// Spacer height (left at ~300 nm by the paper; does not affect pitch).
+    #[must_use]
+    pub fn spacer_height(&self) -> Nanometers {
+        self.spacer_height
+    }
+
+    /// The nanowire pitch `P_N`: one poly-Si plus one SiO₂ film. The pitch
+    /// depends only on film thicknesses — the key density advantage of the
+    /// MSPT.
+    #[must_use]
+    pub fn nanowire_pitch(&self) -> Nanometers {
+        self.poly_thickness + self.oxide_thickness
+    }
+
+    /// How many nanowires fit in one *half* cave (the structure is symmetric
+    /// about the cave axis; decoder design only ever considers half caves).
+    #[must_use]
+    pub fn nanowires_per_half_cave(&self) -> usize {
+        let half_width = self.cave_width.value() / 2.0;
+        (half_width / self.nanowire_pitch().value()).floor() as usize
+    }
+
+    /// How many spacer-definition iterations (poly-Si + SiO₂ pairs) the cave
+    /// needs; the MSPT defines both half caves simultaneously, so this equals
+    /// the nanowires per half cave.
+    #[must_use]
+    pub fn definition_iterations(&self) -> usize {
+        self.nanowires_per_half_cave()
+    }
+
+    /// The aspect ratio of a poly-Si spacer (height / width); very tall thin
+    /// spacers are mechanically fragile, which is why the paper dopes them
+    /// with light doses.
+    #[must_use]
+    pub fn spacer_aspect_ratio(&self) -> f64 {
+        self.spacer_height.value() / self.poly_thickness.value()
+    }
+}
+
+impl Default for SpacerGeometry {
+    fn default() -> Self {
+        SpacerGeometry::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_dimensions() {
+        let bad = SpacerGeometry::new(
+            Nanometers::new(0.0),
+            Nanometers::new(5.0),
+            Nanometers::new(800.0),
+            Nanometers::new(300.0),
+        );
+        assert!(bad.is_err());
+        let too_narrow = SpacerGeometry::new(
+            Nanometers::new(5.0),
+            Nanometers::new(5.0),
+            Nanometers::new(10.0),
+            Nanometers::new(300.0),
+        );
+        assert!(too_narrow.is_err());
+        assert!(SpacerGeometry::new(
+            Nanometers::new(5.0),
+            Nanometers::new(5.0),
+            Nanometers::new(-3.0),
+            Nanometers::new(300.0),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn paper_default_matches_simulation_parameters() {
+        let geometry = SpacerGeometry::paper_default();
+        assert_eq!(geometry.nanowire_pitch(), Nanometers::new(10.0));
+        assert_eq!(geometry.nanowires_per_half_cave(), 40);
+        assert_eq!(geometry.definition_iterations(), 40);
+        assert_eq!(geometry, SpacerGeometry::default());
+    }
+
+    #[test]
+    fn pitch_is_independent_of_cave_width_and_height() {
+        let narrow = SpacerGeometry::new(
+            Nanometers::new(7.0),
+            Nanometers::new(3.0),
+            Nanometers::new(200.0),
+            Nanometers::new(300.0),
+        )
+        .unwrap();
+        let wide = SpacerGeometry::new(
+            Nanometers::new(7.0),
+            Nanometers::new(3.0),
+            Nanometers::new(2000.0),
+            Nanometers::new(150.0),
+        )
+        .unwrap();
+        assert_eq!(narrow.nanowire_pitch(), wide.nanowire_pitch());
+        assert!(wide.nanowires_per_half_cave() > narrow.nanowires_per_half_cave());
+    }
+
+    #[test]
+    fn aspect_ratio_and_accessors() {
+        let geometry = SpacerGeometry::paper_default();
+        assert!((geometry.spacer_aspect_ratio() - 60.0).abs() < 1e-12);
+        assert_eq!(geometry.poly_thickness(), Nanometers::new(5.0));
+        assert_eq!(geometry.oxide_thickness(), Nanometers::new(5.0));
+        assert_eq!(geometry.cave_width(), Nanometers::new(800.0));
+        assert_eq!(geometry.spacer_height(), Nanometers::new(300.0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for the `device-physics` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the device-physics models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PhysicsError {
+    /// A model parameter is outside its physical range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// The requested threshold voltage cannot be reached by any doping level
+    /// within the solver bounds.
+    ThresholdOutOfRange {
+        /// The requested threshold voltage in volts.
+        requested_volts: f64,
+        /// Lowest reachable threshold in volts.
+        min_volts: f64,
+        /// Highest reachable threshold in volts.
+        max_volts: f64,
+    },
+    /// The numeric solver failed to converge.
+    SolverDidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// A voltage ladder was requested with fewer than two levels or with a
+    /// degenerate voltage range.
+    InvalidLadder {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A ladder lookup used a digit that has no level.
+    LevelOutOfRange {
+        /// Offending digit.
+        digit: u8,
+        /// Number of levels in the ladder.
+        levels: usize,
+    },
+    /// A probability computation received an invalid interval or deviation.
+    InvalidDistribution {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PhysicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysicsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            PhysicsError::ThresholdOutOfRange {
+                requested_volts,
+                min_volts,
+                max_volts,
+            } => write!(
+                f,
+                "threshold voltage {requested_volts} V outside the reachable range [{min_volts}, {max_volts}] V"
+            ),
+            PhysicsError::SolverDidNotConverge { iterations } => {
+                write!(f, "doping solver did not converge after {iterations} iterations")
+            }
+            PhysicsError::InvalidLadder { reason } => write!(f, "invalid voltage ladder: {reason}"),
+            PhysicsError::LevelOutOfRange { digit, levels } => {
+                write!(f, "digit {digit} has no level in a ladder of {levels} levels")
+            }
+            PhysicsError::InvalidDistribution { reason } => {
+                write!(f, "invalid distribution: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for PhysicsError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PhysicsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let samples: Vec<PhysicsError> = vec![
+            PhysicsError::InvalidParameter {
+                name: "oxide_thickness",
+                value: -1.0,
+                constraint: "must be positive",
+            },
+            PhysicsError::ThresholdOutOfRange {
+                requested_volts: 5.0,
+                min_volts: 0.0,
+                max_volts: 2.0,
+            },
+            PhysicsError::SolverDidNotConverge { iterations: 128 },
+            PhysicsError::InvalidLadder {
+                reason: "needs at least two levels".to_string(),
+            },
+            PhysicsError::LevelOutOfRange { digit: 4, levels: 3 },
+            PhysicsError::InvalidDistribution {
+                reason: "negative standard deviation".to_string(),
+            },
+        ];
+        for err in samples {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PhysicsError>();
+    }
+}

@@ -1,0 +1,78 @@
+//! # device-physics
+//!
+//! Device-physics substrate for the MSPT nanowire-decoder reproduction: the
+//! threshold-voltage ⇄ doping bijection of the paper's Proposition 1, the
+//! Gaussian variability model of Definition 5, and the unit newtypes shared
+//! by the rest of the workspace.
+//!
+//! The paper (ref. [14], Sze & Ng) only relies on two properties of the
+//! doping → threshold function `f`: it is *monotone* and therefore
+//! *bijective*. [`ThresholdModel`] implements the long-channel MOS threshold
+//! equation, which has both properties, and [`DopingLadder`] packages the
+//! digit → (V_T, N_D) table the fabrication model consumes — either derived
+//! from the model or given explicitly (as in the paper's worked examples).
+//!
+//! # Examples
+//!
+//! ```
+//! use device_physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Four logic levels spread over the 0..1 V supply range.
+//! let model = ThresholdModel::default_mspt();
+//! let ladder = DopingLadder::from_model(&model, 4, (Volts::new(0.0), Volts::new(1.0)))?;
+//! assert_eq!(ladder.level_count(), 4);
+//!
+//! // After three doping operations a region's threshold has spread
+//! // σ_T·sqrt(3) ≈ 87 mV.
+//! let variability = VariabilityModel::paper_default();
+//! assert!((variability.sigma_after_doses(3).millivolts() - 86.6).abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod gaussian;
+pub mod materials;
+mod threshold;
+mod units;
+mod variability;
+
+pub use error::{PhysicsError, Result};
+pub use gaussian::{erf, erfc, standard_normal_cdf, Gaussian};
+pub use threshold::{DopingLadder, DopingLevel, ThresholdModel};
+pub use units::{AreaNm2, DopantConcentration, Nanometers, Volts};
+pub use variability::{combine_std_devs, VariabilityModel};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ThresholdModel>();
+        assert_send_sync::<DopingLadder>();
+        assert_send_sync::<VariabilityModel>();
+        assert_send_sync::<Gaussian>();
+        assert_send_sync::<PhysicsError>();
+    }
+
+    #[test]
+    fn ladder_and_variability_compose_for_a_binary_decoder() {
+        let model = ThresholdModel::default_mspt();
+        let ladder =
+            DopingLadder::from_model(&model, 2, (Volts::new(0.0), Volts::new(1.0))).unwrap();
+        let variability = VariabilityModel::paper_default();
+        // Binary levels at 0.25 V and 0.75 V, window half-width 0.25 V.
+        let window = ladder.window_half_width();
+        assert!((window.value() - 0.25).abs() < 1e-9);
+        // Even after 10 doses the in-window probability stays above 88 %.
+        let p = variability.in_window_probability(10, window).unwrap();
+        assert!(p > 0.88 && p < 1.0);
+    }
+}

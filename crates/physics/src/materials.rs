@@ -1,0 +1,85 @@
+//! Physical constants and material parameters of the standard CMOS material
+//! system (silicon body, SiO₂ gate dielectric, poly-Si gate) used by the
+//! threshold-voltage model.
+//!
+//! Values follow Sze & Ng, *Physics of Semiconductor Devices* (the paper's
+//! ref. [14]) at room temperature.
+
+/// Elementary charge in coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Vacuum permittivity in F/m.
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_8128e-12;
+
+/// Relative permittivity of crystalline / poly-crystalline silicon.
+pub const SILICON_RELATIVE_PERMITTIVITY: f64 = 11.7;
+
+/// Relative permittivity of thermally grown SiO₂.
+pub const OXIDE_RELATIVE_PERMITTIVITY: f64 = 3.9;
+
+/// Intrinsic carrier concentration of silicon at 300 K, in cm⁻³.
+pub const INTRINSIC_CARRIER_CONCENTRATION: f64 = 1.45e10;
+
+/// Thermal voltage kT/q at 300 K, in volts.
+pub const THERMAL_VOLTAGE_300K: f64 = 0.025_852;
+
+/// Absolute permittivity of silicon in F/m.
+#[must_use]
+pub fn silicon_permittivity() -> f64 {
+    SILICON_RELATIVE_PERMITTIVITY * VACUUM_PERMITTIVITY
+}
+
+/// Absolute permittivity of SiO₂ in F/m.
+#[must_use]
+pub fn oxide_permittivity() -> f64 {
+    OXIDE_RELATIVE_PERMITTIVITY * VACUUM_PERMITTIVITY
+}
+
+/// Gate-oxide capacitance per unit area (F/m²) for an oxide thickness given
+/// in nanometres.
+///
+/// # Panics
+///
+/// Does not panic; callers validate the thickness (the threshold model
+/// rejects non-positive thicknesses before calling this).
+#[must_use]
+pub fn oxide_capacitance_per_area(oxide_thickness_nm: f64) -> f64 {
+    oxide_permittivity() / (oxide_thickness_nm * 1e-9)
+}
+
+/// Bulk Fermi potential ψ_B (volts) of p-type silicon with acceptor
+/// concentration `na_cm3` (cm⁻³) at 300 K: `ψ_B = (kT/q)·ln(N_A / n_i)`.
+#[must_use]
+pub fn bulk_potential(na_cm3: f64) -> f64 {
+    THERMAL_VOLTAGE_300K * (na_cm3 / INTRINSIC_CARRIER_CONCENTRATION).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permittivities_are_in_expected_range() {
+        assert!((silicon_permittivity() - 1.036e-10).abs() / 1.036e-10 < 0.01);
+        assert!((oxide_permittivity() - 3.45e-11).abs() / 3.45e-11 < 0.01);
+    }
+
+    #[test]
+    fn oxide_capacitance_scales_inversely_with_thickness() {
+        let c2 = oxide_capacitance_per_area(2.0);
+        let c4 = oxide_capacitance_per_area(4.0);
+        assert!((c2 / c4 - 2.0).abs() < 1e-9);
+        // ~1.7e-2 F/m^2 for 2 nm oxide.
+        assert!((c2 - 1.726e-2).abs() / 1.726e-2 < 0.01);
+    }
+
+    #[test]
+    fn bulk_potential_grows_logarithmically_with_doping() {
+        let psi_1e18 = bulk_potential(1e18);
+        let psi_1e19 = bulk_potential(1e19);
+        assert!(psi_1e18 > 0.4 && psi_1e18 < 0.5);
+        assert!(psi_1e19 > psi_1e18);
+        // One decade of doping adds kT/q * ln(10) ≈ 59.5 mV.
+        assert!(((psi_1e19 - psi_1e18) - THERMAL_VOLTAGE_300K * 10f64.ln()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,269 @@
+//! Newtype wrappers for the physical quantities used throughout the
+//! reproduction: voltages, lengths, dopant concentrations and areas.
+//!
+//! The wrappers are deliberately thin — `f64` with a unit tag — but prevent
+//! the classic mistake of mixing nanometres with volts or cm⁻³ with m⁻³ in
+//! the threshold-voltage model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! unit_newtype {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The raw value.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Whether the value is finite (not NaN or infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(value: $name) -> f64 {
+                value.0
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// An electric potential in volts.
+    Volts,
+    "V"
+);
+
+unit_newtype!(
+    /// A length in nanometres.
+    Nanometers,
+    "nm"
+);
+
+unit_newtype!(
+    /// A dopant concentration in cm⁻³ (the conventional unit of device
+    /// physics; conversions to SI m⁻³ happen inside the threshold model).
+    DopantConcentration,
+    "cm^-3"
+);
+
+unit_newtype!(
+    /// An area in square nanometres.
+    AreaNm2,
+    "nm^2"
+);
+
+impl Volts {
+    /// Zero volts.
+    pub const ZERO: Volts = Volts(0.0);
+
+    /// Creates a voltage expressed in millivolts.
+    #[must_use]
+    pub fn from_millivolts(mv: f64) -> Self {
+        Volts(mv / 1e3)
+    }
+
+    /// The value in millivolts.
+    #[must_use]
+    pub fn millivolts(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Nanometers {
+    /// Zero length.
+    pub const ZERO: Nanometers = Nanometers(0.0);
+
+    /// Creates a length expressed in micrometres.
+    #[must_use]
+    pub fn from_micrometers(um: f64) -> Self {
+        Nanometers(um * 1e3)
+    }
+
+    /// The value in metres.
+    #[must_use]
+    pub fn meters(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// The square of this length, as an area.
+    #[must_use]
+    pub fn squared(self) -> AreaNm2 {
+        AreaNm2::new(self.0 * self.0)
+    }
+}
+
+impl Mul for Nanometers {
+    type Output = AreaNm2;
+
+    fn mul(self, rhs: Nanometers) -> AreaNm2 {
+        AreaNm2::new(self.0 * rhs.0)
+    }
+}
+
+impl DopantConcentration {
+    /// Creates a concentration expressed in units of 10¹⁸ cm⁻³, the natural
+    /// scale of the paper's examples (`D` matrices are given in
+    /// 10¹⁸ cm⁻³).
+    #[must_use]
+    pub fn from_1e18(value: f64) -> Self {
+        DopantConcentration(value * 1e18)
+    }
+
+    /// The value in units of 10¹⁸ cm⁻³.
+    #[must_use]
+    pub fn in_1e18(self) -> f64 {
+        self.0 / 1e18
+    }
+
+    /// The value converted to SI m⁻³.
+    #[must_use]
+    pub fn per_cubic_meter(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl AreaNm2 {
+    /// The value in square micrometres.
+    #[must_use]
+    pub fn square_micrometers(self) -> f64 {
+        self.0 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = Volts::new(0.5);
+        let b = Volts::new(0.25);
+        assert_eq!((a + b).value(), 0.75);
+        assert_eq!((a - b).value(), 0.25);
+        assert_eq!((-a).value(), -0.5);
+        assert_eq!((a * 2.0).value(), 1.0);
+        assert_eq!((a / 2.0).value(), 0.25);
+        assert_eq!(a / b, 2.0);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Volts::from_millivolts(50.0).value(), 0.05);
+        assert!((Volts::new(0.05).millivolts() - 50.0).abs() < 1e-12);
+        assert_eq!(Nanometers::from_micrometers(0.8).value(), 800.0);
+        assert!((Nanometers::new(10.0).meters() - 1e-8).abs() < 1e-20);
+        assert_eq!(DopantConcentration::from_1e18(2.0).value(), 2e18);
+        assert!((DopantConcentration::from_1e18(9.0).in_1e18() - 9.0).abs() < 1e-12);
+        assert!((DopantConcentration::from_1e18(1.0).per_cubic_meter() - 1e24).abs() < 1e12);
+    }
+
+    #[test]
+    fn lengths_multiply_into_areas() {
+        let area = Nanometers::new(32.0) * Nanometers::new(10.0);
+        assert_eq!(area.value(), 320.0);
+        assert_eq!(Nanometers::new(13.0).squared().value(), 169.0);
+        assert!((AreaNm2::new(2_000_000.0).square_micrometers() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sums_and_display() {
+        let total: Volts = vec![Volts::new(0.1), Volts::new(0.2)].into_iter().sum();
+        assert!((total.value() - 0.3).abs() < 1e-12);
+        assert_eq!(Volts::new(0.5).to_string(), "0.5 V");
+        assert_eq!(Nanometers::new(32.0).to_string(), "32 nm");
+        assert_eq!(AreaNm2::new(169.0).to_string(), "169 nm^2");
+    }
+
+    #[test]
+    fn from_into_roundtrip() {
+        let v: Volts = 0.7.into();
+        let raw: f64 = v.into();
+        assert_eq!(raw, 0.7);
+        assert!(v.is_finite());
+        assert_eq!(Volts::new(-0.3).abs().value(), 0.3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Threshold-voltage variability accumulation.
+//!
+//! Every lithography/doping operation adds an independent Gaussian
+//! disturbance of standard deviation `σ_T` to the threshold voltage of the
+//! regions it hits (Definition 5 of the paper). Because independent variances
+//! add, a region that receives `ν` doses ends up with a standard deviation of
+//! `σ_T · sqrt(ν)` — the quantity plotted in Fig. 6.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{PhysicsError, Result};
+use crate::gaussian::Gaussian;
+use crate::units::Volts;
+
+/// The per-operation threshold-voltage variability model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariabilityModel {
+    sigma_per_dose: Volts,
+}
+
+impl VariabilityModel {
+    /// Creates a variability model with the given per-dose standard
+    /// deviation `σ_T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidParameter`] when the deviation is
+    /// negative or not finite.
+    pub fn new(sigma_per_dose: Volts) -> Result<Self> {
+        if !(sigma_per_dose.value() >= 0.0 && sigma_per_dose.is_finite()) {
+            return Err(PhysicsError::InvalidParameter {
+                name: "sigma_per_dose",
+                value: sigma_per_dose.value(),
+                constraint: "must be non-negative and finite",
+            });
+        }
+        Ok(VariabilityModel { sigma_per_dose })
+    }
+
+    /// The paper's simulation value: `σ_T = 50 mV` (Section 6.1).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        VariabilityModel {
+            sigma_per_dose: Volts::from_millivolts(50.0),
+        }
+    }
+
+    /// The per-dose standard deviation `σ_T`.
+    #[must_use]
+    pub fn sigma_per_dose(&self) -> Volts {
+        self.sigma_per_dose
+    }
+
+    /// The standard deviation of a region that has received `doses`
+    /// independent doping operations: `σ_T · sqrt(ν)`.
+    #[must_use]
+    pub fn sigma_after_doses(&self, doses: usize) -> Volts {
+        Volts::new(self.sigma_per_dose.value() * (doses as f64).sqrt())
+    }
+
+    /// The variance of a region after `doses` operations: `σ_T² · ν`
+    /// (an element of the paper's matrix `Σ`).
+    #[must_use]
+    pub fn variance_after_doses(&self, doses: usize) -> f64 {
+        self.sigma_per_dose.value().powi(2) * doses as f64
+    }
+
+    /// The threshold-voltage distribution of a region whose nominal level is
+    /// `nominal` after `doses` operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidDistribution`] if the nominal value is
+    /// not finite.
+    pub fn distribution(&self, nominal: Volts, doses: usize) -> Result<Gaussian> {
+        Gaussian::new(nominal.value(), self.sigma_after_doses(doses).value())
+    }
+
+    /// Probability that a region stays within `half_width` of its nominal
+    /// threshold after `doses` operations — the per-region addressability
+    /// probability of the yield model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidDistribution`] when the window is
+    /// negative.
+    pub fn in_window_probability(&self, doses: usize, half_width: Volts) -> Result<f64> {
+        if doses == 0 {
+            // A region that is never doped keeps its nominal (undoped) level
+            // exactly.
+            return if half_width.value() >= 0.0 {
+                Ok(1.0)
+            } else {
+                Err(PhysicsError::InvalidDistribution {
+                    reason: format!("negative window half-width {}", half_width.value()),
+                })
+            };
+        }
+        self.distribution(Volts::ZERO, doses)?
+            .probability_within_window(half_width.value())
+    }
+}
+
+impl Default for VariabilityModel {
+    fn default() -> Self {
+        VariabilityModel::paper_default()
+    }
+}
+
+/// Combines independent standard deviations: `sqrt(σ₁² + σ₂² + ...)`.
+///
+/// This is the addition rule the paper states in Definition 5.
+#[must_use]
+pub fn combine_std_devs(sigmas: &[Volts]) -> Volts {
+    Volts::new(
+        sigmas
+            .iter()
+            .map(|s| s.value() * s.value())
+            .sum::<f64>()
+            .sqrt(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_sigma() {
+        assert!(VariabilityModel::new(Volts::new(-0.01)).is_err());
+        assert!(VariabilityModel::new(Volts::new(f64::NAN)).is_err());
+        assert!(VariabilityModel::new(Volts::ZERO).is_ok());
+        assert_eq!(
+            VariabilityModel::default().sigma_per_dose(),
+            Volts::from_millivolts(50.0)
+        );
+    }
+
+    #[test]
+    fn sigma_grows_with_the_square_root_of_doses() {
+        let model = VariabilityModel::paper_default();
+        assert_eq!(model.sigma_after_doses(0).value(), 0.0);
+        assert!((model.sigma_after_doses(1).millivolts() - 50.0).abs() < 1e-9);
+        assert!((model.sigma_after_doses(4).millivolts() - 100.0).abs() < 1e-9);
+        assert!((model.sigma_after_doses(9).millivolts() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_is_linear_in_doses() {
+        let model = VariabilityModel::paper_default();
+        let unit = model.variance_after_doses(1);
+        for doses in 0..10 {
+            assert!((model.variance_after_doses(doses) - unit * doses as f64).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn window_probability_decreases_with_doses() {
+        let model = VariabilityModel::paper_default();
+        let window = Volts::new(0.25);
+        let mut previous = 1.1;
+        for doses in 0..20 {
+            let p = model.in_window_probability(doses, window).unwrap();
+            assert!(p <= previous + 1e-12, "p must be non-increasing in doses");
+            assert!((0.0..=1.0).contains(&p));
+            previous = p;
+        }
+        // With no doses the region is deterministic.
+        assert_eq!(model.in_window_probability(0, window).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn window_probability_matches_gaussian_window() {
+        let model = VariabilityModel::paper_default();
+        // One dose, window of one sigma: ~68.3 %.
+        let p = model
+            .in_window_probability(1, Volts::from_millivolts(50.0))
+            .unwrap();
+        assert!((p - 0.6827).abs() < 1e-3);
+        assert!(model
+            .in_window_probability(1, Volts::new(-0.1))
+            .is_err());
+        assert!(model
+            .in_window_probability(0, Volts::new(-0.1))
+            .is_err());
+    }
+
+    #[test]
+    fn std_dev_combination_follows_root_sum_of_squares() {
+        let combined = combine_std_devs(&[Volts::new(0.03), Volts::new(0.04)]);
+        assert!((combined.value() - 0.05).abs() < 1e-12);
+        assert_eq!(combine_std_devs(&[]).value(), 0.0);
+    }
+
+    #[test]
+    fn distribution_reflects_nominal_and_doses() {
+        let model = VariabilityModel::paper_default();
+        let g = model.distribution(Volts::new(0.75), 4).unwrap();
+        assert!((g.mean() - 0.75).abs() < 1e-12);
+        assert!((g.std_dev() - 0.1).abs() < 1e-12);
+    }
+}

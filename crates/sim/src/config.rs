@@ -1,0 +1,343 @@
+//! Simulation configuration: the parameters of the paper's Section 6.1
+//! platform, with the paper's values as defaults.
+
+use serde::{Deserialize, Serialize};
+
+use crossbar_array::{CrossbarSpec, LayoutRules, PAPER_RAW_BITS};
+use device_physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
+use nanowire_codes::{CodeBudgets, CodeSpec};
+
+use crate::error::{Result, SimError};
+
+/// Full configuration of one decoder/crossbar simulation.
+///
+/// # Examples
+///
+/// ```
+/// use decoder_sim::SimConfig;
+/// use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let code = CodeSpec::new(CodeKind::BalancedGray, LogicLevel::BINARY, 10)?;
+/// let config = SimConfig::paper_defaults(code)?;
+/// assert_eq!(config.nanowires_per_half_cave(), 20);
+/// assert_eq!(config.raw_bits(), 16 * 1024 * 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    code: CodeSpec,
+    nanowires_per_half_cave: usize,
+    raw_bits: u64,
+    layout: LayoutRules,
+    threshold_model: ThresholdModel,
+    sigma_per_dose: Volts,
+    supply_range: (Volts, Volts),
+    window_override: Option<Volts>,
+    code_budgets: CodeBudgets,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the paper's platform parameters:
+    /// 16 kB raw density, `P_L = 32 nm`, `P_N = 10 nm`, `σ_T = 50 mV`,
+    /// thresholds spread over 0–1 V, and 20 nanowires per half cave — the
+    /// half-cave size the paper's own variability analysis uses (Fig. 6),
+    /// consistent with caves defined by the same lithography generation as
+    /// the 32 nm mesowires rather than the 0.8 µm academic process.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid [`CodeSpec`]; kept fallible for API
+    /// consistency with [`SimConfig::new`].
+    pub fn paper_defaults(code: CodeSpec) -> Result<Self> {
+        SimConfig::new(
+            code,
+            20,
+            PAPER_RAW_BITS,
+            LayoutRules::paper_default(),
+            ThresholdModel::default_mspt(),
+            Volts::from_millivolts(50.0),
+            (Volts::new(0.0), Volts::new(1.0)),
+        )
+    }
+
+    /// Creates a fully explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the nanowire count or raw
+    /// capacity is zero, the supply range is degenerate, or σ_T is negative.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        code: CodeSpec,
+        nanowires_per_half_cave: usize,
+        raw_bits: u64,
+        layout: LayoutRules,
+        threshold_model: ThresholdModel,
+        sigma_per_dose: Volts,
+        supply_range: (Volts, Volts),
+    ) -> Result<Self> {
+        if nanowires_per_half_cave == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "nanowires per half cave must be positive".to_string(),
+            });
+        }
+        if raw_bits == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "raw capacity must be positive".to_string(),
+            });
+        }
+        if !(supply_range.1.value() > supply_range.0.value()) {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "supply range [{}, {}] is degenerate",
+                    supply_range.0, supply_range.1
+                ),
+            });
+        }
+        if sigma_per_dose.value() < 0.0 {
+            return Err(SimError::InvalidConfig {
+                reason: format!("σ_T must be non-negative, got {sigma_per_dose}"),
+            });
+        }
+        Ok(SimConfig {
+            code,
+            nanowires_per_half_cave,
+            raw_bits,
+            layout,
+            threshold_model,
+            sigma_per_dose,
+            supply_range,
+            window_override: None,
+            code_budgets: CodeBudgets::default(),
+        })
+    }
+
+    /// Replaces the code specification, keeping every other parameter — the
+    /// operation parameter sweeps perform for every point.
+    #[must_use]
+    pub fn with_code(mut self, code: CodeSpec) -> Self {
+        self.code = code;
+        self
+    }
+
+    /// Overrides the number of nanowires per half cave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the count is zero.
+    pub fn with_nanowires_per_half_cave(mut self, nanowires: usize) -> Result<Self> {
+        if nanowires == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "nanowires per half cave must be positive".to_string(),
+            });
+        }
+        self.nanowires_per_half_cave = nanowires;
+        Ok(self)
+    }
+
+    /// Overrides the per-dose threshold-voltage deviation σ_T.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a negative deviation.
+    pub fn with_sigma_per_dose(mut self, sigma: Volts) -> Result<Self> {
+        if sigma.value() < 0.0 {
+            return Err(SimError::InvalidConfig {
+                reason: format!("σ_T must be non-negative, got {sigma}"),
+            });
+        }
+        self.sigma_per_dose = sigma;
+        Ok(self)
+    }
+
+    /// Overrides the addressability decision window (defaults to half the
+    /// threshold-level separation).
+    #[must_use]
+    pub fn with_window(mut self, window: Volts) -> Self {
+        self.window_override = Some(window);
+        self
+    }
+
+    /// The code specification under evaluation.
+    #[must_use]
+    pub fn code(&self) -> CodeSpec {
+        self.code
+    }
+
+    /// The number of nanowires per half cave `N`.
+    #[must_use]
+    pub fn nanowires_per_half_cave(&self) -> usize {
+        self.nanowires_per_half_cave
+    }
+
+    /// The raw crosspoint capacity `D_RAW` in bits.
+    #[must_use]
+    pub fn raw_bits(&self) -> u64 {
+        self.raw_bits
+    }
+
+    /// The layout rules.
+    #[must_use]
+    pub fn layout(&self) -> &LayoutRules {
+        &self.layout
+    }
+
+    /// The threshold-voltage model.
+    #[must_use]
+    pub fn threshold_model(&self) -> &ThresholdModel {
+        &self.threshold_model
+    }
+
+    /// The per-dose threshold-voltage deviation σ_T.
+    #[must_use]
+    pub fn sigma_per_dose(&self) -> Volts {
+        self.sigma_per_dose
+    }
+
+    /// The supply-voltage range over which threshold levels are spread.
+    #[must_use]
+    pub fn supply_range(&self) -> (Volts, Volts) {
+        self.supply_range
+    }
+
+    /// The search budgets used when generating arranged codes.
+    #[must_use]
+    pub fn code_budgets(&self) -> CodeBudgets {
+        self.code_budgets
+    }
+
+    /// The crossbar specification implied by this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar-specification errors (cannot occur for a validated
+    /// configuration).
+    pub fn crossbar_spec(&self) -> Result<CrossbarSpec> {
+        Ok(CrossbarSpec::new(
+            self.raw_bits,
+            self.nanowires_per_half_cave,
+            self.layout,
+        )?)
+    }
+
+    /// The variability model implied by σ_T.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-physics validation errors.
+    pub fn variability_model(&self) -> Result<VariabilityModel> {
+        Ok(VariabilityModel::new(self.sigma_per_dose)?)
+    }
+
+    /// The doping ladder implied by the code radix, threshold model and
+    /// supply range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-physics errors (unreachable thresholds).
+    pub fn doping_ladder(&self) -> Result<DopingLadder> {
+        Ok(DopingLadder::from_model(
+            &self.threshold_model,
+            self.code.radix().radix_usize(),
+            self.supply_range,
+        )?)
+    }
+
+    /// The addressability decision window: the explicit override if set,
+    /// otherwise half the threshold-level separation of the ladder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-physics errors from ladder construction.
+    pub fn decision_window(&self) -> Result<Volts> {
+        if let Some(window) = self.window_override {
+            return Ok(window);
+        }
+        Ok(self.doping_ladder()?.window_half_width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanowire_codes::{CodeKind, LogicLevel};
+
+    fn code() -> CodeSpec {
+        CodeSpec::new(CodeKind::Gray, LogicLevel::BINARY, 8).unwrap()
+    }
+
+    #[test]
+    fn paper_defaults_match_section_6_1() {
+        let config = SimConfig::paper_defaults(code()).unwrap();
+        assert_eq!(config.nanowires_per_half_cave(), 20);
+        assert_eq!(config.raw_bits(), 131_072);
+        assert_eq!(config.sigma_per_dose(), Volts::from_millivolts(50.0));
+        assert_eq!(config.layout().litho_pitch().value(), 32.0);
+        assert_eq!(config.layout().nanowire_pitch().value(), 10.0);
+        assert_eq!(config.supply_range().1.value(), 1.0);
+        // Binary levels at 0.25/0.75 V -> window half-width 0.25 V.
+        assert!((config.decision_window().unwrap().value() - 0.25).abs() < 1e-9);
+        assert_eq!(config.code(), code());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(SimConfig::paper_defaults(code())
+            .unwrap()
+            .with_nanowires_per_half_cave(0)
+            .is_err());
+        assert!(SimConfig::paper_defaults(code())
+            .unwrap()
+            .with_sigma_per_dose(Volts::new(-0.1))
+            .is_err());
+        assert!(SimConfig::new(
+            code(),
+            40,
+            0,
+            LayoutRules::paper_default(),
+            ThresholdModel::default_mspt(),
+            Volts::from_millivolts(50.0),
+            (Volts::new(0.0), Volts::new(1.0)),
+        )
+        .is_err());
+        assert!(SimConfig::new(
+            code(),
+            40,
+            1024,
+            LayoutRules::paper_default(),
+            ThresholdModel::default_mspt(),
+            Volts::from_millivolts(50.0),
+            (Volts::new(1.0), Volts::new(1.0)),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let config = SimConfig::paper_defaults(code())
+            .unwrap()
+            .with_nanowires_per_half_cave(24)
+            .unwrap()
+            .with_sigma_per_dose(Volts::from_millivolts(30.0))
+            .unwrap()
+            .with_window(Volts::new(0.2));
+        assert_eq!(config.nanowires_per_half_cave(), 24);
+        assert_eq!(config.sigma_per_dose(), Volts::from_millivolts(30.0));
+        assert_eq!(config.decision_window().unwrap(), Volts::new(0.2));
+        let other = CodeSpec::new(CodeKind::Hot, LogicLevel::BINARY, 6).unwrap();
+        assert_eq!(config.with_code(other).code(), other);
+    }
+
+    #[test]
+    fn derived_objects_are_consistent() {
+        let config = SimConfig::paper_defaults(code()).unwrap();
+        let spec = config.crossbar_spec().unwrap();
+        assert_eq!(spec.nanowires_per_half_cave(), 20);
+        let ladder = config.doping_ladder().unwrap();
+        assert_eq!(ladder.level_count(), 2);
+        let model = config.variability_model().unwrap();
+        assert_eq!(model.sigma_per_dose(), Volts::from_millivolts(50.0));
+    }
+}

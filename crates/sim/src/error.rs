@@ -1,0 +1,118 @@
+//! Error types for the `decoder-sim` crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crossbar_array::CrossbarError;
+use device_physics::PhysicsError;
+use mspt_fabrication::FabricationError;
+use nanowire_codes::CodeError;
+
+/// Errors produced by the decoder simulation platform.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A simulation parameter is invalid (zero nanowires, zero samples, ...).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A sweep was requested over an empty parameter set.
+    EmptySweep,
+    /// An error bubbled up from the code layer.
+    Code(CodeError),
+    /// An error bubbled up from the device-physics layer.
+    Physics(PhysicsError),
+    /// An error bubbled up from the fabrication layer.
+    Fabrication(FabricationError),
+    /// An error bubbled up from the crossbar layer.
+    Crossbar(CrossbarError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid simulation configuration: {reason}")
+            }
+            SimError::EmptySweep => write!(f, "sweep requested over an empty parameter set"),
+            SimError::Code(err) => write!(f, "code error: {err}"),
+            SimError::Physics(err) => write!(f, "device-physics error: {err}"),
+            SimError::Fabrication(err) => write!(f, "fabrication error: {err}"),
+            SimError::Crossbar(err) => write!(f, "crossbar error: {err}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Code(err) => Some(err),
+            SimError::Physics(err) => Some(err),
+            SimError::Fabrication(err) => Some(err),
+            SimError::Crossbar(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for SimError {
+    fn from(err: CodeError) -> Self {
+        SimError::Code(err)
+    }
+}
+
+impl From<PhysicsError> for SimError {
+    fn from(err: PhysicsError) -> Self {
+        SimError::Physics(err)
+    }
+}
+
+impl From<FabricationError> for SimError {
+    fn from(err: FabricationError) -> Self {
+        SimError::Fabrication(err)
+    }
+}
+
+impl From<CrossbarError> for SimError {
+    fn from(err: CrossbarError) -> Self {
+        SimError::Crossbar(err)
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let config = SimError::InvalidConfig {
+            reason: "zero nanowires".to_string(),
+        };
+        assert!(config.to_string().contains("configuration"));
+        assert!(config.source().is_none());
+        assert!(SimError::EmptySweep.source().is_none());
+
+        assert!(SimError::from(CodeError::EmptyWord).source().is_some());
+        assert!(SimError::from(PhysicsError::SolverDidNotConverge { iterations: 1 })
+            .source()
+            .is_some());
+        assert!(SimError::from(FabricationError::InvalidMatrixShape {
+            reason: "ragged".to_string()
+        })
+        .source()
+        .is_some());
+        assert!(SimError::from(CrossbarError::InvalidProbability { value: 2.0 })
+            .source()
+            .is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

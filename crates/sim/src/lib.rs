@@ -1,0 +1,67 @@
+//! # decoder-sim
+//!
+//! The simulation platform of Section 6 of the DAC 2009 MSPT-decoder paper:
+//! one configuration object ([`SimConfig`]) holding the paper's platform
+//! parameters, one orchestrator ([`SimulationPlatform`]) that takes a code
+//! choice to fabrication complexity, variability, yield and bit area, the
+//! parameter sweeps behind Figs. 5–8, and a Monte-Carlo cross-check of the
+//! analytic yield model.
+//!
+//! # Examples
+//!
+//! ```
+//! use decoder_sim::{SimConfig, SimulationPlatform};
+//! use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let code = CodeSpec::new(CodeKind::BalancedGray, LogicLevel::BINARY, 10)?;
+//! let platform = SimulationPlatform::new(SimConfig::paper_defaults(code)?);
+//! let report = platform.evaluate()?;
+//! assert!(report.crossbar_yield > 0.3);
+//! assert!(report.effective_bit_area < 400.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ablation;
+mod config;
+mod error;
+mod monte_carlo;
+mod platform;
+mod report;
+mod sweep;
+
+pub use ablation::{
+    alignment_sensitivity, half_cave_sensitivity, sigma_sensitivity, window_sensitivity,
+    SensitivityPoint, SensitivitySweep,
+};
+pub use config::SimConfig;
+pub use error::{Result, SimError};
+pub use monte_carlo::{
+    max_profile_difference, monte_carlo_addressability, MonteCarloConfig, MonteCarloOutcome,
+};
+pub use platform::{PlatformReport, SimulationPlatform};
+pub use report::{Fig5Report, Fig6Report, Fig7Report, Fig8Report};
+pub use sweep::{
+    bit_area_sweep, complexity_sweep, full_sweep, variability_map, yield_sweep, BitAreaPoint,
+    ComplexityPoint, VariabilityMap, YieldPoint,
+};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimConfig>();
+        assert_send_sync::<SimulationPlatform>();
+        assert_send_sync::<PlatformReport>();
+        assert_send_sync::<MonteCarloConfig>();
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,257 @@
+//! Monte-Carlo cross-validation of the analytic yield model: sample the
+//! threshold-voltage disturbance of every doping region, check the decision
+//! window region by region, and estimate the per-nanowire addressability
+//! empirically.
+//!
+//! The analytic model in `crossbar-array` integrates the same Gaussians in
+//! closed form; the Monte-Carlo path exists to validate that integration and
+//! to support experiments with non-Gaussian disturbances later.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crossbar_array::AddressabilityProfile;
+use device_physics::{VariabilityModel, Volts};
+use mspt_fabrication::VariabilityMatrix;
+
+use crate::error::{Result, SimError};
+
+/// Configuration of a Monte-Carlo addressability estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    /// Number of sampled array instances.
+    pub samples: usize,
+    /// Seed of the deterministic random-number generator.
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            samples: 2_000,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// The result of a Monte-Carlo addressability estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloOutcome {
+    /// Empirical per-nanowire addressability probabilities.
+    pub profile: AddressabilityProfile,
+    /// Number of sampled array instances.
+    pub samples: usize,
+}
+
+/// Estimates the per-nanowire addressability of a half cave by sampling the
+/// Gaussian disturbance of every doping region `samples` times.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] when `samples` is zero, or propagates
+/// lower-layer errors.
+pub fn monte_carlo_addressability(
+    variability: &VariabilityMatrix,
+    model: &VariabilityModel,
+    window: Volts,
+    config: MonteCarloConfig,
+) -> Result<MonteCarloOutcome> {
+    if config.samples == 0 {
+        return Err(SimError::InvalidConfig {
+            reason: "Monte-Carlo estimation needs at least one sample".to_string(),
+        });
+    }
+    if window.value() < 0.0 {
+        return Err(SimError::InvalidConfig {
+            reason: format!("decision window must be non-negative, got {window}"),
+        });
+    }
+
+    let n = variability.nanowire_count();
+    let m = variability.region_count();
+    // Pre-compute the per-region standard deviations.
+    let mut sigmas = vec![vec![0.0f64; m]; n];
+    for (i, row) in sigmas.iter_mut().enumerate() {
+        for (j, slot) in row.iter_mut().enumerate() {
+            let doses = variability.dose_counts().count(i, j)?;
+            *slot = model.sigma_after_doses(doses).value();
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut addressable_counts = vec![0usize; n];
+    let half_width = window.value();
+
+    for _ in 0..config.samples {
+        for (i, row) in sigmas.iter().enumerate() {
+            let mut all_in_window = true;
+            for &sigma in row {
+                let deviation = sigma * standard_normal(&mut rng);
+                if deviation.abs() > half_width {
+                    all_in_window = false;
+                    break;
+                }
+            }
+            if all_in_window {
+                addressable_counts[i] += 1;
+            }
+        }
+    }
+
+    let probabilities: Vec<f64> = addressable_counts
+        .into_iter()
+        .map(|count| count as f64 / config.samples as f64)
+        .collect();
+    Ok(MonteCarloOutcome {
+        profile: AddressabilityProfile::new(probabilities)?,
+        samples: config.samples,
+    })
+}
+
+/// A standard-normal sample via the Box–Muller transform (the workspace only
+/// depends on `rand`, which provides uniform sampling).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// The largest absolute difference between the analytic and Monte-Carlo
+/// per-nanowire probabilities — used by tests and the ablation bench to show
+/// the two paths agree.
+#[must_use]
+pub fn max_profile_difference(
+    analytic: &AddressabilityProfile,
+    sampled: &AddressabilityProfile,
+) -> f64 {
+    analytic
+        .probabilities()
+        .iter()
+        .zip(sampled.probabilities())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use device_physics::{DopingLadder, ThresholdModel};
+    use mspt_fabrication::PatternMatrix;
+    use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+    fn variability(kind: CodeKind, length: usize, nanowires: usize) -> VariabilityMatrix {
+        let seq = CodeSpec::new(kind, LogicLevel::BINARY, length)
+            .unwrap()
+            .generate()
+            .unwrap()
+            .take_cyclic(nanowires)
+            .unwrap();
+        let ladder = DopingLadder::from_model(
+            &ThresholdModel::default_mspt(),
+            2,
+            (Volts::new(0.0), Volts::new(1.0)),
+        )
+        .unwrap();
+        VariabilityMatrix::from_pattern(
+            &PatternMatrix::from_sequence(&seq).unwrap(),
+            &ladder,
+            &VariabilityModel::paper_default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn monte_carlo_matches_the_analytic_model() {
+        let variability = variability(CodeKind::Gray, 8, 20);
+        let model = VariabilityModel::paper_default();
+        let window = Volts::new(0.25);
+        let analytic =
+            AddressabilityProfile::from_variability(&variability, &model, window).unwrap();
+        let sampled = monte_carlo_addressability(
+            &variability,
+            &model,
+            window,
+            MonteCarloConfig {
+                samples: 4_000,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        assert_eq!(sampled.samples, 4_000);
+        let diff = max_profile_difference(&analytic, &sampled.profile);
+        assert!(diff < 0.05, "analytic vs Monte-Carlo difference {diff}");
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_fixed_seed() {
+        let variability = variability(CodeKind::Tree, 8, 10);
+        let model = VariabilityModel::paper_default();
+        let window = Volts::new(0.25);
+        let config = MonteCarloConfig {
+            samples: 500,
+            seed: 42,
+        };
+        let a = monte_carlo_addressability(&variability, &model, window, config).unwrap();
+        let b = monte_carlo_addressability(&variability, &model, window, config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_samples_and_negative_windows_are_rejected() {
+        let variability = variability(CodeKind::Tree, 6, 8);
+        let model = VariabilityModel::paper_default();
+        assert!(monte_carlo_addressability(
+            &variability,
+            &model,
+            Volts::new(0.25),
+            MonteCarloConfig { samples: 0, seed: 1 },
+        )
+        .is_err());
+        assert!(monte_carlo_addressability(
+            &variability,
+            &model,
+            Volts::new(-0.1),
+            MonteCarloConfig::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_and_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let variance =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((variance - 1.0).abs() < 0.05, "variance {variance}");
+    }
+
+    #[test]
+    fn wider_windows_never_reduce_addressability() {
+        let variability = variability(CodeKind::Hot, 6, 12);
+        let model = VariabilityModel::paper_default();
+        let narrow = monte_carlo_addressability(
+            &variability,
+            &model,
+            Volts::new(0.1),
+            MonteCarloConfig { samples: 1_000, seed: 9 },
+        )
+        .unwrap();
+        let wide = monte_carlo_addressability(
+            &variability,
+            &model,
+            Volts::new(0.4),
+            MonteCarloConfig { samples: 1_000, seed: 9 },
+        )
+        .unwrap();
+        let narrow_mean = narrow.profile.mean();
+        let wide_mean = wide.profile.mean();
+        assert!(wide_mean >= narrow_mean);
+    }
+}

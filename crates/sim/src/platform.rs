@@ -1,0 +1,284 @@
+//! The simulation platform of Section 6.1: one call takes a code choice to
+//! every quantity the paper's figures report — fabrication complexity,
+//! variability statistics, cave and crossbar yield, and effective bit area.
+
+use serde::{Deserialize, Serialize};
+
+use crossbar_array::{
+    AddressabilityProfile, CaveYield, ContactGroupLayout, CrossbarArea, HalfCave,
+};
+use mspt_fabrication::{FabricationCost, PatternMatrix, VariabilityMatrix};
+use nanowire_codes::{CodeSequence, CodeSpec};
+
+use crate::config::SimConfig;
+use crate::error::Result;
+
+/// The outcome of evaluating one decoder design on the platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformReport {
+    /// The evaluated code.
+    pub code: CodeSpec,
+    /// Number of nanowires per half cave used in the evaluation.
+    pub nanowires_per_half_cave: usize,
+    /// Total fabrication complexity `Φ` of one half cave.
+    pub fabrication_steps: usize,
+    /// Average variability `‖Σ‖₁ / (N·M)` in units of σ_T².
+    pub mean_variability: f64,
+    /// Largest normalised region deviation `sqrt(ν)` of the half cave.
+    pub max_normalized_sigma: f64,
+    /// Cave (nanowire) yield `Y`.
+    pub cave_yield: f64,
+    /// Crossbar (crosspoint) yield `Y²`.
+    pub crossbar_yield: f64,
+    /// Effective density `D_EFF = D_RAW · Y²` in bits.
+    pub effective_bits: f64,
+    /// Raw area per crosspoint in nm².
+    pub raw_bit_area: f64,
+    /// Effective area per functional bit in nm² (Fig. 8).
+    pub effective_bit_area: f64,
+    /// Number of contact groups per half cave.
+    pub contact_groups: usize,
+}
+
+/// The Section 6.1 simulation platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationPlatform {
+    config: SimConfig,
+}
+
+impl SimulationPlatform {
+    /// Creates a platform around a configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        SimulationPlatform { config }
+    }
+
+    /// The configuration of the platform.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Generates the code sequence of the configured code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates code-generation errors.
+    pub fn code_sequence(&self) -> Result<CodeSequence> {
+        Ok(self
+            .config
+            .code()
+            .generate_with(self.config.code_budgets())?)
+    }
+
+    /// The half-cave assignment (the configured code applied cyclically to
+    /// the configured number of nanowires).
+    ///
+    /// # Errors
+    ///
+    /// Propagates code and crossbar errors.
+    pub fn half_cave(&self) -> Result<HalfCave> {
+        Ok(HalfCave::new(
+            self.config.nanowires_per_half_cave(),
+            &self.code_sequence()?,
+        )?)
+    }
+
+    /// The variability matrix `Σ` of the configured half cave.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabrication and device-physics errors.
+    pub fn variability(&self) -> Result<VariabilityMatrix> {
+        let pattern = self.half_cave()?.pattern()?;
+        Ok(VariabilityMatrix::from_pattern(
+            &pattern,
+            &self.config.doping_ladder()?,
+            &self.config.variability_model()?,
+        )?)
+    }
+
+    /// The fabrication complexity `Φ` of the configured half cave.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabrication and device-physics errors.
+    pub fn fabrication_cost(&self) -> Result<FabricationCost> {
+        let pattern = self.half_cave()?.pattern()?;
+        Ok(FabricationCost::from_pattern(
+            &pattern,
+            &self.config.doping_ladder()?,
+        )?)
+    }
+
+    /// The fabrication complexity of a half cave with an explicit nanowire
+    /// count (Fig. 5 uses `N = 10` independently of the crossbar geometry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates code, fabrication and device-physics errors.
+    pub fn fabrication_cost_for(&self, nanowires: usize) -> Result<FabricationCost> {
+        let sequence = self.code_sequence()?.take_cyclic(nanowires)?;
+        let pattern = PatternMatrix::from_sequence(&sequence)?;
+        Ok(FabricationCost::from_pattern(
+            &pattern,
+            &self.config.doping_ladder()?,
+        )?)
+    }
+
+    /// The variability matrix of a half cave with an explicit nanowire count
+    /// (Fig. 6 uses `N = 20`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates code, fabrication and device-physics errors.
+    pub fn variability_for(&self, nanowires: usize) -> Result<VariabilityMatrix> {
+        let sequence = self.code_sequence()?.take_cyclic(nanowires)?;
+        let pattern = PatternMatrix::from_sequence(&sequence)?;
+        Ok(VariabilityMatrix::from_pattern(
+            &pattern,
+            &self.config.doping_ladder()?,
+            &self.config.variability_model()?,
+        )?)
+    }
+
+    /// The contact-group layout of the configured half cave.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar errors.
+    pub fn contact_layout(&self) -> Result<ContactGroupLayout> {
+        Ok(ContactGroupLayout::new(
+            self.config.nanowires_per_half_cave(),
+            self.config.code().space_size(),
+            *self.config.layout(),
+        )?)
+    }
+
+    /// The analytic per-nanowire addressability profile of the configured
+    /// half cave.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar and device-physics errors.
+    pub fn addressability(&self) -> Result<AddressabilityProfile> {
+        Ok(AddressabilityProfile::from_variability(
+            &self.variability()?,
+            &self.config.variability_model()?,
+            self.config.decision_window()?,
+        )?)
+    }
+
+    /// The cave and crossbar yield of the configured design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar errors.
+    pub fn cave_yield(&self) -> Result<CaveYield> {
+        Ok(CaveYield::compute(
+            &self.addressability()?,
+            &self.contact_layout()?,
+        )?)
+    }
+
+    /// Runs the full evaluation and collects every reported quantity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from every stage of the pipeline.
+    pub fn evaluate(&self) -> Result<PlatformReport> {
+        let code = self.config.code();
+        let variability = self.variability()?;
+        let cost = self.fabrication_cost()?;
+        let layout = self.contact_layout()?;
+        let profile = AddressabilityProfile::from_variability(
+            &variability,
+            &self.config.variability_model()?,
+            self.config.decision_window()?,
+        )?;
+        let yield_ = CaveYield::compute(&profile, &layout)?;
+        let spec = self.config.crossbar_spec()?;
+        let area = CrossbarArea::compute(&spec, code.code_length(), &layout)?;
+        let effective_bit_area = area.effective_bit_area(&spec, &yield_)?;
+
+        Ok(PlatformReport {
+            code,
+            nanowires_per_half_cave: self.config.nanowires_per_half_cave(),
+            fabrication_steps: cost.total(),
+            mean_variability: variability.mean_in_sigma_units(),
+            max_normalized_sigma: variability.normalized_map().max(),
+            cave_yield: yield_.nanowire_yield(),
+            crossbar_yield: yield_.crossbar_yield(),
+            effective_bits: yield_.effective_bits(spec.raw_crosspoints()),
+            raw_bit_area: area.raw_bit_area(&spec).value(),
+            effective_bit_area: effective_bit_area.value(),
+            contact_groups: layout.group_count(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanowire_codes::{CodeKind, LogicLevel};
+
+    fn platform(kind: CodeKind, length: usize) -> SimulationPlatform {
+        let code = CodeSpec::new(kind, LogicLevel::BINARY, length).unwrap();
+        SimulationPlatform::new(SimConfig::paper_defaults(code).unwrap())
+    }
+
+    #[test]
+    fn evaluation_produces_consistent_quantities() {
+        let report = platform(CodeKind::BalancedGray, 10).evaluate().unwrap();
+        assert!(report.cave_yield > 0.0 && report.cave_yield <= 1.0);
+        assert!((report.crossbar_yield - report.cave_yield.powi(2)).abs() < 1e-12);
+        assert!(report.effective_bits > 0.0);
+        assert!(report.effective_bit_area >= report.raw_bit_area);
+        assert!(report.fabrication_steps >= 2 * report.nanowires_per_half_cave - 1);
+        assert!(report.mean_variability >= 1.0);
+        assert!(report.max_normalized_sigma >= 1.0);
+        assert!(report.contact_groups >= 1);
+    }
+
+    #[test]
+    fn gray_never_does_worse_than_tree_on_the_platform() {
+        let tree = platform(CodeKind::Tree, 8).evaluate().unwrap();
+        let gray = platform(CodeKind::Gray, 8).evaluate().unwrap();
+        assert!(gray.fabrication_steps <= tree.fabrication_steps);
+        assert!(gray.mean_variability <= tree.mean_variability);
+        assert!(gray.crossbar_yield >= tree.crossbar_yield);
+        assert!(gray.effective_bit_area <= tree.effective_bit_area);
+    }
+
+    #[test]
+    fn longer_tree_codes_improve_yield_in_the_paper_range() {
+        // Fig. 7: yield increases with code length up to M ≈ 10 for TC.
+        let short = platform(CodeKind::Tree, 6).evaluate().unwrap();
+        let long = platform(CodeKind::Tree, 10).evaluate().unwrap();
+        assert!(long.crossbar_yield > short.crossbar_yield);
+        // Fig. 8: and the effective bit area shrinks accordingly.
+        assert!(long.effective_bit_area < short.effective_bit_area);
+    }
+
+    #[test]
+    fn intermediate_accessors_agree_with_the_report() {
+        let p = platform(CodeKind::Hot, 6);
+        let report = p.evaluate().unwrap();
+        assert_eq!(p.fabrication_cost().unwrap().total(), report.fabrication_steps);
+        let yield_ = p.cave_yield().unwrap();
+        assert!((yield_.crossbar_yield() - report.crossbar_yield).abs() < 1e-12);
+        assert_eq!(p.contact_layout().unwrap().group_count(), report.contact_groups);
+        assert_eq!(p.half_cave().unwrap().nanowire_count(), 20);
+        assert_eq!(p.config().nanowires_per_half_cave(), 20);
+    }
+
+    #[test]
+    fn explicit_nanowire_counts_for_standalone_figures() {
+        let p = platform(CodeKind::Gray, 8);
+        let cost = p.fabrication_cost_for(10).unwrap();
+        assert_eq!(cost.step_count(), 10);
+        let variability = p.variability_for(20).unwrap();
+        assert_eq!(variability.nanowire_count(), 20);
+        assert_eq!(variability.region_count(), 8);
+    }
+}

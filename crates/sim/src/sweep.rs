@@ -1,0 +1,347 @@
+//! Parameter sweeps over code type, logic radix and code length — the loops
+//! behind Figs. 5–8 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use mspt_fabrication::Matrix;
+use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+use crate::config::SimConfig;
+use crate::error::{Result, SimError};
+use crate::platform::{PlatformReport, SimulationPlatform};
+
+/// One point of the fabrication-complexity sweep (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComplexityPoint {
+    /// Code family.
+    pub kind: CodeKind,
+    /// Logic radix.
+    pub radix: LogicLevel,
+    /// Code length `M` used for the sweep.
+    pub code_length: usize,
+    /// Number of nanowires per half cave.
+    pub nanowires: usize,
+    /// Total number of additional lithography/doping steps `Φ`.
+    pub fabrication_steps: usize,
+}
+
+/// One variability map (one panel of Fig. 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariabilityMap {
+    /// Code family.
+    pub kind: CodeKind,
+    /// Code length `M`.
+    pub code_length: usize,
+    /// Number of nanowires `N`.
+    pub nanowires: usize,
+    /// Normalised deviations `sqrt(ν_i^j) = sqrt(Σ_i^j)/σ_T`, indexed by
+    /// (nanowire, digit).
+    pub normalized_sigma: Matrix<f64>,
+    /// Average variability `‖Σ‖₁/(N·M)` in units of σ_T².
+    pub mean_variability: f64,
+    /// Largest normalised deviation of the map.
+    pub max_normalized_sigma: f64,
+}
+
+/// One point of the yield sweep (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YieldPoint {
+    /// Code family.
+    pub kind: CodeKind,
+    /// Code length `M`.
+    pub code_length: usize,
+    /// Cave (nanowire) yield `Y`.
+    pub cave_yield: f64,
+    /// Crossbar (crosspoint) yield `Y²`.
+    pub crossbar_yield: f64,
+}
+
+/// One point of the bit-area sweep (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitAreaPoint {
+    /// Code family.
+    pub kind: CodeKind,
+    /// Code length `M`.
+    pub code_length: usize,
+    /// Effective area per functional bit in nm².
+    pub bit_area: f64,
+    /// Crossbar yield `Y²` behind the bit area.
+    pub crossbar_yield: f64,
+}
+
+/// Sweeps the fabrication complexity `Φ` over code families and logic
+/// radices at a fixed half-cave size (Fig. 5 uses `N = 10`).
+///
+/// # Errors
+///
+/// Returns [`SimError::EmptySweep`] for empty parameter sets, or propagates
+/// evaluation errors.
+pub fn complexity_sweep(
+    base: &SimConfig,
+    kinds: &[CodeKind],
+    radices: &[LogicLevel],
+    code_length: usize,
+    nanowires: usize,
+) -> Result<Vec<ComplexityPoint>> {
+    if kinds.is_empty() || radices.is_empty() {
+        return Err(SimError::EmptySweep);
+    }
+    let mut points = Vec::with_capacity(kinds.len() * radices.len());
+    for &radix in radices {
+        for &kind in kinds {
+            let code = CodeSpec::new(kind, radix, code_length)?;
+            let config = base.clone().with_code(code);
+            let platform = SimulationPlatform::new(config);
+            let cost = platform.fabrication_cost_for(nanowires)?;
+            points.push(ComplexityPoint {
+                kind,
+                radix,
+                code_length,
+                nanowires,
+                fabrication_steps: cost.total(),
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Computes the variability map of one code family and length (one panel of
+/// Fig. 6; the paper uses `N = 20` nanowires).
+///
+/// # Errors
+///
+/// Propagates code, fabrication and device-physics errors.
+pub fn variability_map(
+    base: &SimConfig,
+    kind: CodeKind,
+    radix: LogicLevel,
+    code_length: usize,
+    nanowires: usize,
+) -> Result<VariabilityMap> {
+    let code = CodeSpec::new(kind, radix, code_length)?;
+    let config = base.clone().with_code(code);
+    let platform = SimulationPlatform::new(config);
+    let variability = platform.variability_for(nanowires)?;
+    let normalized = variability.normalized_map();
+    Ok(VariabilityMap {
+        kind,
+        code_length,
+        nanowires,
+        mean_variability: variability.mean_in_sigma_units(),
+        max_normalized_sigma: normalized.max(),
+        normalized_sigma: normalized,
+    })
+}
+
+/// Sweeps the crossbar yield over code lengths for one code family (one
+/// series of Fig. 7).
+///
+/// # Errors
+///
+/// Returns [`SimError::EmptySweep`] for an empty length set, or propagates
+/// evaluation errors. Lengths that are invalid for the family/radix are
+/// skipped silently so hot-code sweeps can share length lists with
+/// tree-code sweeps.
+pub fn yield_sweep(
+    base: &SimConfig,
+    kind: CodeKind,
+    radix: LogicLevel,
+    code_lengths: &[usize],
+) -> Result<Vec<YieldPoint>> {
+    if code_lengths.is_empty() {
+        return Err(SimError::EmptySweep);
+    }
+    let mut points = Vec::new();
+    for &code_length in code_lengths {
+        let Ok(code) = CodeSpec::new(kind, radix, code_length) else {
+            continue;
+        };
+        let config = base.clone().with_code(code);
+        let report = SimulationPlatform::new(config).evaluate()?;
+        points.push(YieldPoint {
+            kind,
+            code_length,
+            cave_yield: report.cave_yield,
+            crossbar_yield: report.crossbar_yield,
+        });
+    }
+    Ok(points)
+}
+
+/// Sweeps the effective bit area over code lengths for one code family (one
+/// bar group of Fig. 8).
+///
+/// # Errors
+///
+/// Returns [`SimError::EmptySweep`] for an empty length set, or propagates
+/// evaluation errors. Invalid lengths for the family are skipped.
+pub fn bit_area_sweep(
+    base: &SimConfig,
+    kind: CodeKind,
+    radix: LogicLevel,
+    code_lengths: &[usize],
+) -> Result<Vec<BitAreaPoint>> {
+    if code_lengths.is_empty() {
+        return Err(SimError::EmptySweep);
+    }
+    let mut points = Vec::new();
+    for &code_length in code_lengths {
+        let Ok(code) = CodeSpec::new(kind, radix, code_length) else {
+            continue;
+        };
+        let config = base.clone().with_code(code);
+        let report = SimulationPlatform::new(config).evaluate()?;
+        points.push(BitAreaPoint {
+            kind,
+            code_length,
+            bit_area: report.effective_bit_area,
+            crossbar_yield: report.crossbar_yield,
+        });
+    }
+    Ok(points)
+}
+
+/// Evaluates the full platform report for every (kind, length) pair —
+/// convenience for the experiments and benches that need several figures at
+/// once.
+///
+/// # Errors
+///
+/// Returns [`SimError::EmptySweep`] for empty parameter sets, or propagates
+/// evaluation errors. Invalid (kind, length) pairs are skipped.
+pub fn full_sweep(
+    base: &SimConfig,
+    kinds: &[CodeKind],
+    radix: LogicLevel,
+    code_lengths: &[usize],
+) -> Result<Vec<PlatformReport>> {
+    if kinds.is_empty() || code_lengths.is_empty() {
+        return Err(SimError::EmptySweep);
+    }
+    let mut reports = Vec::new();
+    for &kind in kinds {
+        for &code_length in code_lengths {
+            let Ok(code) = CodeSpec::new(kind, radix, code_length) else {
+                continue;
+            };
+            let config = base.clone().with_code(code);
+            reports.push(SimulationPlatform::new(config).evaluate()?);
+        }
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimConfig {
+        let code = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, 8).unwrap();
+        SimConfig::paper_defaults(code).unwrap()
+    }
+
+    #[test]
+    fn complexity_sweep_reproduces_fig5_shape() {
+        let points = complexity_sweep(
+            &base(),
+            &[CodeKind::Tree, CodeKind::Gray],
+            &[LogicLevel::BINARY, LogicLevel::TERNARY, LogicLevel::QUATERNARY],
+            8,
+            10,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 6);
+        let phi = |kind: CodeKind, radix: LogicLevel| {
+            points
+                .iter()
+                .find(|p| p.kind == kind && p.radix == radix)
+                .unwrap()
+                .fabrication_steps
+        };
+        // Binary codes: Φ = 2N regardless of the arrangement.
+        assert_eq!(phi(CodeKind::Tree, LogicLevel::BINARY), 20);
+        assert_eq!(phi(CodeKind::Gray, LogicLevel::BINARY), 20);
+        // Higher radix: the tree code pays extra steps, the Gray code does not.
+        assert!(phi(CodeKind::Tree, LogicLevel::TERNARY) > 20);
+        assert!(
+            phi(CodeKind::Gray, LogicLevel::TERNARY) < phi(CodeKind::Tree, LogicLevel::TERNARY)
+        );
+        assert!(
+            phi(CodeKind::Gray, LogicLevel::QUATERNARY)
+                < phi(CodeKind::Tree, LogicLevel::QUATERNARY)
+        );
+    }
+
+    #[test]
+    fn variability_map_matches_fig6_structure() {
+        let map = variability_map(&base(), CodeKind::Tree, LogicLevel::BINARY, 8, 20).unwrap();
+        assert_eq!(map.normalized_sigma.rows(), 20);
+        assert_eq!(map.normalized_sigma.columns(), 8);
+        // The lexicographic tree code toggles its least-significant digit at
+        // every step, so the earliest-defined nanowire accumulates ~N doses
+        // there: sqrt(20) ≈ 4.5, the peak of Fig. 6.a/b.
+        assert!(map.max_normalized_sigma > 4.0);
+        let gray = variability_map(&base(), CodeKind::Gray, LogicLevel::BINARY, 8, 20).unwrap();
+        assert!(gray.max_normalized_sigma < map.max_normalized_sigma);
+        assert!(gray.mean_variability < map.mean_variability);
+        let balanced =
+            variability_map(&base(), CodeKind::BalancedGray, LogicLevel::BINARY, 8, 20).unwrap();
+        assert!(balanced.max_normalized_sigma <= gray.max_normalized_sigma);
+    }
+
+    #[test]
+    fn yield_sweep_skips_invalid_lengths_and_stays_in_bounds() {
+        let points = yield_sweep(&base(), CodeKind::Hot, LogicLevel::BINARY, &[4, 5, 6, 8]).unwrap();
+        // Length 5 is invalid for a binary hot code and must be skipped.
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.cave_yield > 0.0 && p.cave_yield <= 1.0);
+            assert!((p.crossbar_yield - p.cave_yield.powi(2)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bit_area_sweep_produces_positive_areas() {
+        let points =
+            bit_area_sweep(&base(), CodeKind::BalancedGray, LogicLevel::BINARY, &[6, 8, 10])
+                .unwrap();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.bit_area > 100.0);
+        }
+        // Fig. 8: longer codes shrink the bit area over this range.
+        assert!(points[2].bit_area < points[0].bit_area);
+    }
+
+    #[test]
+    fn empty_sweeps_are_rejected() {
+        assert!(matches!(
+            complexity_sweep(&base(), &[], &[LogicLevel::BINARY], 8, 10),
+            Err(SimError::EmptySweep)
+        ));
+        assert!(matches!(
+            yield_sweep(&base(), CodeKind::Tree, LogicLevel::BINARY, &[]),
+            Err(SimError::EmptySweep)
+        ));
+        assert!(matches!(
+            bit_area_sweep(&base(), CodeKind::Tree, LogicLevel::BINARY, &[]),
+            Err(SimError::EmptySweep)
+        ));
+        assert!(matches!(
+            full_sweep(&base(), &[], LogicLevel::BINARY, &[8]),
+            Err(SimError::EmptySweep)
+        ));
+    }
+
+    #[test]
+    fn full_sweep_covers_valid_combinations() {
+        let reports = full_sweep(
+            &base(),
+            &[CodeKind::Tree, CodeKind::Hot],
+            LogicLevel::BINARY,
+            &[6, 8],
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 4);
+    }
+}

@@ -1,0 +1,63 @@
+//! Use a decoder design to operate a functional crossbar memory: store a
+//! message in the usable crosspoints and read it back, reporting how much of
+//! the raw capacity survives the decoder losses.
+//!
+//! Run with: `cargo run --example crossbar_memory`
+
+use mspt_nanowire_decoder::crossbar::{ContactGroupLayout, CrossbarMemory, LayoutRules};
+use mspt_nanowire_decoder::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An arranged-hot-code decoder: 20 code words of length 6 are enough to
+    // address a 20-nanowire half cave with a single contact group.
+    let code = CodeSpec::new(CodeKind::ArrangedHot, LogicLevel::BINARY, 6)?.generate()?;
+    let layout = ContactGroupLayout::new(20, code.len() as u128, LayoutRules::paper_default())?;
+    let mut memory = CrossbarMemory::new(&code, layout.clone(), &code, layout)?;
+
+    println!("crossbar memory: {} x {} nanowires", memory.row_count(), memory.column_count());
+    println!("raw capacity:       {} bits", memory.raw_capacity());
+    println!("effective capacity: {} bits", memory.effective_capacity());
+
+    // Store a short message bit by bit in the usable crosspoints.
+    let message = b"MSPT";
+    let bits: Vec<bool> = message
+        .iter()
+        .flat_map(|byte| (0..8).rev().map(move |i| (byte >> i) & 1 == 1))
+        .collect();
+
+    let mut cursor = 0usize;
+    'outer: for row in 0..memory.row_count() {
+        for column in 0..memory.column_count() {
+            if cursor >= bits.len() {
+                break 'outer;
+            }
+            if memory.crosspoint_usable(row, column) {
+                memory.write(row, column, bits[cursor])?;
+                cursor += 1;
+            }
+        }
+    }
+    assert_eq!(cursor, bits.len(), "message must fit the effective capacity");
+
+    // Read it back.
+    let mut recovered_bits = Vec::with_capacity(bits.len());
+    let mut cursor = 0usize;
+    'outer: for row in 0..memory.row_count() {
+        for column in 0..memory.column_count() {
+            if cursor >= bits.len() {
+                break 'outer;
+            }
+            if memory.crosspoint_usable(row, column) {
+                recovered_bits.push(memory.read(row, column)?);
+                cursor += 1;
+            }
+        }
+    }
+    let recovered: Vec<u8> = recovered_bits
+        .chunks(8)
+        .map(|chunk| chunk.iter().fold(0u8, |acc, &bit| (acc << 1) | u8::from(bit)))
+        .collect();
+    println!("stored and recovered: {}", String::from_utf8_lossy(&recovered));
+    assert_eq!(&recovered, message);
+    Ok(())
+}

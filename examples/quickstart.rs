@@ -1,0 +1,35 @@
+//! Quickstart: design an MSPT nanowire decoder, evaluate it on the paper's
+//! 16 kB crossbar platform and print the quantities the paper reports.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mspt_nanowire_decoder::decoder::{CodeSelection, DecoderDesign};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A balanced-Gray-code decoder with 10 doping regions per nanowire —
+    // the configuration the paper finds to give the smallest bit area.
+    let design = DecoderDesign::builder()
+        .code(CodeSelection::BalancedGray)
+        .code_length(10)
+        .nanowires_per_half_cave(20)
+        .build()?;
+
+    let report = design.evaluate()?;
+
+    println!("MSPT nanowire-decoder quickstart");
+    println!("================================");
+    println!("code:                     {}", report.code);
+    println!("nanowires per half cave:  {}", report.nanowires_per_half_cave);
+    println!("fabrication steps (Φ):    {}", report.fabrication_steps);
+    println!("lithography passes:       {}", report.lithography_passes);
+    println!("distinct implant doses:   {}", report.distinct_doses);
+    println!("mean variability (σ_T²):  {:.2}", report.mean_variability);
+    println!("cave yield (Y):           {:.1}%", report.cave_yield * 100.0);
+    println!("crossbar yield (Y²):      {:.1}%", report.crossbar_yield * 100.0);
+    println!("effective bits:           {:.0}", report.effective_bits);
+    println!("raw bit area:             {:.1} nm²", report.raw_bit_area);
+    println!("effective bit area:       {:.1} nm²", report.effective_bit_area);
+    println!("contact groups:           {}", report.contact_groups);
+
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # MSPT Nanowire Decoder — facade crate
+//!
+//! This crate re-exports the public API of the workspace crates that together
+//! reproduce *"Decoding Nanowire Arrays Fabricated with the Multi-Spacer
+//! Patterning Technique"* (Ben Jamaa, Leblebici, De Micheli — DAC 2009).
+//!
+//! The individual crates are usable on their own; this facade exists so that
+//! examples, integration tests and downstream users can depend on a single
+//! crate.
+//!
+//! * [`codes`] — n-ary code spaces (tree, Gray, balanced Gray, hot, arranged hot)
+//! * [`physics`] — threshold-voltage / doping device model and Gaussian statistics
+//! * [`fabrication`] — MSPT pattern/doping/step matrices, fabrication complexity Φ and variability Σ
+//! * [`crossbar`] — crossbar geometry, contact groups, yield and area models
+//! * [`sim`] — the paper's Section 6 simulation platform and parameter sweeps
+//! * [`decoder`] — the top-level decoder design and optimisation API
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mspt_nanowire_decoder::decoder::{CodeSelection, DecoderDesign};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = DecoderDesign::builder()
+//!     .code(CodeSelection::BalancedGray)
+//!     .code_length(8)
+//!     .nanowires_per_half_cave(20)
+//!     .build()?;
+//! let report = design.evaluate()?;
+//! assert!(report.crossbar_yield > 0.0 && report.crossbar_yield <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use crossbar_array as crossbar;
+pub use decoder_sim as sim;
+pub use device_physics as physics;
+pub use mspt_decoder as decoder;
+pub use mspt_fabrication as fabrication;
+pub use nanowire_codes as codes;
+
+/// Convenience prelude importing the most commonly used types.
+pub mod prelude {
+    pub use crate::codes::{CodeKind, CodeSequence, CodeSpec, CodeWord, LogicLevel};
+    pub use crate::crossbar::{CrossbarSpec, LayoutRules};
+    pub use crate::decoder::{CodeSelection, DecoderDesign, DesignReport};
+    pub use crate::fabrication::{
+        FabricationCost, PatternMatrix, StepDopingMatrix, VariabilityMatrix,
+    };
+    pub use crate::physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
+    pub use crate::sim::{SimConfig, SimulationPlatform};
+}

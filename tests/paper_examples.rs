@@ -1,0 +1,138 @@
+//! Integration test: the worked examples of Sections 4 and 5 of the paper
+//! (Examples 1–6), exercised end to end through the facade crate.
+
+use mspt_nanowire_decoder::fabrication::{
+    threshold_matrix, DoseCountMatrix, FabricationCost, FabricationPlan, FinalDopingMatrix,
+    PatternMatrix, StepDopingMatrix, VariabilityMatrix,
+};
+use mspt_nanowire_decoder::physics::{DopingLadder, VariabilityModel};
+use nanowire_codes::LogicLevel;
+
+/// Example 1: the ternary pattern matrix with N = 3, M = 4.
+fn example_pattern() -> PatternMatrix {
+    PatternMatrix::from_rows(
+        vec![vec![0, 1, 2, 1], vec![0, 2, 2, 0], vec![1, 0, 1, 2]],
+        LogicLevel::TERNARY,
+    )
+    .expect("paper pattern is valid")
+}
+
+/// Example 5: the Gray-code arrangement of the same code space.
+fn gray_pattern() -> PatternMatrix {
+    PatternMatrix::from_rows(
+        vec![vec![0, 1, 2, 1], vec![0, 2, 2, 0], vec![1, 2, 1, 0]],
+        LogicLevel::TERNARY,
+    )
+    .expect("paper Gray pattern is valid")
+}
+
+#[test]
+fn example_1_threshold_and_doping_matrices() {
+    let ladder = DopingLadder::paper_example();
+    let pattern = example_pattern();
+
+    // V = P mapped through g, in units of 0.1 V.
+    let v = threshold_matrix(&pattern, &ladder).unwrap();
+    let v_tenths: Vec<Vec<i64>> = v
+        .iter_rows()
+        .map(|row| row.iter().map(|x| (x / 0.1).round() as i64).collect())
+        .collect();
+    assert_eq!(
+        v_tenths,
+        vec![vec![1, 3, 5, 3], vec![1, 5, 5, 1], vec![3, 1, 3, 5]]
+    );
+
+    // D = P mapped through h = f ∘ g, in units of 1e18 cm^-3.
+    let d = FinalDopingMatrix::from_pattern(&pattern, &ladder).unwrap();
+    assert_eq!(
+        d.in_1e18().to_rows(),
+        vec![
+            vec![2.0, 4.0, 9.0, 4.0],
+            vec![2.0, 9.0, 9.0, 2.0],
+            vec![4.0, 2.0, 4.0, 9.0]
+        ]
+    );
+}
+
+#[test]
+fn example_2_step_doping_matrix() {
+    let steps =
+        StepDopingMatrix::from_pattern(&example_pattern(), &DopingLadder::paper_example())
+            .unwrap();
+    assert_eq!(
+        steps.in_1e18().to_rows(),
+        vec![
+            vec![0.0, -5.0, 0.0, 2.0],
+            vec![-2.0, 7.0, 5.0, -7.0],
+            vec![4.0, 2.0, 4.0, 9.0]
+        ]
+    );
+    // Proposition 2: accumulating the steps recovers D.
+    let recovered = steps.accumulate();
+    assert_eq!(
+        recovered.in_1e18().to_rows(),
+        FinalDopingMatrix::from_pattern(&example_pattern(), &DopingLadder::paper_example())
+            .unwrap()
+            .in_1e18()
+            .to_rows()
+    );
+}
+
+#[test]
+fn example_3_fabrication_complexity() {
+    let cost =
+        FabricationCost::from_pattern(&example_pattern(), &DopingLadder::paper_example()).unwrap();
+    assert_eq!(cost.per_step(), &[2, 4, 3]);
+    assert_eq!(cost.total(), 9);
+}
+
+#[test]
+fn example_4_variability_matrix() {
+    let doses =
+        DoseCountMatrix::from_pattern(&example_pattern(), &DopingLadder::paper_example()).unwrap();
+    assert_eq!(
+        doses.as_matrix().to_rows(),
+        vec![vec![2, 3, 2, 3], vec![2, 2, 2, 2], vec![1, 1, 1, 1]]
+    );
+    let variability = VariabilityMatrix::new(doses, &VariabilityModel::paper_default());
+    assert_eq!(variability.l1_norm_in_sigma_units(), 22);
+}
+
+#[test]
+fn example_5_gray_arrangement_reduces_variability() {
+    let ladder = DopingLadder::paper_example();
+    let sigma = VariabilityModel::paper_default();
+    let gray = VariabilityMatrix::from_pattern(&gray_pattern(), &ladder, &sigma).unwrap();
+    assert_eq!(gray.l1_norm_in_sigma_units(), 18);
+    assert_eq!(
+        gray.dose_counts().as_matrix().to_rows(),
+        vec![vec![2, 2, 2, 2], vec![2, 1, 2, 1], vec![1, 1, 1, 1]]
+    );
+    let steps = StepDopingMatrix::from_pattern(&gray_pattern(), &ladder).unwrap();
+    assert_eq!(
+        steps.in_1e18().to_rows(),
+        vec![
+            vec![0.0, -5.0, 0.0, 2.0],
+            vec![-2.0, 0.0, 5.0, 0.0],
+            vec![4.0, 9.0, 4.0, 2.0]
+        ]
+    );
+}
+
+#[test]
+fn example_6_gray_arrangement_reduces_fabrication_cost() {
+    let cost =
+        FabricationCost::from_pattern(&gray_pattern(), &DopingLadder::paper_example()).unwrap();
+    assert_eq!(cost.per_step(), &[2, 2, 3]);
+    assert_eq!(cost.total(), 7);
+}
+
+#[test]
+fn the_examples_survive_an_event_level_process_replay() {
+    let ladder = DopingLadder::paper_example();
+    for pattern in [example_pattern(), gray_pattern()] {
+        let plan = FabricationPlan::for_pattern(&pattern, &ladder).unwrap();
+        let audit = plan.audit(&pattern, &ladder).unwrap();
+        assert_eq!(audit.lithography_passes, audit.fabrication_cost.total());
+    }
+}
