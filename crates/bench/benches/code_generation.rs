@@ -9,9 +9,10 @@ fn bench_code_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("code_generation");
     group.sample_size(20);
     for spec in benchmark_code_specs() {
-        group.bench_function(format!("{}_M{}", spec.kind().label(), spec.code_length()), |b| {
-            b.iter(|| spec.generate().expect("code generation"))
-        });
+        group.bench_function(
+            format!("{}_M{}", spec.kind().label(), spec.code_length()),
+            |b| b.iter(|| spec.generate().expect("code generation")),
+        );
     }
     group.finish();
 }

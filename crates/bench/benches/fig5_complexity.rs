@@ -28,7 +28,11 @@ fn bench_fig5(c: &mut Criterion) {
         })
     });
 
-    for radix in [LogicLevel::BINARY, LogicLevel::TERNARY, LogicLevel::QUATERNARY] {
+    for radix in [
+        LogicLevel::BINARY,
+        LogicLevel::TERNARY,
+        LogicLevel::QUATERNARY,
+    ] {
         group.bench_function(format!("single_point_gc_{radix}"), |b| {
             b.iter(|| {
                 complexity_sweep(&base, &[CodeKind::Gray], &[radix], 8, 10).expect("fig5 point")

@@ -18,9 +18,7 @@ fn bench_fig7(c: &mut Criterion) {
         (CodeKind::ArrangedHot, vec![4, 6, 8]),
     ] {
         group.bench_function(format!("{}_series", kind.label()), |b| {
-            b.iter(|| {
-                yield_sweep(&base, kind, LogicLevel::BINARY, &lengths).expect("fig7 series")
-            })
+            b.iter(|| yield_sweep(&base, kind, LogicLevel::BINARY, &lengths).expect("fig7 series"))
         });
     }
     group.finish();

@@ -10,9 +10,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::arrangement::{arrange_min_transitions, ArrangementStrategy, SearchBudget};
 use crate::digit::{Digit, LogicLevel};
-use crate::error::Result;
 #[cfg(test)]
 use crate::error::CodeError;
+use crate::error::Result;
 use crate::hot::{hot_code, HotCodeParams};
 use crate::sequence::CodeSequence;
 use crate::word::CodeWord;
@@ -130,10 +130,7 @@ fn revolving_door_code(params: HotCodeParams) -> Result<CodeSequence> {
 
 /// Backtracking search for a Hamiltonian path of the distance-2 graph of a
 /// hot-code space. Returns `Ok(None)` when the node budget is exhausted.
-fn search_distance_two_path(
-    space: &CodeSequence,
-    max_nodes: u64,
-) -> Result<Option<CodeSequence>> {
+fn search_distance_two_path(space: &CodeSequence, max_nodes: u64) -> Result<Option<CodeSequence>> {
     let words = space.words();
     let count = words.len();
     if count <= 1 {
@@ -157,12 +154,7 @@ fn search_distance_two_path(
         max_nodes: u64,
     }
 
-    fn dfs(
-        ctx: &Ctx<'_>,
-        visited: &mut Vec<bool>,
-        path: &mut Vec<usize>,
-        nodes: &mut u64,
-    ) -> bool {
+    fn dfs(ctx: &Ctx<'_>, visited: &mut Vec<bool>, path: &mut Vec<usize>, nodes: &mut u64) -> bool {
         if path.len() == ctx.count {
             return true;
         }
@@ -178,10 +170,7 @@ fn search_distance_two_path(
             .copied()
             .filter(|&next| !visited[next])
             .map(|next| {
-                let remaining = ctx.adjacency[next]
-                    .iter()
-                    .filter(|&&n| !visited[n])
-                    .count();
+                let remaining = ctx.adjacency[next].iter().filter(|&&n| !visited[n]).count();
                 (remaining, next)
             })
             .collect();
@@ -249,9 +238,8 @@ mod tests {
     #[test]
     fn binary_arranged_hot_codes_have_distance_two() {
         for length in [4usize, 6, 8, 10] {
-            let ahc =
-                arranged_hot_code(LogicLevel::BINARY, length, ArrangedHotBudget::default())
-                    .unwrap();
+            let ahc = arranged_hot_code(LogicLevel::BINARY, length, ArrangedHotBudget::default())
+                .unwrap();
             assert!(ahc.has_uniform_distance(2), "length {length}");
             assert!(ahc.all_words_distinct());
             let hc = hot_code(LogicLevel::BINARY, length).unwrap();
@@ -280,8 +268,7 @@ mod tests {
     fn ternary_arranged_hot_code_reaches_distance_two() {
         // The ternary (6, 2) hot code has 90 words; the distance-2 graph is
         // dense enough for the search to find a revolving-door-style path.
-        let ahc =
-            arranged_hot_code(LogicLevel::TERNARY, 6, ArrangedHotBudget::default()).unwrap();
+        let ahc = arranged_hot_code(LogicLevel::TERNARY, 6, ArrangedHotBudget::default()).unwrap();
         assert!(ahc.has_uniform_distance(2));
         assert_eq!(ahc.len(), 90);
     }

@@ -19,6 +19,7 @@ use crate::word::CodeWord;
 /// Strategy used to arrange a set of code words.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum ArrangementStrategy {
     /// Branch-and-bound search for a provably minimal arrangement. Falls back
     /// to [`ArrangementStrategy::GreedyTwoOpt`] when the search budget is
@@ -27,13 +28,8 @@ pub enum ArrangementStrategy {
     /// Greedy nearest-neighbour construction.
     Greedy,
     /// Greedy construction followed by 2-opt local improvement.
+    #[default]
     GreedyTwoOpt,
-}
-
-impl Default for ArrangementStrategy {
-    fn default() -> Self {
-        ArrangementStrategy::GreedyTwoOpt
-    }
 }
 
 /// Tunable limits for arrangement search.
@@ -180,7 +176,7 @@ fn greedy_order(distances: &[Vec<usize>]) -> Vec<usize> {
             current = next;
         }
         let cost = path_cost(&order, distances);
-        if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
             best = Some((cost, order));
         }
     }
@@ -189,7 +185,7 @@ fn greedy_order(distances: &[Vec<usize>]) -> Vec<usize> {
 
 /// 2-opt local improvement: repeatedly reverse sub-paths while that reduces
 /// the path cost.
-fn two_opt(order: &mut Vec<usize>, distances: &[Vec<usize>], max_sweeps: u32) {
+fn two_opt(order: &mut [usize], distances: &[Vec<usize>], max_sweeps: u32) {
     let n = order.len();
     if n < 4 {
         return;
@@ -360,7 +356,11 @@ pub fn check_is_permutation(sequence: &CodeSequence, words: &[CodeWord]) -> Resu
     actual.sort();
     if expected.len() != actual.len() {
         return Err(CodeError::WordNotInSpace {
-            word: format!("sequence has {} words, space has {}", actual.len(), expected.len()),
+            word: format!(
+                "sequence has {} words, space has {}",
+                actual.len(),
+                expected.len()
+            ),
         });
     }
     for (e, a) in expected.iter().zip(actual.iter()) {
@@ -461,12 +461,9 @@ mod tests {
             max_nodes: 10,
             max_two_opt_sweeps: 4,
         };
-        let arranged = arrange_min_transitions(
-            hc.words().to_vec(),
-            ArrangementStrategy::Exhaustive,
-            tight,
-        )
-        .unwrap();
+        let arranged =
+            arrange_min_transitions(hc.words().to_vec(), ArrangementStrategy::Exhaustive, tight)
+                .unwrap();
         // With an absurdly small budget the result is still a valid
         // permutation, just not proven optimal.
         assert!(!arranged.proven_optimal);
@@ -476,7 +473,10 @@ mod tests {
     #[test]
     fn permutation_check_detects_mismatch() {
         let tc = tree_code(LogicLevel::BINARY, 2).unwrap();
-        let other = tree_code(LogicLevel::BINARY, 2).unwrap().take_prefix(3).unwrap();
+        let other = tree_code(LogicLevel::BINARY, 2)
+            .unwrap()
+            .take_prefix(3)
+            .unwrap();
         assert!(check_is_permutation(&other, tc.words()).is_err());
         assert!(check_is_permutation(&tc, tc.words()).is_ok());
     }

@@ -268,7 +268,13 @@ fn search_balanced_path(
         place: &place,
     };
 
-    if dfs(&ctx, &mut visited, &mut digit_changes, &mut path, &mut nodes) {
+    if dfs(
+        &ctx,
+        &mut visited,
+        &mut digit_changes,
+        &mut path,
+        &mut nodes,
+    ) {
         let words: Option<Vec<CodeWord>> = path
             .into_iter()
             .map(|index| CodeWord::from_index(index as u128, base_length, radix).ok())
@@ -287,9 +293,8 @@ mod tests {
     #[test]
     fn binary_balanced_gray_codes_are_gray_and_complete() {
         for base_length in 2..=5 {
-            let bgc =
-                balanced_gray_code(LogicLevel::BINARY, base_length, BalanceBudget::default())
-                    .unwrap();
+            let bgc = balanced_gray_code(LogicLevel::BINARY, base_length, BalanceBudget::default())
+                .unwrap();
             assert!(is_complete_gray_arrangement(&bgc), "m = {base_length}");
         }
     }
@@ -297,9 +302,8 @@ mod tests {
     #[test]
     fn binary_balanced_gray_code_is_more_balanced_than_reflected() {
         for base_length in 4..=5 {
-            let bgc =
-                balanced_gray_code(LogicLevel::BINARY, base_length, BalanceBudget::default())
-                    .unwrap();
+            let bgc = balanced_gray_code(LogicLevel::BINARY, base_length, BalanceBudget::default())
+                .unwrap();
             let gc = gray_code(LogicLevel::BINARY, base_length).unwrap();
             let balanced = balance_report(&bgc);
             let standard = balance_report(&gc);

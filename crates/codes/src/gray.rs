@@ -81,12 +81,7 @@ pub fn gray_code(radix: LogicLevel, base_length: usize) -> Result<CodeSequence> 
 
     let words: Result<Vec<CodeWord>> = sequence
         .into_iter()
-        .map(|values| {
-            CodeWord::new(
-                values.into_iter().map(Digit::new).collect(),
-                radix,
-            )
-        })
+        .map(|values| CodeWord::new(values.into_iter().map(Digit::new).collect(), radix))
         .collect();
     CodeSequence::new(words?)
 }
@@ -135,7 +130,11 @@ mod tests {
 
     #[test]
     fn gray_codes_have_the_gray_property_for_all_radices() {
-        for radix in [LogicLevel::BINARY, LogicLevel::TERNARY, LogicLevel::QUATERNARY] {
+        for radix in [
+            LogicLevel::BINARY,
+            LogicLevel::TERNARY,
+            LogicLevel::QUATERNARY,
+        ] {
             for base_length in 1..=4 {
                 let gc = gray_code(radix, base_length).unwrap();
                 assert!(gc.is_gray(), "{radix} base length {base_length}");

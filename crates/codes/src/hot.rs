@@ -31,7 +31,7 @@ impl HotCodeParams {
     /// Returns [`CodeError::InvalidHotLength`] when `word_length` is zero or
     /// not a multiple of the radix.
     pub fn for_length(word_length: usize, radix: LogicLevel) -> Result<Self> {
-        if word_length == 0 || word_length % radix.radix_usize() != 0 {
+        if word_length == 0 || !word_length.is_multiple_of(radix.radix_usize()) {
             return Err(CodeError::InvalidHotLength {
                 length: word_length,
                 radix: radix.radix(),
@@ -48,7 +48,11 @@ impl HotCodeParams {
     /// `M! / (k!)^n`, saturating at `u128::MAX`.
     #[must_use]
     pub fn space_size(&self) -> u128 {
-        multinomial_equal_parts(self.word_length, self.multiplicity, self.radix.radix_usize())
+        multinomial_equal_parts(
+            self.word_length,
+            self.multiplicity,
+            self.radix.radix_usize(),
+        )
     }
 }
 
@@ -179,7 +183,10 @@ mod tests {
         assert!(HotCodeParams::for_length(6, LogicLevel::TERNARY).is_ok());
         assert!(matches!(
             HotCodeParams::for_length(5, LogicLevel::TERNARY),
-            Err(CodeError::InvalidHotLength { length: 5, radix: 3 })
+            Err(CodeError::InvalidHotLength {
+                length: 5,
+                radix: 3
+            })
         ));
         assert!(HotCodeParams::for_length(0, LogicLevel::BINARY).is_err());
     }

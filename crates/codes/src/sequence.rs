@@ -374,10 +374,7 @@ mod tests {
 
     #[test]
     fn transition_totals() {
-        let s = seq(
-            &[&[0, 0], &[0, 1], &[1, 1], &[0, 0]],
-            LogicLevel::BINARY,
-        );
+        let s = seq(&[&[0, 0], &[0, 1], &[1, 1], &[0, 0]], LogicLevel::BINARY);
         assert_eq!(s.total_transitions(), 1 + 1 + 2);
         assert_eq!(s.transition_profile(), vec![1, 1, 2]);
         assert_eq!(s.transitions_per_digit(), vec![2, 2]);

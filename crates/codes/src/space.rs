@@ -14,8 +14,8 @@ use crate::balanced::{reflected_balanced_gray_code, BalanceBudget};
 use crate::digit::LogicLevel;
 use crate::error::{CodeError, Result};
 use crate::gray::reflected_gray_code;
-use crate::hot::{hot_space_size, HotCodeParams};
 use crate::hot::hot_code;
+use crate::hot::{hot_space_size, HotCodeParams};
 use crate::sequence::CodeSequence;
 use crate::tree::{base_length_of, reflected_tree_code, tree_space_size};
 
@@ -217,7 +217,11 @@ impl CodeSpec {
     /// The valid code lengths of this family and radix within a range,
     /// convenient for parameter sweeps (Figs. 7 and 8 sweep `M`).
     #[must_use]
-    pub fn valid_lengths(kind: CodeKind, radix: LogicLevel, range: std::ops::RangeInclusive<usize>) -> Vec<usize> {
+    pub fn valid_lengths(
+        kind: CodeKind,
+        radix: LogicLevel,
+        range: std::ops::RangeInclusive<usize>,
+    ) -> Vec<usize> {
         range
             .filter(|&m| CodeSpec::new(kind, radix, m).is_ok())
             .collect()

@@ -158,9 +158,7 @@ mod tests {
         let gc = reflected_gray_code(LogicLevel::TERNARY, 6).unwrap();
         let comparison = compare_arrangements(&tc, &gc);
         assert!(comparison.transition_reduction > 0.0);
-        assert!(
-            comparison.optimised.total_transitions < comparison.baseline.total_transitions
-        );
+        assert!(comparison.optimised.total_transitions < comparison.baseline.total_transitions);
         // Comparing an arrangement against itself reports no reduction.
         let same = compare_arrangements(&gc, &gc);
         assert_eq!(same.transition_reduction, 0.0);

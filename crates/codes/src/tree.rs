@@ -93,7 +93,7 @@ pub fn base_length_of(code_length: usize) -> Result<usize> {
     if code_length == 0 {
         return Err(CodeError::InvalidLength { length: 0 });
     }
-    if code_length % 2 != 0 {
+    if !code_length.is_multiple_of(2) {
         return Err(CodeError::OddReflectedLength {
             length: code_length,
         });

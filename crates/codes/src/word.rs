@@ -197,7 +197,7 @@ impl CodeWord {
     /// or [`CodeError::WordNotInSpace`] when the second half is not the
     /// complement of the first (i.e. the word is not a reflection).
     pub fn unreflected(&self) -> Result<CodeWord> {
-        if self.len() % 2 != 0 {
+        if !self.len().is_multiple_of(2) {
             return Err(CodeError::OddReflectedLength { length: self.len() });
         }
         let half = self.len() / 2;

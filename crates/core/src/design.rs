@@ -350,7 +350,10 @@ mod tests {
         assert_eq!(design.code().kind(), CodeKind::Hot);
         assert_eq!(design.code().radix(), LogicLevel::TERNARY);
         assert_eq!(design.config().raw_bits(), 65_536);
-        assert_eq!(design.config().sigma_per_dose(), Volts::from_millivolts(30.0));
+        assert_eq!(
+            design.config().sigma_per_dose(),
+            Volts::from_millivolts(30.0)
+        );
         assert_eq!(design.config().decision_window().unwrap(), Volts::new(0.12));
     }
 

@@ -109,7 +109,10 @@ fn collect_distinct_doses(plan: &FabricationPlan) -> Vec<f64> {
     let mut doses: Vec<f64> = Vec::new();
     for event in plan.events() {
         if let ProcessEvent::LithographyDoping { dose, .. } = event {
-            if !doses.iter().any(|&d| (d - dose).abs() <= 1e-9 * dose.abs().max(1.0)) {
+            if !doses
+                .iter()
+                .any(|&d| (d - dose).abs() <= 1e-9 * dose.abs().max(1.0))
+            {
                 doses.push(*dose);
             }
         }

@@ -329,8 +329,8 @@ mod tests {
         // boundary rounding marked it ambiguous (the boundary at 5 marks
         // positions 4 and 5 with a rounded count of 2).
         assert_ne!(kinds[0], PositionKind::Unaddressed);
-        assert!(kinds.iter().any(|k| *k == PositionKind::Ambiguous));
-        assert!(kinds.iter().any(|k| *k == PositionKind::Unaddressed));
+        assert!(kinds.contains(&PositionKind::Ambiguous));
+        assert!(kinds.contains(&PositionKind::Unaddressed));
         // Classification is consistent with the geometric fraction: the
         // addressable count differs from the expectation by at most the
         // rounding of the ambiguity model.

@@ -243,9 +243,7 @@ mod tests {
         let composite = DefectModel::ideal().compose_with(&decoder);
         assert_eq!(composite.defect_survival, 1.0);
         assert!((composite.crossbar_yield - decoder.crossbar_yield()).abs() < 1e-12);
-        assert!(
-            (composite.effective_bits(1_000) - decoder.effective_bits(1_000)).abs() < 1e-9
-        );
+        assert!((composite.effective_bits(1_000) - decoder.effective_bits(1_000)).abs() < 1e-9);
     }
 
     #[test]
@@ -256,8 +254,7 @@ mod tests {
         let expected_survival = 0.95 * 0.95 * 0.98;
         assert!((composite.defect_survival - expected_survival).abs() < 1e-12);
         assert!(
-            (composite.crossbar_yield - decoder.crossbar_yield() * expected_survival).abs()
-                < 1e-12
+            (composite.crossbar_yield - decoder.crossbar_yield() * expected_survival).abs() < 1e-12
         );
         assert!(composite.crossbar_yield < composite.decoder_yield);
     }

@@ -195,12 +195,9 @@ mod tests {
             .unwrap()
             .generate()
             .unwrap();
-        let layout = ContactGroupLayout::new(
-            nanowires,
-            code.len() as u128,
-            LayoutRules::paper_default(),
-        )
-        .unwrap();
+        let layout =
+            ContactGroupLayout::new(nanowires, code.len() as u128, LayoutRules::paper_default())
+                .unwrap();
         CrossbarMemory::new(&code, layout.clone(), &code, layout).unwrap()
     }
 

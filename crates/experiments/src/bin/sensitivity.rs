@@ -32,9 +32,21 @@ fn print_sweep(sweep: &SensitivitySweep) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = mspt_experiments::paper_base_config()?;
-    print_sweep(&sigma_sensitivity(&base, &[20.0, 35.0, 50.0, 65.0, 80.0], 8)?);
-    print_sweep(&window_sensitivity(&base, &[150.0, 200.0, 250.0, 300.0], 8)?);
-    print_sweep(&alignment_sensitivity(&base, &[0.0, 8.0, 16.0, 24.0, 32.0], 8)?);
+    print_sweep(&sigma_sensitivity(
+        &base,
+        &[20.0, 35.0, 50.0, 65.0, 80.0],
+        8,
+    )?);
+    print_sweep(&window_sensitivity(
+        &base,
+        &[150.0, 200.0, 250.0, 300.0],
+        8,
+    )?);
+    print_sweep(&alignment_sensitivity(
+        &base,
+        &[0.0, 8.0, 16.0, 24.0, 32.0],
+        8,
+    )?);
     print_sweep(&half_cave_sensitivity(&base, &[10, 20, 30, 40], 8)?);
     Ok(())
 }

@@ -140,7 +140,10 @@ pub fn fig8_report() -> Result<Fig8Report> {
     for kind in [CodeKind::Hot, CodeKind::ArrangedHot] {
         let mut lengths = HOT_FAMILY_LENGTHS.to_vec();
         lengths.push(10);
-        series.push((kind, bit_area_sweep(&base, kind, LogicLevel::BINARY, &lengths)?));
+        series.push((
+            kind,
+            bit_area_sweep(&base, kind, LogicLevel::BINARY, &lengths)?,
+        ));
     }
     Ok(Fig8Report { series })
 }
@@ -294,14 +297,24 @@ pub fn headline_numbers() -> Result<HeadlineNumbers> {
     let bgc_variability = mean_variability(CodeKind::BalancedGray)?;
 
     // Fig. 7 inputs.
-    let tc_yield = yield_sweep(&base, CodeKind::Tree, LogicLevel::BINARY, &TREE_FAMILY_LENGTHS)?;
+    let tc_yield = yield_sweep(
+        &base,
+        CodeKind::Tree,
+        LogicLevel::BINARY,
+        &TREE_FAMILY_LENGTHS,
+    )?;
     let bgc_yield = yield_sweep(
         &base,
         CodeKind::BalancedGray,
         LogicLevel::BINARY,
         &TREE_FAMILY_LENGTHS,
     )?;
-    let hc_yield = yield_sweep(&base, CodeKind::Hot, LogicLevel::BINARY, &HOT_FAMILY_LENGTHS)?;
+    let hc_yield = yield_sweep(
+        &base,
+        CodeKind::Hot,
+        LogicLevel::BINARY,
+        &HOT_FAMILY_LENGTHS,
+    )?;
     let ahc_yield = yield_sweep(
         &base,
         CodeKind::ArrangedHot,
@@ -317,14 +330,24 @@ pub fn headline_numbers() -> Result<HeadlineNumbers> {
     };
 
     // Fig. 8 inputs.
-    let tc_area = bit_area_sweep(&base, CodeKind::Tree, LogicLevel::BINARY, &TREE_FAMILY_LENGTHS)?;
+    let tc_area = bit_area_sweep(
+        &base,
+        CodeKind::Tree,
+        LogicLevel::BINARY,
+        &TREE_FAMILY_LENGTHS,
+    )?;
     let bgc_area = bit_area_sweep(
         &base,
         CodeKind::BalancedGray,
         LogicLevel::BINARY,
         &[6, 8, 10],
     )?;
-    let hc_area = bit_area_sweep(&base, CodeKind::Hot, LogicLevel::BINARY, &HOT_FAMILY_LENGTHS)?;
+    let hc_area = bit_area_sweep(
+        &base,
+        CodeKind::Hot,
+        LogicLevel::BINARY,
+        &HOT_FAMILY_LENGTHS,
+    )?;
     let ahc_area = bit_area_sweep(
         &base,
         CodeKind::ArrangedHot,
@@ -384,7 +407,9 @@ mod tests {
                 .fabrication_steps
         };
         assert_eq!(phi(CodeKind::Tree, LogicLevel::BINARY), 20);
-        assert!(phi(CodeKind::Gray, LogicLevel::TERNARY) <= phi(CodeKind::Tree, LogicLevel::TERNARY));
+        assert!(
+            phi(CodeKind::Gray, LogicLevel::TERNARY) <= phi(CodeKind::Tree, LogicLevel::TERNARY)
+        );
     }
 
     #[test]

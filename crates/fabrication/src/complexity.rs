@@ -40,9 +40,9 @@ impl FabricationCost {
     ///
     /// Propagates the errors of [`StepDopingMatrix::from_pattern`].
     pub fn from_pattern(pattern: &PatternMatrix, ladder: &DopingLadder) -> Result<Self> {
-        Ok(FabricationCost::from_steps(&StepDopingMatrix::from_pattern(
-            pattern, ladder,
-        )?))
+        Ok(FabricationCost::from_steps(
+            &StepDopingMatrix::from_pattern(pattern, ladder)?,
+        ))
     }
 
     /// Computes the cost of a code sequence used as the patterns of
@@ -118,8 +118,7 @@ mod tests {
             LogicLevel::TERNARY,
         )
         .unwrap();
-        let cost =
-            FabricationCost::from_pattern(&pattern, &DopingLadder::paper_example()).unwrap();
+        let cost = FabricationCost::from_pattern(&pattern, &DopingLadder::paper_example()).unwrap();
         assert_eq!(cost.per_step(), &[2, 4, 3]);
         assert_eq!(cost.total(), 9);
         assert_eq!(cost.step_count(), 3);
@@ -133,8 +132,7 @@ mod tests {
             LogicLevel::TERNARY,
         )
         .unwrap();
-        let cost =
-            FabricationCost::from_pattern(&pattern, &DopingLadder::paper_example()).unwrap();
+        let cost = FabricationCost::from_pattern(&pattern, &DopingLadder::paper_example()).unwrap();
         assert_eq!(cost.per_step(), &[2, 2, 3]);
         assert_eq!(cost.total(), 7);
     }
@@ -190,11 +188,8 @@ mod tests {
 
     #[test]
     fn relative_saving_edge_cases() {
-        let pattern = PatternMatrix::from_rows(
-            vec![vec![0, 1], vec![1, 0]],
-            LogicLevel::BINARY,
-        )
-        .unwrap();
+        let pattern =
+            PatternMatrix::from_rows(vec![vec![0, 1], vec![1, 0]], LogicLevel::BINARY).unwrap();
         let ladder = ladder_for(LogicLevel::BINARY);
         let cost = FabricationCost::from_pattern(&pattern, &ladder).unwrap();
         assert_eq!(relative_saving(&cost, &cost), 0.0);

@@ -103,7 +103,9 @@ impl FinalDopingMatrix {
     ///
     /// Returns [`FabricationError::IndexOutOfBounds`] for invalid positions.
     pub fn level(&self, nanowire: usize, region: usize) -> Result<DopantConcentration> {
-        Ok(DopantConcentration::new(*self.levels.get(nanowire, region)?))
+        Ok(DopantConcentration::new(
+            *self.levels.get(nanowire, region)?,
+        ))
     }
 
     /// The underlying matrix in cm⁻³.
@@ -164,7 +166,7 @@ pub fn threshold_matrix(pattern: &PatternMatrix, ladder: &DopingLadder) -> Resul
         }
         rows.push(row);
     }
-    Ok(Matrix::from_rows(rows)?)
+    Matrix::from_rows(rows)
 }
 
 /// The nominal threshold voltage of a single region of a pattern.
@@ -237,7 +239,10 @@ mod tests {
         .unwrap();
         assert!(matches!(
             FinalDopingMatrix::from_pattern(&paper_pattern(), &binary_ladder),
-            Err(FabricationError::LadderTooSmall { levels: 2, radix: 3 })
+            Err(FabricationError::LadderTooSmall {
+                levels: 2,
+                radix: 3
+            })
         ));
         assert!(threshold_matrix(&paper_pattern(), &binary_ladder).is_err());
     }
@@ -253,8 +258,8 @@ mod tests {
 
     #[test]
     fn explicit_1e18_constructor() {
-        let doping = FinalDopingMatrix::from_rows_1e18(vec![vec![2.0, 4.0], vec![9.0, 2.0]])
-            .unwrap();
+        let doping =
+            FinalDopingMatrix::from_rows_1e18(vec![vec![2.0, 4.0], vec![9.0, 2.0]]).unwrap();
         assert!((doping.level(1, 0).unwrap().value() - 9e18).abs() < 1.0);
         assert!(doping.level(2, 0).is_err());
         assert!(FinalDopingMatrix::from_rows_1e18(vec![]).is_err());

@@ -116,9 +116,8 @@ mod tests {
         assert!(code_err.to_string().contains("code error"));
         assert!(code_err.source().is_some());
 
-        let physics_err = FabricationError::from(PhysicsError::SolverDidNotConverge {
-            iterations: 10,
-        });
+        let physics_err =
+            FabricationError::from(PhysicsError::SolverDidNotConverge { iterations: 10 });
         assert!(physics_err.to_string().contains("device-physics"));
         assert!(physics_err.source().is_some());
 

@@ -55,10 +55,7 @@ impl<T> Matrix<T> {
         for (index, row) in rows.into_iter().enumerate() {
             if row.len() != columns {
                 return Err(FabricationError::InvalidMatrixShape {
-                    reason: format!(
-                        "row {index} has {} elements, expected {columns}",
-                        row.len()
-                    ),
+                    reason: format!("row {index} has {} elements, expected {columns}", row.len()),
                 });
             }
             data.extend(row);

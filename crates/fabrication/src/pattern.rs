@@ -183,7 +183,7 @@ impl PatternMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nanowire_codes::{reflected_gray_code, CodeSpec, CodeKind};
+    use nanowire_codes::{reflected_gray_code, CodeKind, CodeSpec};
 
     fn paper_pattern() -> PatternMatrix {
         PatternMatrix::from_rows(
@@ -196,16 +196,8 @@ mod tests {
     #[test]
     fn construction_validates_digits_and_shape() {
         assert!(paper_pattern().nanowire_count() == 3);
-        assert!(PatternMatrix::from_rows(
-            vec![vec![0, 3]],
-            LogicLevel::TERNARY
-        )
-        .is_err());
-        assert!(PatternMatrix::from_rows(
-            vec![vec![0, 1], vec![1]],
-            LogicLevel::TERNARY
-        )
-        .is_err());
+        assert!(PatternMatrix::from_rows(vec![vec![0, 3]], LogicLevel::TERNARY).is_err());
+        assert!(PatternMatrix::from_rows(vec![vec![0, 1], vec![1]], LogicLevel::TERNARY).is_err());
         assert!(PatternMatrix::from_rows(vec![], LogicLevel::BINARY).is_err());
     }
 

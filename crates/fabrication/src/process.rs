@@ -181,7 +181,11 @@ impl FabricationPlan {
                         });
                     }
                 }
-                ProcessEvent::LithographyDoping { step, dose, regions } => {
+                ProcessEvent::LithographyDoping {
+                    step,
+                    dose,
+                    regions,
+                } => {
                     if *step >= n || !defined[*step] {
                         return Err(FabricationError::PlanMismatch {
                             reason: format!(
@@ -313,8 +317,7 @@ mod tests {
     #[test]
     fn plan_structure_for_the_paper_example() {
         let plan =
-            FabricationPlan::for_pattern(&paper_pattern(), &DopingLadder::paper_example())
-                .unwrap();
+            FabricationPlan::for_pattern(&paper_pattern(), &DopingLadder::paper_example()).unwrap();
         assert_eq!(plan.nanowire_count(), 3);
         assert_eq!(plan.region_count(), 4);
         assert_eq!(plan.spacer_definition_count(), 3);
@@ -384,16 +387,12 @@ mod tests {
             .unwrap()
             .take_cyclic(10)
             .unwrap();
-        let tree_plan = FabricationPlan::for_pattern(
-            &PatternMatrix::from_sequence(&tree).unwrap(),
-            &ladder,
-        )
-        .unwrap();
-        let gray_plan = FabricationPlan::for_pattern(
-            &PatternMatrix::from_sequence(&gray).unwrap(),
-            &ladder,
-        )
-        .unwrap();
+        let tree_plan =
+            FabricationPlan::for_pattern(&PatternMatrix::from_sequence(&tree).unwrap(), &ladder)
+                .unwrap();
+        let gray_plan =
+            FabricationPlan::for_pattern(&PatternMatrix::from_sequence(&gray).unwrap(), &ladder)
+                .unwrap();
         assert!(gray_plan.lithography_pass_count() < tree_plan.lithography_pass_count());
     }
 }

@@ -155,8 +155,8 @@ impl StepDopingMatrix {
         // sum of the step doses.
         let mut suffix = vec![0.0; m];
         for i in (0..n).rev() {
-            for j in 0..m {
-                suffix[j] += *self.doses.get(i, j).expect("in range");
+            for (j, acc) in suffix.iter_mut().enumerate() {
+                *acc += *self.doses.get(i, j).expect("in range");
             }
             rows[i] = suffix.clone();
         }
@@ -230,9 +230,8 @@ mod tests {
 
     #[test]
     fn paper_example_5_gray_step_matrix() {
-        let steps =
-            StepDopingMatrix::from_pattern(&gray_pattern(), &DopingLadder::paper_example())
-                .unwrap();
+        let steps = StepDopingMatrix::from_pattern(&gray_pattern(), &DopingLadder::paper_example())
+            .unwrap();
         let s = steps.in_1e18();
         assert_eq!(s.row(0), &[0.0, -5.0, 0.0, 2.0]);
         assert_eq!(s.row(1), &[-2.0, 0.0, 5.0, 0.0]);
@@ -270,9 +269,8 @@ mod tests {
 
     #[test]
     fn distinct_dose_counts_match_example_6_for_the_gray_code() {
-        let steps =
-            StepDopingMatrix::from_pattern(&gray_pattern(), &DopingLadder::paper_example())
-                .unwrap();
+        let steps = StepDopingMatrix::from_pattern(&gray_pattern(), &DopingLadder::paper_example())
+            .unwrap();
         // Example 6: φ = (2, 2, 3), Φ = 7.
         assert_eq!(steps.distinct_doses_per_step(), vec![2, 2, 3]);
     }

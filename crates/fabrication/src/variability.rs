@@ -36,10 +36,10 @@ impl DoseCountMatrix {
         let mut rows = vec![vec![0usize; m]; n];
         let mut suffix = vec![0usize; m];
         for i in (0..n).rev() {
-            for j in 0..m {
+            for (j, count) in suffix.iter_mut().enumerate() {
                 let dose = steps.dose(i, j).expect("in range");
                 if steps.is_nonzero_dose(dose) {
-                    suffix[j] += 1;
+                    *count += 1;
                 }
             }
             rows[i] = suffix.clone();
@@ -55,9 +55,9 @@ impl DoseCountMatrix {
     ///
     /// Propagates the errors of [`StepDopingMatrix::from_pattern`].
     pub fn from_pattern(pattern: &PatternMatrix, ladder: &DopingLadder) -> Result<Self> {
-        Ok(DoseCountMatrix::from_steps(&StepDopingMatrix::from_pattern(
-            pattern, ladder,
-        )?))
+        Ok(DoseCountMatrix::from_steps(
+            &StepDopingMatrix::from_pattern(pattern, ladder)?,
+        ))
     }
 
     /// Number of nanowires `N`.
@@ -291,14 +291,12 @@ mod tests {
 
     #[test]
     fn paper_example_4_dose_counts() {
-        let doses =
-            DoseCountMatrix::from_pattern(&paper_pattern(), &DopingLadder::paper_example())
-                .unwrap();
-        assert_eq!(doses.as_matrix().to_rows(), vec![
-            vec![2, 3, 2, 3],
-            vec![2, 2, 2, 2],
-            vec![1, 1, 1, 1],
-        ]);
+        let doses = DoseCountMatrix::from_pattern(&paper_pattern(), &DopingLadder::paper_example())
+            .unwrap();
+        assert_eq!(
+            doses.as_matrix().to_rows(),
+            vec![vec![2, 3, 2, 3], vec![2, 2, 2, 2], vec![1, 1, 1, 1],]
+        );
         assert_eq!(doses.total(), 22);
         assert_eq!(doses.max(), 3);
         assert_eq!(doses.nanowire_count(), 3);
@@ -308,13 +306,11 @@ mod tests {
     #[test]
     fn paper_example_5_gray_dose_counts() {
         let doses =
-            DoseCountMatrix::from_pattern(&gray_pattern(), &DopingLadder::paper_example())
-                .unwrap();
-        assert_eq!(doses.as_matrix().to_rows(), vec![
-            vec![2, 2, 2, 2],
-            vec![2, 1, 2, 1],
-            vec![1, 1, 1, 1],
-        ]);
+            DoseCountMatrix::from_pattern(&gray_pattern(), &DopingLadder::paper_example()).unwrap();
+        assert_eq!(
+            doses.as_matrix().to_rows(),
+            vec![vec![2, 2, 2, 2], vec![2, 1, 2, 1], vec![1, 1, 1, 1],]
+        );
         assert_eq!(doses.total(), 18);
     }
 
@@ -331,9 +327,7 @@ mod tests {
         assert_eq!(variability.l1_norm_in_sigma_units(), 22);
         assert!((variability.l1_norm() - 22.0 * sigma * sigma).abs() < 1e-12);
         assert!((variability.variance(0, 1).unwrap() - 3.0 * sigma * sigma).abs() < 1e-12);
-        assert!(
-            (variability.std_dev(0, 1).unwrap().value() - sigma * 3f64.sqrt()).abs() < 1e-12
-        );
+        assert!((variability.std_dev(0, 1).unwrap().value() - sigma * 3f64.sqrt()).abs() < 1e-12);
         assert!((variability.normalized_std_dev(0, 1).unwrap() - 3f64.sqrt()).abs() < 1e-12);
         assert!(variability.variance(9, 0).is_err());
     }
@@ -354,9 +348,8 @@ mod tests {
     #[test]
     fn last_nanowire_always_has_one_dose_per_region() {
         // ν_{N-1}^j = 1 for every j (the proof of Proposition 4 starts here).
-        let doses =
-            DoseCountMatrix::from_pattern(&paper_pattern(), &DopingLadder::paper_example())
-                .unwrap();
+        let doses = DoseCountMatrix::from_pattern(&paper_pattern(), &DopingLadder::paper_example())
+            .unwrap();
         let last = doses.nanowire_count() - 1;
         for j in 0..doses.region_count() {
             assert_eq!(doses.count(last, j).unwrap(), 1);
@@ -367,9 +360,8 @@ mod tests {
     fn dose_counts_decrease_along_the_definition_order() {
         // ν_i^j >= ν_{i+1}^j: earlier nanowires accumulate at least as many
         // doses as later ones.
-        let doses =
-            DoseCountMatrix::from_pattern(&paper_pattern(), &DopingLadder::paper_example())
-                .unwrap();
+        let doses = DoseCountMatrix::from_pattern(&paper_pattern(), &DopingLadder::paper_example())
+            .unwrap();
         for j in 0..doses.region_count() {
             for i in 0..doses.nanowire_count() - 1 {
                 assert!(doses.count(i, j).unwrap() >= doses.count(i + 1, j).unwrap());
@@ -380,17 +372,13 @@ mod tests {
     #[test]
     fn aggregate_statistics() {
         let doses =
-            DoseCountMatrix::from_pattern(&gray_pattern(), &DopingLadder::paper_example())
-                .unwrap();
+            DoseCountMatrix::from_pattern(&gray_pattern(), &DopingLadder::paper_example()).unwrap();
         assert!((doses.mean() - 1.5).abs() < 1e-12);
         assert_eq!(doses.mean_per_region().len(), 4);
         let variability = VariabilityMatrix::new(doses, &VariabilityModel::paper_default());
         assert!((variability.mean_in_sigma_units() - 1.5).abs() < 1e-12);
         assert_eq!(variability.normalized_map().rows(), 3);
-        assert_eq!(
-            variability.sigma_per_dose(),
-            Volts::from_millivolts(50.0)
-        );
+        assert_eq!(variability.sigma_per_dose(), Volts::from_millivolts(50.0));
         assert_eq!(variability.nanowire_count(), 3);
         assert_eq!(variability.region_count(), 4);
     }

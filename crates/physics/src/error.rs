@@ -107,7 +107,10 @@ mod tests {
             PhysicsError::InvalidLadder {
                 reason: "needs at least two levels".to_string(),
             },
-            PhysicsError::LevelOutOfRange { digit: 4, levels: 3 },
+            PhysicsError::LevelOutOfRange {
+                digit: 4,
+                levels: 3,
+            },
             PhysicsError::InvalidDistribution {
                 reason: "negative standard deviation".to_string(),
             },

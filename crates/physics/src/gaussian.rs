@@ -109,7 +109,11 @@ impl Gaussian {
         if self.std_dev == 0.0 {
             // Point mass at the mean: the closed interval either contains it
             // or it does not.
-            return Ok(if (lo..=hi).contains(&self.mean) { 1.0 } else { 0.0 });
+            return Ok(if (lo..=hi).contains(&self.mean) {
+                1.0
+            } else {
+                0.0
+            });
         }
         Ok((self.cdf(hi) - self.cdf(lo)).clamp(0.0, 1.0))
     }

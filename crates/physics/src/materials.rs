@@ -9,7 +9,7 @@
 pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
 
 /// Vacuum permittivity in F/m.
-pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_8128e-12;
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_812_8e-12;
 
 /// Relative permittivity of crystalline / poly-crystalline silicon.
 pub const SILICON_RELATIVE_PERMITTIVITY: f64 = 11.7;

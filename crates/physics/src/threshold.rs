@@ -235,7 +235,9 @@ impl DopingLadder {
             });
         }
         let (lo, hi) = (v_range.0.value(), v_range.1.value());
-        if !(hi > lo) {
+        // `partial_cmp` keeps NaN bounds on the error path (NaN is not
+        // Greater), matching the previous `!(hi > lo)` check.
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return Err(PhysicsError::InvalidLadder {
                 reason: format!("degenerate voltage range [{lo}, {hi}]"),
             });

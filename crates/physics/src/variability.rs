@@ -177,12 +177,8 @@ mod tests {
             .in_window_probability(1, Volts::from_millivolts(50.0))
             .unwrap();
         assert!((p - 0.6827).abs() < 1e-3);
-        assert!(model
-            .in_window_probability(1, Volts::new(-0.1))
-            .is_err());
-        assert!(model
-            .in_window_probability(0, Volts::new(-0.1))
-            .is_err());
+        assert!(model.in_window_probability(1, Volts::new(-0.1)).is_err());
+        assert!(model.in_window_probability(0, Volts::new(-0.1)).is_err());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests of the device-physics invariants.
 
 use device_physics::{
-    combine_std_devs, DopingLadder, Gaussian, ThresholdModel, VariabilityModel,
-    DopantConcentration, Volts,
+    combine_std_devs, DopantConcentration, DopingLadder, Gaussian, ThresholdModel,
+    VariabilityModel, Volts,
 };
 use proptest::prelude::*;
 

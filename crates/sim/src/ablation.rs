@@ -69,8 +69,7 @@ fn evaluate_pair(
     parameter: f64,
 ) -> Result<SensitivityPoint> {
     let baseline_report = SimulationPlatform::new(base.clone().with_code(baseline)).evaluate()?;
-    let optimised_report =
-        SimulationPlatform::new(base.clone().with_code(optimised)).evaluate()?;
+    let optimised_report = SimulationPlatform::new(base.clone().with_code(optimised)).evaluate()?;
     Ok(SensitivityPoint {
         parameter,
         baseline_yield: baseline_report.crossbar_yield,

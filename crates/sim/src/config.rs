@@ -88,7 +88,11 @@ impl SimConfig {
                 reason: "raw capacity must be positive".to_string(),
             });
         }
-        if !(supply_range.1.value() > supply_range.0.value()) {
+        // `partial_cmp` keeps NaN bounds on the error path (NaN is not
+        // Greater), matching the previous negated comparison.
+        if supply_range.1.value().partial_cmp(&supply_range.0.value())
+            != Some(std::cmp::Ordering::Greater)
+        {
             return Err(SimError::InvalidConfig {
                 reason: format!(
                     "supply range [{}, {}] is degenerate",

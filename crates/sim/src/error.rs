@@ -97,17 +97,21 @@ mod tests {
         assert!(SimError::EmptySweep.source().is_none());
 
         assert!(SimError::from(CodeError::EmptyWord).source().is_some());
-        assert!(SimError::from(PhysicsError::SolverDidNotConverge { iterations: 1 })
-            .source()
-            .is_some());
+        assert!(
+            SimError::from(PhysicsError::SolverDidNotConverge { iterations: 1 })
+                .source()
+                .is_some()
+        );
         assert!(SimError::from(FabricationError::InvalidMatrixShape {
             reason: "ragged".to_string()
         })
         .source()
         .is_some());
-        assert!(SimError::from(CrossbarError::InvalidProbability { value: 2.0 })
-            .source()
-            .is_some());
+        assert!(
+            SimError::from(CrossbarError::InvalidProbability { value: 2.0 })
+                .source()
+                .is_some()
+        );
     }
 
     #[test]

@@ -209,7 +209,10 @@ mod tests {
             &variability,
             &model,
             Volts::new(0.25),
-            MonteCarloConfig { samples: 0, seed: 1 },
+            MonteCarloConfig {
+                samples: 0,
+                seed: 1
+            },
         )
         .is_err());
         assert!(monte_carlo_addressability(
@@ -240,14 +243,20 @@ mod tests {
             &variability,
             &model,
             Volts::new(0.1),
-            MonteCarloConfig { samples: 1_000, seed: 9 },
+            MonteCarloConfig {
+                samples: 1_000,
+                seed: 9,
+            },
         )
         .unwrap();
         let wide = monte_carlo_addressability(
             &variability,
             &model,
             Volts::new(0.4),
-            MonteCarloConfig { samples: 1_000, seed: 9 },
+            MonteCarloConfig {
+                samples: 1_000,
+                seed: 9,
+            },
         )
         .unwrap();
         let narrow_mean = narrow.profile.mean();

@@ -264,10 +264,16 @@ mod tests {
     fn intermediate_accessors_agree_with_the_report() {
         let p = platform(CodeKind::Hot, 6);
         let report = p.evaluate().unwrap();
-        assert_eq!(p.fabrication_cost().unwrap().total(), report.fabrication_steps);
+        assert_eq!(
+            p.fabrication_cost().unwrap().total(),
+            report.fabrication_steps
+        );
         let yield_ = p.cave_yield().unwrap();
         assert!((yield_.crossbar_yield() - report.crossbar_yield).abs() < 1e-12);
-        assert_eq!(p.contact_layout().unwrap().group_count(), report.contact_groups);
+        assert_eq!(
+            p.contact_layout().unwrap().group_count(),
+            report.contact_groups
+        );
         assert_eq!(p.half_cave().unwrap().nanowire_count(), 20);
         assert_eq!(p.config().nanowires_per_half_cave(), 20);
     }

@@ -46,7 +46,10 @@ pub struct Fig6Report {
 
 impl fmt::Display for Fig6Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 6 — normalised variability sqrt(Σ)/σ_T per doping region")?;
+        writeln!(
+            f,
+            "Fig. 6 — normalised variability sqrt(Σ)/σ_T per doping region"
+        )?;
         for map in &self.maps {
             writeln!(
                 f,
@@ -84,8 +87,15 @@ pub struct Fig7Report {
 
 impl fmt::Display for Fig7Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 7 — crossbar yield (fraction of addressable crosspoints)")?;
-        writeln!(f, "{:<6} {:>8} {:>12} {:>14}", "code", "length", "cave yield", "crossbar yield")?;
+        writeln!(
+            f,
+            "Fig. 7 — crossbar yield (fraction of addressable crosspoints)"
+        )?;
+        writeln!(
+            f,
+            "{:<6} {:>8} {:>12} {:>14}",
+            "code", "length", "cave yield", "crossbar yield"
+        )?;
         for (kind, points) in &self.series {
             for point in points {
                 writeln!(
@@ -116,7 +126,11 @@ impl Fig8Report {
     pub fn best(&self) -> Option<(CodeKind, usize, f64)> {
         self.series
             .iter()
-            .flat_map(|(kind, points)| points.iter().map(move |p| (*kind, p.code_length, p.bit_area)))
+            .flat_map(|(kind, points)| {
+                points
+                    .iter()
+                    .map(move |p| (*kind, p.code_length, p.bit_area))
+            })
             .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite areas"))
     }
 }
@@ -124,7 +138,11 @@ impl Fig8Report {
 impl fmt::Display for Fig8Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 8 — average area per functional bit")?;
-        writeln!(f, "{:<6} {:>8} {:>14} {:>14}", "code", "length", "bit area [nm²]", "crossbar yield")?;
+        writeln!(
+            f,
+            "{:<6} {:>8} {:>14} {:>14}",
+            "code", "length", "bit area [nm²]", "crossbar yield"
+        )?;
         for (kind, points) in &self.series {
             for point in points {
                 writeln!(
@@ -138,7 +156,11 @@ impl fmt::Display for Fig8Report {
             }
         }
         if let Some((kind, length, area)) = self.best() {
-            writeln!(f, "best: {} at M = {length} with {area:.1} nm²", kind.label())?;
+            writeln!(
+                f,
+                "best: {} at M = {length} with {area:.1} nm²",
+                kind.label()
+            )?;
         }
         Ok(())
     }
@@ -195,8 +217,13 @@ mod tests {
             ),
             (
                 CodeKind::BalancedGray,
-                yield_sweep(&base(), CodeKind::BalancedGray, LogicLevel::BINARY, &[6, 8, 10])
-                    .unwrap(),
+                yield_sweep(
+                    &base(),
+                    CodeKind::BalancedGray,
+                    LogicLevel::BINARY,
+                    &[6, 8, 10],
+                )
+                .unwrap(),
             ),
         ];
         let report = Fig7Report { series };
@@ -215,8 +242,13 @@ mod tests {
             ),
             (
                 CodeKind::BalancedGray,
-                bit_area_sweep(&base(), CodeKind::BalancedGray, LogicLevel::BINARY, &[6, 10])
-                    .unwrap(),
+                bit_area_sweep(
+                    &base(),
+                    CodeKind::BalancedGray,
+                    LogicLevel::BINARY,
+                    &[6, 10],
+                )
+                .unwrap(),
             ),
         ];
         let report = Fig8Report { series };

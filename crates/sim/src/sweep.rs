@@ -245,7 +245,11 @@ mod tests {
         let points = complexity_sweep(
             &base(),
             &[CodeKind::Tree, CodeKind::Gray],
-            &[LogicLevel::BINARY, LogicLevel::TERNARY, LogicLevel::QUATERNARY],
+            &[
+                LogicLevel::BINARY,
+                LogicLevel::TERNARY,
+                LogicLevel::QUATERNARY,
+            ],
             8,
             10,
         )
@@ -291,7 +295,8 @@ mod tests {
 
     #[test]
     fn yield_sweep_skips_invalid_lengths_and_stays_in_bounds() {
-        let points = yield_sweep(&base(), CodeKind::Hot, LogicLevel::BINARY, &[4, 5, 6, 8]).unwrap();
+        let points =
+            yield_sweep(&base(), CodeKind::Hot, LogicLevel::BINARY, &[4, 5, 6, 8]).unwrap();
         // Length 5 is invalid for a binary hot code and must be skipped.
         assert_eq!(points.len(), 3);
         for p in &points {
@@ -302,9 +307,13 @@ mod tests {
 
     #[test]
     fn bit_area_sweep_produces_positive_areas() {
-        let points =
-            bit_area_sweep(&base(), CodeKind::BalancedGray, LogicLevel::BINARY, &[6, 8, 10])
-                .unwrap();
+        let points = bit_area_sweep(
+            &base(),
+            CodeKind::BalancedGray,
+            LogicLevel::BINARY,
+            &[6, 8, 10],
+        )
+        .unwrap();
         assert_eq!(points.len(), 3);
         for p in &points {
             assert!(p.bit_area > 100.0);

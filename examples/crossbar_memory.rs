@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layout = ContactGroupLayout::new(20, code.len() as u128, LayoutRules::paper_default())?;
     let mut memory = CrossbarMemory::new(&code, layout.clone(), &code, layout)?;
 
-    println!("crossbar memory: {} x {} nanowires", memory.row_count(), memory.column_count());
+    println!(
+        "crossbar memory: {} x {} nanowires",
+        memory.row_count(),
+        memory.column_count()
+    );
     println!("raw capacity:       {} bits", memory.raw_capacity());
     println!("effective capacity: {} bits", memory.effective_capacity());
 
@@ -37,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    assert_eq!(cursor, bits.len(), "message must fit the effective capacity");
+    assert_eq!(
+        cursor,
+        bits.len(),
+        "message must fit the effective capacity"
+    );
 
     // Read it back.
     let mut recovered_bits = Vec::with_capacity(bits.len());
@@ -55,9 +63,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let recovered: Vec<u8> = recovered_bits
         .chunks(8)
-        .map(|chunk| chunk.iter().fold(0u8, |acc, &bit| (acc << 1) | u8::from(bit)))
+        .map(|chunk| {
+            chunk
+                .iter()
+                .fold(0u8, |acc, &bit| (acc << 1) | u8::from(bit))
+        })
         .collect();
-    println!("stored and recovered: {}", String::from_utf8_lossy(&recovered));
+    println!(
+        "stored and recovered: {}",
+        String::from_utf8_lossy(&recovered)
+    );
     assert_eq!(&recovered, message);
     Ok(())
 }

@@ -29,9 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("== Tree-code pattern (Examples 1–4 of the paper) ==");
     let steps = StepDopingMatrix::from_pattern(&tree_pattern, &ladder)?;
-    print_matrix("step doping matrix S [1e18 cm^-3]", &steps.in_1e18().to_rows());
+    print_matrix(
+        "step doping matrix S [1e18 cm^-3]",
+        &steps.in_1e18().to_rows(),
+    );
     let cost = FabricationCost::from_pattern(&tree_pattern, &ladder)?;
-    println!("per-step lithography/doping passes φ = {:?}", cost.per_step());
+    println!(
+        "per-step lithography/doping passes φ = {:?}",
+        cost.per_step()
+    );
     println!("total fabrication complexity Φ = {}", cost.total());
     let variability = VariabilityMatrix::from_pattern(&tree_pattern, &ladder, &sigma)?;
     println!("‖Σ‖₁ = {} · σ_T²", variability.l1_norm_in_sigma_units());
@@ -51,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gray_cost = FabricationCost::from_pattern(&gray_pattern, &ladder)?;
     println!("total fabrication complexity Φ = {}", gray_cost.total());
     let gray_variability = VariabilityMatrix::from_pattern(&gray_pattern, &ladder, &sigma)?;
-    println!("‖Σ‖₁ = {} · σ_T²", gray_variability.l1_norm_in_sigma_units());
+    println!(
+        "‖Σ‖₁ = {} · σ_T²",
+        gray_variability.l1_norm_in_sigma_units()
+    );
 
     // The concrete process flow for the Gray arrangement.
     println!();

@@ -19,16 +19,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("MSPT nanowire-decoder quickstart");
     println!("================================");
     println!("code:                     {}", report.code);
-    println!("nanowires per half cave:  {}", report.nanowires_per_half_cave);
+    println!(
+        "nanowires per half cave:  {}",
+        report.nanowires_per_half_cave
+    );
     println!("fabrication steps (Φ):    {}", report.fabrication_steps);
     println!("lithography passes:       {}", report.lithography_passes);
     println!("distinct implant doses:   {}", report.distinct_doses);
     println!("mean variability (σ_T²):  {:.2}", report.mean_variability);
-    println!("cave yield (Y):           {:.1}%", report.cave_yield * 100.0);
-    println!("crossbar yield (Y²):      {:.1}%", report.crossbar_yield * 100.0);
+    println!(
+        "cave yield (Y):           {:.1}%",
+        report.cave_yield * 100.0
+    );
+    println!(
+        "crossbar yield (Y²):      {:.1}%",
+        report.crossbar_yield * 100.0
+    );
     println!("effective bits:           {:.0}", report.effective_bits);
     println!("raw bit area:             {:.1} nm²", report.raw_bit_area);
-    println!("effective bit area:       {:.1} nm²", report.effective_bit_area);
+    println!(
+        "effective bit area:       {:.1} nm²",
+        report.effective_bit_area
+    );
     println!("contact groups:           {}", report.contact_groups);
 
     Ok(())

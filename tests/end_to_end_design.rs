@@ -4,9 +4,7 @@
 //! the resulting crossbar as a memory.
 
 use mspt_nanowire_decoder::crossbar::{ContactGroupLayout, CrossbarMemory, LayoutRules};
-use mspt_nanowire_decoder::decoder::{
-    AddressMap, CodeSelection, DecoderDesign, DecoderRecipe,
-};
+use mspt_nanowire_decoder::decoder::{AddressMap, CodeSelection, DecoderDesign, DecoderRecipe};
 use mspt_nanowire_decoder::prelude::*;
 
 fn designs_under_test() -> Vec<DecoderDesign> {

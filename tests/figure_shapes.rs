@@ -2,9 +2,7 @@
 //! (Section 6, Figs. 5–8) hold on the reproduction platform — orderings,
 //! trends and crossover locations rather than absolute numbers.
 
-use mspt_experiments::{
-    fig5_report, fig6_report, fig7_report, fig8_report, headline_numbers,
-};
+use mspt_experiments::{fig5_report, fig6_report, fig7_report, fig8_report, headline_numbers};
 use nanowire_codes::{CodeKind, LogicLevel};
 
 #[test]
@@ -27,7 +25,10 @@ fn fig5_binary_complexity_is_flat_and_gray_cancels_the_higher_radix_overhead() {
     // ...and the Gray code removes most of that overhead.
     for radix in [LogicLevel::TERNARY, LogicLevel::QUATERNARY] {
         assert!(phi(CodeKind::Gray, radix) < phi(CodeKind::Tree, radix));
-        assert!(phi(CodeKind::Gray, radix) <= 22, "GC overhead nearly cancelled");
+        assert!(
+            phi(CodeKind::Gray, radix) <= 22,
+            "GC overhead nearly cancelled"
+        );
     }
 }
 
@@ -54,22 +55,13 @@ fn fig6_gray_codes_reduce_and_balance_the_variability() {
         assert!(balanced.max_normalized_sigma <= gray.max_normalized_sigma + 1e-9);
     }
     // Longer codes have lower average variability for the same family.
-    assert!(
-        map(CodeKind::Tree, 10).mean_variability < map(CodeKind::Tree, 8).mean_variability
-    );
+    assert!(map(CodeKind::Tree, 10).mean_variability < map(CodeKind::Tree, 8).mean_variability);
 }
 
 #[test]
 fn fig7_yield_grows_with_code_length_and_optimised_codes_win() {
     let report = fig7_report().unwrap();
-    let series = |kind: CodeKind| {
-        &report
-            .series
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .unwrap()
-            .1
-    };
+    let series = |kind: CodeKind| &report.series.iter().find(|(k, _)| *k == kind).unwrap().1;
     let yield_at = |kind: CodeKind, length: usize| {
         series(kind)
             .iter()
@@ -100,14 +92,7 @@ fn fig7_yield_grows_with_code_length_and_optimised_codes_win() {
 #[test]
 fn fig8_bit_area_shrinks_with_length_and_the_best_code_is_an_optimised_one() {
     let report = fig8_report().unwrap();
-    let series = |kind: CodeKind| {
-        &report
-            .series
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .unwrap()
-            .1
-    };
+    let series = |kind: CodeKind| &report.series.iter().find(|(k, _)| *k == kind).unwrap().1;
     let area_at = |kind: CodeKind, length: usize| {
         series(kind)
             .iter()
@@ -146,8 +131,10 @@ fn headline_numbers_are_in_the_papers_direction_and_ballpark() {
     assert!(headline.ahc_vs_hc_area_saving_at_6 > 0.0);
     // Ballparks (generous factors — the substrate is a simulator, not the
     // authors' calibrated platform).
-    assert!(headline.gray_complexity_saving_ternary > 0.08
-        && headline.gray_complexity_saving_ternary < 0.35);
+    assert!(
+        headline.gray_complexity_saving_ternary > 0.08
+            && headline.gray_complexity_saving_ternary < 0.35
+    );
     assert!(headline.tc_yield_gain_6_to_10 > 0.15 && headline.tc_yield_gain_6_to_10 < 0.9);
     assert!(headline.best_bgc_bit_area > 130.0 && headline.best_bgc_bit_area < 230.0);
     assert!(headline.best_ahc_bit_area > 130.0 && headline.best_ahc_bit_area < 260.0);

@@ -57,8 +57,7 @@ fn example_1_threshold_and_doping_matrices() {
 #[test]
 fn example_2_step_doping_matrix() {
     let steps =
-        StepDopingMatrix::from_pattern(&example_pattern(), &DopingLadder::paper_example())
-            .unwrap();
+        StepDopingMatrix::from_pattern(&example_pattern(), &DopingLadder::paper_example()).unwrap();
     assert_eq!(
         steps.in_1e18().to_rows(),
         vec![

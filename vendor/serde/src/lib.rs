@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate provides exactly the surface the workspace uses: the
+//! [`Serialize`] / [`Deserialize`] marker traits and (behind the `derive`
+//! feature) the corresponding derive macros.
+//!
+//! The workspace only *derives* the traits — nothing serializes values yet —
+//! so the derives expand to nothing and the traits carry no methods. When
+//! network access to crates.io becomes available, drop the `vendor/serde*`
+//! path entries from the workspace manifest and the real serde is a drop-in
+//! replacement.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

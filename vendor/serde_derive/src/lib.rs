@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its report and
+//! configuration types but never calls a serializer, so the derives expand to
+//! nothing. This keeps every `#[derive(Serialize, Deserialize)]` in the
+//! sources compiling byte-for-byte unchanged (including on generic types)
+//! without pulling in `syn`/`quote`, which are unavailable offline.
+
+use proc_macro::TokenStream;
+
+/// Empty expansion for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Empty expansion for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
