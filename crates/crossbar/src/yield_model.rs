@@ -46,8 +46,12 @@ impl AddressabilityProfile {
     /// `∏_j P(|ΔV_T| ≤ window)` where the deviation of region `(i, j)` is
     /// Gaussian with variance `Σ_i^j` (Section 6.1).
     ///
-    /// The decision window defaults to the ladder's half level separation;
-    /// pass an explicit `window` to study tighter or looser sensing margins.
+    /// `window` is the **half-width** of the decision interval (the quantity
+    /// `DopingLadder::window_half_width` returns) — a region is in-window iff
+    /// `|ΔV_T| ≤ window`. The Monte-Carlo validator in `decoder-sim` applies
+    /// the identical convention, so the two estimates are directly
+    /// comparable. Pass an explicit `window` to study tighter or looser
+    /// sensing margins.
     ///
     /// # Errors
     ///

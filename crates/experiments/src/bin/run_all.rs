@@ -1,18 +1,28 @@
 //! Regenerates every figure and the headline numbers in one run — the
 //! command EXPERIMENTS.md is produced from.
+//!
+//! All reports share one parallel [`mspt_experiments::paper_engine`], so the
+//! Fig. 7/Fig. 8 sweep points are evaluated once and the headline numbers
+//! are served from the engine's memoized report cache.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = mspt_experiments::paper_engine();
     println!("==============================================================");
     println!(" Reproduction of the DAC 2009 MSPT nanowire-decoder evaluation");
-    println!("==============================================================\n");
-    print!("{}", mspt_experiments::fig5_report()?);
+    println!("==============================================================");
+    println!(
+        " engine: {} thread(s), {} samples per Monte-Carlo chunk\n",
+        engine.config().threads,
+        engine.config().chunk_size
+    );
+    print!("{}", mspt_experiments::fig5_report_with(&engine)?);
     println!();
     print!("{}", mspt_experiments::fig6_report()?);
     println!();
-    print!("{}", mspt_experiments::fig7_report()?);
+    print!("{}", mspt_experiments::fig7_report_with(&engine)?);
     println!();
-    print!("{}", mspt_experiments::fig8_report()?);
+    print!("{}", mspt_experiments::fig8_report_with(&engine)?);
     println!();
-    print!("{}", mspt_experiments::headline_numbers()?);
+    print!("{}", mspt_experiments::headline_numbers_with(&engine)?);
     Ok(())
 }

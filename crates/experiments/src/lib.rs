@@ -23,8 +23,8 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use decoder_sim::{
-    bit_area_sweep, complexity_sweep, variability_map, yield_sweep, Fig5Report, Fig6Report,
-    Fig7Report, Fig8Report, Result, SimConfig,
+    variability_map, EngineConfig, ExecutionEngine, Fig5Report, Fig6Report, Fig7Report, Fig8Report,
+    Result, SimConfig,
 };
 use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 
@@ -38,6 +38,16 @@ use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 pub fn paper_base_config() -> Result<SimConfig> {
     let code = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, 8)?;
     SimConfig::paper_defaults(code)
+}
+
+/// The execution engine the experiments run on: default knobs (thread count
+/// from `MSPT_ENGINE_THREADS` or the machine's available parallelism). Share
+/// one engine across several reports to reuse its memoized report cache —
+/// Figs. 7 and 8 and the headline numbers revisit the same (kind, length)
+/// points.
+#[must_use]
+pub fn paper_engine() -> ExecutionEngine {
+    ExecutionEngine::new(EngineConfig::default())
 }
 
 /// Number of nanowires per half cave used by Fig. 5 (fabrication
@@ -59,8 +69,18 @@ pub const HOT_FAMILY_LENGTHS: [usize; 3] = [4, 6, 8];
 ///
 /// Propagates sweep errors.
 pub fn fig5_report() -> Result<Fig5Report> {
+    fig5_report_with(&paper_engine())
+}
+
+/// [`fig5_report`] on an explicit engine, so callers can share one engine
+/// (and its report cache) across several figures.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn fig5_report_with(engine: &ExecutionEngine) -> Result<Fig5Report> {
     let base = paper_base_config()?;
-    let points = complexity_sweep(
+    let points = engine.complexity_sweep(
         &base,
         &[CodeKind::Tree, CodeKind::Gray],
         &[
@@ -104,18 +124,28 @@ pub fn fig6_report() -> Result<Fig6Report> {
 ///
 /// Propagates sweep errors.
 pub fn fig7_report() -> Result<Fig7Report> {
+    fig7_report_with(&paper_engine())
+}
+
+/// [`fig7_report`] on an explicit engine, so callers can share one engine
+/// (and its report cache) across several figures.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn fig7_report_with(engine: &ExecutionEngine) -> Result<Fig7Report> {
     let base = paper_base_config()?;
     let mut series = Vec::new();
     for kind in [CodeKind::Tree, CodeKind::BalancedGray] {
         series.push((
             kind,
-            yield_sweep(&base, kind, LogicLevel::BINARY, &TREE_FAMILY_LENGTHS)?,
+            engine.yield_sweep(&base, kind, LogicLevel::BINARY, &TREE_FAMILY_LENGTHS)?,
         ));
     }
     for kind in [CodeKind::Hot, CodeKind::ArrangedHot] {
         series.push((
             kind,
-            yield_sweep(&base, kind, LogicLevel::BINARY, &HOT_FAMILY_LENGTHS)?,
+            engine.yield_sweep(&base, kind, LogicLevel::BINARY, &HOT_FAMILY_LENGTHS)?,
         ));
     }
     Ok(Fig7Report { series })
@@ -129,12 +159,22 @@ pub fn fig7_report() -> Result<Fig7Report> {
 ///
 /// Propagates sweep errors.
 pub fn fig8_report() -> Result<Fig8Report> {
+    fig8_report_with(&paper_engine())
+}
+
+/// [`fig8_report`] on an explicit engine, so callers can share one engine
+/// (and its report cache) across several figures.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn fig8_report_with(engine: &ExecutionEngine) -> Result<Fig8Report> {
     let base = paper_base_config()?;
     let mut series = Vec::new();
     for kind in [CodeKind::Tree, CodeKind::Gray, CodeKind::BalancedGray] {
         series.push((
             kind,
-            bit_area_sweep(&base, kind, LogicLevel::BINARY, &TREE_FAMILY_LENGTHS)?,
+            engine.bit_area_sweep(&base, kind, LogicLevel::BINARY, &TREE_FAMILY_LENGTHS)?,
         ));
     }
     for kind in [CodeKind::Hot, CodeKind::ArrangedHot] {
@@ -142,7 +182,7 @@ pub fn fig8_report() -> Result<Fig8Report> {
         lengths.push(10);
         series.push((
             kind,
-            bit_area_sweep(&base, kind, LogicLevel::BINARY, &lengths)?,
+            engine.bit_area_sweep(&base, kind, LogicLevel::BINARY, &lengths)?,
         ));
     }
     Ok(Fig8Report { series })
@@ -260,10 +300,22 @@ impl fmt::Display for HeadlineNumbers {
 ///
 /// Propagates sweep errors.
 pub fn headline_numbers() -> Result<HeadlineNumbers> {
+    headline_numbers_with(&paper_engine())
+}
+
+/// [`headline_numbers`] on an explicit engine. The headline numbers revisit
+/// the Fig. 7 and Fig. 8 sweep points, so the engine's memoized report cache
+/// (and any cache warmed by earlier figure reports on the same engine)
+/// evaluates each distinct (kind, length) configuration once.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn headline_numbers_with(engine: &ExecutionEngine) -> Result<HeadlineNumbers> {
     let base = paper_base_config()?;
 
     // Fig. 5 inputs: complexity of TC vs GC at higher radices.
-    let complexity = complexity_sweep(
+    let complexity = engine.complexity_sweep(
         &base,
         &[CodeKind::Tree, CodeKind::Gray],
         &[LogicLevel::TERNARY, LogicLevel::QUATERNARY],
@@ -297,25 +349,25 @@ pub fn headline_numbers() -> Result<HeadlineNumbers> {
     let bgc_variability = mean_variability(CodeKind::BalancedGray)?;
 
     // Fig. 7 inputs.
-    let tc_yield = yield_sweep(
+    let tc_yield = engine.yield_sweep(
         &base,
         CodeKind::Tree,
         LogicLevel::BINARY,
         &TREE_FAMILY_LENGTHS,
     )?;
-    let bgc_yield = yield_sweep(
+    let bgc_yield = engine.yield_sweep(
         &base,
         CodeKind::BalancedGray,
         LogicLevel::BINARY,
         &TREE_FAMILY_LENGTHS,
     )?;
-    let hc_yield = yield_sweep(
+    let hc_yield = engine.yield_sweep(
         &base,
         CodeKind::Hot,
         LogicLevel::BINARY,
         &HOT_FAMILY_LENGTHS,
     )?;
-    let ahc_yield = yield_sweep(
+    let ahc_yield = engine.yield_sweep(
         &base,
         CodeKind::ArrangedHot,
         LogicLevel::BINARY,
@@ -329,26 +381,27 @@ pub fn headline_numbers() -> Result<HeadlineNumbers> {
             .unwrap_or(f64::NAN)
     };
 
-    // Fig. 8 inputs.
-    let tc_area = bit_area_sweep(
+    // Fig. 8 inputs (cache hits: the same configurations the yield sweeps
+    // above just evaluated).
+    let tc_area = engine.bit_area_sweep(
         &base,
         CodeKind::Tree,
         LogicLevel::BINARY,
         &TREE_FAMILY_LENGTHS,
     )?;
-    let bgc_area = bit_area_sweep(
+    let bgc_area = engine.bit_area_sweep(
         &base,
         CodeKind::BalancedGray,
         LogicLevel::BINARY,
         &[6, 8, 10],
     )?;
-    let hc_area = bit_area_sweep(
+    let hc_area = engine.bit_area_sweep(
         &base,
         CodeKind::Hot,
         LogicLevel::BINARY,
         &HOT_FAMILY_LENGTHS,
     )?;
-    let ahc_area = bit_area_sweep(
+    let ahc_area = engine.bit_area_sweep(
         &base,
         CodeKind::ArrangedHot,
         LogicLevel::BINARY,

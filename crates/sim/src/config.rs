@@ -250,7 +250,12 @@ impl SimConfig {
     }
 
     /// The addressability decision window: the explicit override if set,
-    /// otherwise half the threshold-level separation of the ladder.
+    /// otherwise the ladder's [`DopingLadder::window_half_width`].
+    ///
+    /// The window is the **half-width** of the decision interval — a doping
+    /// region is in-window iff `|ΔV_T| ≤ window`. Both the analytic path
+    /// (`AddressabilityProfile::from_variability`) and the Monte-Carlo
+    /// validator consume this same convention.
     ///
     /// # Errors
     ///

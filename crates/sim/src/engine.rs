@@ -1,0 +1,613 @@
+//! Work-sharded parallel execution engine for the Monte-Carlo validator and
+//! the Fig. 5–8 parameter sweeps.
+//!
+//! # Determinism contract
+//!
+//! Monte-Carlo sampling is split into fixed-size chunks of
+//! [`EngineConfig::chunk_size`] samples. Chunk `c` draws from its own
+//! generator seeded as `chunk_seed(seed, c)` — a SplitMix64-style mix of the
+//! run seed and the chunk index — so the stream a chunk consumes depends only
+//! on `(seed, c)`, never on which thread happens to run it. Chunk results are
+//! reduced in chunk order with exact integer addition, which makes every
+//! [`MonteCarloOutcome`] **bit-identical for any thread count** (it does
+//! depend on `chunk_size`; keep that fixed when comparing runs).
+//!
+//! Sweep points are evaluated independently and reassembled in parameter
+//! order, so sweep results are element-identical to the serial path.
+//!
+//! # Memoization
+//!
+//! The engine carries a per-[`SimConfig`] cache of [`PlatformReport`]s:
+//! repeated (kind, radix, length) points across `yield_sweep`,
+//! `bit_area_sweep` and `full_sweep` calls on the same engine are evaluated
+//! once and served from the cache afterwards.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use serde::{Deserialize, Serialize};
+
+use crossbar_array::AddressabilityProfile;
+use device_physics::{VariabilityModel, Volts};
+use mspt_fabrication::VariabilityMatrix;
+use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+use crate::config::SimConfig;
+use crate::error::{Result, SimError};
+use crate::monte_carlo::{
+    chunk_seed, region_sigmas, sample_chunk, validate_monte_carlo, MonteCarloConfig,
+    MonteCarloOutcome,
+};
+use crate::platform::{PlatformReport, SimulationPlatform};
+use crate::sweep::{BitAreaPoint, ComplexityPoint, YieldPoint};
+
+/// Environment variable overriding the default engine thread count
+/// (CI uses it as a cheap cross-thread determinism gate).
+pub const ENGINE_THREADS_ENV: &str = "MSPT_ENGINE_THREADS";
+
+/// Default number of Monte-Carlo samples per work chunk. Fixed (rather than
+/// derived from the machine) so default-configured runs are reproducible
+/// across hosts.
+pub const DEFAULT_CHUNK_SIZE: usize = 256;
+
+/// Knobs of the parallel execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of worker threads. The engine clamps zero to one.
+    pub threads: usize,
+    /// Monte-Carlo samples per deterministically seeded chunk. Part of the
+    /// determinism contract: outcomes depend on this value (but never on
+    /// `threads`). The engine clamps zero to one.
+    pub chunk_size: usize,
+}
+
+impl EngineConfig {
+    /// A single-threaded configuration with the default chunk size — the
+    /// configuration behind every serial entry point.
+    #[must_use]
+    pub fn serial() -> Self {
+        EngineConfig {
+            threads: 1,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    /// Threads: the `MSPT_ENGINE_THREADS` environment variable when set to a
+    /// positive integer, otherwise [`std::thread::available_parallelism`].
+    /// Chunk size: [`DEFAULT_CHUNK_SIZE`].
+    fn default() -> Self {
+        EngineConfig {
+            threads: default_thread_count(),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
+fn default_thread_count() -> usize {
+    if let Ok(value) = std::env::var(ENGINE_THREADS_ENV) {
+        if let Ok(parsed) = value.trim().parse::<usize>() {
+            if parsed >= 1 {
+                return parsed;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The work-sharded execution engine: runs Monte-Carlo estimations and
+/// parameter sweeps across a fixed pool of scoped threads, with a memoized
+/// per-[`SimConfig`] report cache.
+///
+/// # Examples
+///
+/// ```
+/// use decoder_sim::{EngineConfig, ExecutionEngine, SimConfig};
+/// use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = ExecutionEngine::new(EngineConfig {
+///     threads: 2,
+///     chunk_size: 256,
+/// });
+/// let code = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, 8)?;
+/// let base = SimConfig::paper_defaults(code)?;
+/// let reports = engine.full_sweep(
+///     &base,
+///     &[CodeKind::Tree, CodeKind::Gray],
+///     LogicLevel::BINARY,
+///     &[6, 8],
+/// )?;
+/// assert_eq!(reports.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ExecutionEngine {
+    config: EngineConfig,
+    report_cache: Mutex<Vec<(SimConfig, PlatformReport)>>,
+}
+
+impl Default for ExecutionEngine {
+    fn default() -> Self {
+        ExecutionEngine::new(EngineConfig::default())
+    }
+}
+
+impl ExecutionEngine {
+    /// Creates an engine. Zero `threads` or `chunk_size` are clamped to one
+    /// so every configuration is runnable.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        ExecutionEngine {
+            config: EngineConfig {
+                threads: config.threads.max(1),
+                chunk_size: config.chunk_size.max(1),
+            },
+            report_cache: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A single-threaded engine with the default chunk size — the engine
+    /// behind the serial free functions.
+    #[must_use]
+    pub fn serial() -> Self {
+        ExecutionEngine::new(EngineConfig::serial())
+    }
+
+    /// The (clamped) configuration of the engine.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of distinct [`SimConfig`]s whose reports are memoized.
+    #[must_use]
+    pub fn cached_report_count(&self) -> usize {
+        self.report_cache.lock().expect("report cache lock").len()
+    }
+
+    /// Runs `count` independent jobs across the engine's threads and returns
+    /// their results in index order. Jobs are claimed from a shared atomic
+    /// counter; results land in per-index slots, so the output order never
+    /// depends on scheduling. On failure the error of the lowest failing
+    /// index is returned (every job still runs).
+    fn run_indexed<T, F>(&self, count: usize, job: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let threads = self.config.threads.min(count);
+        if threads <= 1 {
+            return (0..count).map(job).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<T>>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= count {
+                        break;
+                    }
+                    let result = job(index);
+                    *slots[index].lock().expect("engine slot lock") = Some(result);
+                });
+            }
+        });
+        let mut results = Vec::with_capacity(count);
+        for slot in slots {
+            let result = slot
+                .into_inner()
+                .expect("engine slot lock")
+                .expect("every index below count is claimed exactly once");
+            results.push(result?);
+        }
+        Ok(results)
+    }
+
+    /// Estimates the per-nanowire addressability by Monte-Carlo sampling,
+    /// sharded into deterministically seeded chunks (see the module-level
+    /// determinism contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero samples or a negative
+    /// window, or propagates lower-layer errors.
+    pub fn monte_carlo_addressability(
+        &self,
+        variability: &VariabilityMatrix,
+        model: &VariabilityModel,
+        window: Volts,
+        config: MonteCarloConfig,
+    ) -> Result<MonteCarloOutcome> {
+        validate_monte_carlo(&config, window)?;
+        let sigmas = region_sigmas(variability, model)?;
+        let window_half_width = window.value();
+        let chunk_size = self.config.chunk_size;
+        let chunk_count = config.samples.div_ceil(chunk_size);
+        let per_chunk_counts = self.run_indexed(chunk_count, |chunk| {
+            let start = chunk * chunk_size;
+            let samples = chunk_size.min(config.samples - start);
+            Ok(sample_chunk(
+                &sigmas,
+                window_half_width,
+                chunk_seed(config.seed, chunk as u64),
+                samples,
+            ))
+        })?;
+        let mut totals = vec![0usize; variability.nanowire_count()];
+        for counts in per_chunk_counts {
+            for (total, count) in totals.iter_mut().zip(counts) {
+                *total += count;
+            }
+        }
+        let probabilities: Vec<f64> = totals
+            .into_iter()
+            .map(|count| count as f64 / config.samples as f64)
+            .collect();
+        Ok(MonteCarloOutcome {
+            profile: AddressabilityProfile::new(probabilities)?,
+            samples: config.samples,
+        })
+    }
+
+    /// Evaluates every configuration, serving repeats from the memoized
+    /// report cache and computing each distinct miss exactly once across the
+    /// engine's threads. Results come back in input order.
+    fn evaluate_batch(&self, configs: &[SimConfig]) -> Result<Vec<PlatformReport>> {
+        enum Slot {
+            Cached(PlatformReport),
+            Fresh(usize),
+        }
+        let mut pending: Vec<SimConfig> = Vec::new();
+        let mut slots = Vec::with_capacity(configs.len());
+        {
+            let cache = self.report_cache.lock().expect("report cache lock");
+            for config in configs {
+                if let Some((_, report)) = cache.iter().find(|(cached, _)| cached == config) {
+                    slots.push(Slot::Cached(report.clone()));
+                } else if let Some(position) = pending.iter().position(|queued| queued == config) {
+                    slots.push(Slot::Fresh(position));
+                } else {
+                    pending.push(config.clone());
+                    slots.push(Slot::Fresh(pending.len() - 1));
+                }
+            }
+        }
+        let fresh = self.run_indexed(pending.len(), |index| {
+            SimulationPlatform::new(pending[index].clone()).evaluate()
+        })?;
+        {
+            let mut cache = self.report_cache.lock().expect("report cache lock");
+            for (config, report) in pending.iter().zip(&fresh) {
+                if !cache.iter().any(|(cached, _)| cached == config) {
+                    cache.push((config.clone(), report.clone()));
+                }
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Cached(report) => report,
+                Slot::Fresh(index) => fresh[index].clone(),
+            })
+            .collect())
+    }
+
+    /// Parallel [`crate::sweep::complexity_sweep`] (Fig. 5): element-identical
+    /// to the serial path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySweep`] for empty parameter sets, or
+    /// propagates evaluation errors.
+    pub fn complexity_sweep(
+        &self,
+        base: &SimConfig,
+        kinds: &[CodeKind],
+        radices: &[LogicLevel],
+        code_length: usize,
+        nanowires: usize,
+    ) -> Result<Vec<ComplexityPoint>> {
+        if kinds.is_empty() || radices.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        let mut pairs = Vec::with_capacity(kinds.len() * radices.len());
+        for &radix in radices {
+            for &kind in kinds {
+                pairs.push((kind, radix));
+            }
+        }
+        let steps = self.run_indexed(pairs.len(), |index| {
+            let (kind, radix) = pairs[index];
+            let code = CodeSpec::new(kind, radix, code_length)?;
+            let platform = SimulationPlatform::new(base.clone().with_code(code));
+            Ok(platform.fabrication_cost_for(nanowires)?.total())
+        })?;
+        Ok(pairs
+            .into_iter()
+            .zip(steps)
+            .map(|((kind, radix), fabrication_steps)| ComplexityPoint {
+                kind,
+                radix,
+                code_length,
+                nanowires,
+                fabrication_steps,
+            })
+            .collect())
+    }
+
+    /// Parallel [`crate::sweep::yield_sweep`] (Fig. 7): element-identical to
+    /// the serial path; invalid lengths for the family are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySweep`] for an empty length set, or
+    /// propagates evaluation errors.
+    pub fn yield_sweep(
+        &self,
+        base: &SimConfig,
+        kind: CodeKind,
+        radix: LogicLevel,
+        code_lengths: &[usize],
+    ) -> Result<Vec<YieldPoint>> {
+        if code_lengths.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        let (lengths, configs) = valid_length_configs(base, kind, radix, code_lengths);
+        let reports = self.evaluate_batch(&configs)?;
+        Ok(lengths
+            .into_iter()
+            .zip(reports)
+            .map(|(code_length, report)| YieldPoint {
+                kind,
+                code_length,
+                cave_yield: report.cave_yield,
+                crossbar_yield: report.crossbar_yield,
+            })
+            .collect())
+    }
+
+    /// Parallel [`crate::sweep::bit_area_sweep`] (Fig. 8): element-identical
+    /// to the serial path; invalid lengths for the family are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySweep`] for an empty length set, or
+    /// propagates evaluation errors.
+    pub fn bit_area_sweep(
+        &self,
+        base: &SimConfig,
+        kind: CodeKind,
+        radix: LogicLevel,
+        code_lengths: &[usize],
+    ) -> Result<Vec<BitAreaPoint>> {
+        if code_lengths.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        let (lengths, configs) = valid_length_configs(base, kind, radix, code_lengths);
+        let reports = self.evaluate_batch(&configs)?;
+        Ok(lengths
+            .into_iter()
+            .zip(reports)
+            .map(|(code_length, report)| BitAreaPoint {
+                kind,
+                code_length,
+                bit_area: report.effective_bit_area,
+                crossbar_yield: report.crossbar_yield,
+            })
+            .collect())
+    }
+
+    /// Parallel [`crate::sweep::full_sweep`]: element-identical to the serial
+    /// path; invalid (kind, length) pairs are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySweep`] for empty parameter sets, or
+    /// propagates evaluation errors.
+    pub fn full_sweep(
+        &self,
+        base: &SimConfig,
+        kinds: &[CodeKind],
+        radix: LogicLevel,
+        code_lengths: &[usize],
+    ) -> Result<Vec<PlatformReport>> {
+        if kinds.is_empty() || code_lengths.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        let mut configs = Vec::new();
+        for &kind in kinds {
+            for &code_length in code_lengths {
+                if let Ok(code) = CodeSpec::new(kind, radix, code_length) {
+                    configs.push(base.clone().with_code(code));
+                }
+            }
+        }
+        self.evaluate_batch(&configs)
+    }
+}
+
+/// The (length, config) pairs of the lengths that are valid for the family —
+/// the shared skip-silently discipline of the yield and bit-area sweeps.
+fn valid_length_configs(
+    base: &SimConfig,
+    kind: CodeKind,
+    radix: LogicLevel,
+    code_lengths: &[usize],
+) -> (Vec<usize>, Vec<SimConfig>) {
+    let mut lengths = Vec::with_capacity(code_lengths.len());
+    let mut configs = Vec::with_capacity(code_lengths.len());
+    for &code_length in code_lengths {
+        if let Ok(code) = CodeSpec::new(kind, radix, code_length) {
+            lengths.push(code_length);
+            configs.push(base.clone().with_code(code));
+        }
+    }
+    (lengths, configs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep;
+
+    fn base() -> SimConfig {
+        let code = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, 8).unwrap();
+        SimConfig::paper_defaults(code).unwrap()
+    }
+
+    fn engine(threads: usize) -> ExecutionEngine {
+        ExecutionEngine::new(EngineConfig {
+            threads,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        })
+    }
+
+    #[test]
+    fn zero_knobs_are_clamped_to_one() {
+        let engine = ExecutionEngine::new(EngineConfig {
+            threads: 0,
+            chunk_size: 0,
+        });
+        assert_eq!(engine.config().threads, 1);
+        assert_eq!(engine.config().chunk_size, 1);
+    }
+
+    #[test]
+    fn default_config_has_at_least_one_thread() {
+        assert!(EngineConfig::default().threads >= 1);
+        assert_eq!(EngineConfig::default().chunk_size, DEFAULT_CHUNK_SIZE);
+        assert_eq!(EngineConfig::serial().threads, 1);
+    }
+
+    #[test]
+    fn run_indexed_preserves_order_and_reports_lowest_error() {
+        let engine = engine(4);
+        let squares = engine.run_indexed(100, |i| Ok(i * i)).unwrap();
+        assert_eq!(squares.len(), 100);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+
+        let error = engine
+            .run_indexed(10, |i| {
+                if i >= 3 {
+                    Err(SimError::InvalidConfig {
+                        reason: format!("job {i}"),
+                    })
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(
+            error,
+            SimError::InvalidConfig {
+                reason: "job 3".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn parallel_sweeps_match_the_serial_path() {
+        let base = base();
+        let kinds = [CodeKind::Tree, CodeKind::Gray, CodeKind::Hot];
+        let radices = [LogicLevel::BINARY, LogicLevel::TERNARY];
+        let lengths = [4usize, 5, 6, 8];
+        let engine = engine(4);
+
+        assert_eq!(
+            engine
+                .complexity_sweep(&base, &[CodeKind::Tree, CodeKind::Gray], &radices, 8, 10)
+                .unwrap(),
+            sweep::complexity_sweep(&base, &[CodeKind::Tree, CodeKind::Gray], &radices, 8, 10)
+                .unwrap()
+        );
+        assert_eq!(
+            engine
+                .yield_sweep(&base, CodeKind::Hot, LogicLevel::BINARY, &lengths)
+                .unwrap(),
+            sweep::yield_sweep(&base, CodeKind::Hot, LogicLevel::BINARY, &lengths).unwrap()
+        );
+        assert_eq!(
+            engine
+                .bit_area_sweep(&base, CodeKind::Tree, LogicLevel::BINARY, &[6, 8])
+                .unwrap(),
+            sweep::bit_area_sweep(&base, CodeKind::Tree, LogicLevel::BINARY, &[6, 8]).unwrap()
+        );
+        assert_eq!(
+            engine
+                .full_sweep(&base, &kinds, LogicLevel::BINARY, &[6, 8])
+                .unwrap(),
+            sweep::full_sweep(&base, &kinds, LogicLevel::BINARY, &[6, 8]).unwrap()
+        );
+    }
+
+    #[test]
+    fn repeated_points_hit_the_report_cache() {
+        let base = base();
+        let engine = engine(2);
+        let lengths = [6usize, 8];
+        let first = engine
+            .yield_sweep(&base, CodeKind::Tree, LogicLevel::BINARY, &lengths)
+            .unwrap();
+        let cached = engine.cached_report_count();
+        assert_eq!(cached, 2);
+        // The bit-area sweep over the same points evaluates nothing new.
+        engine
+            .bit_area_sweep(&base, CodeKind::Tree, LogicLevel::BINARY, &lengths)
+            .unwrap();
+        assert_eq!(engine.cached_report_count(), cached);
+        // And a repeated yield sweep returns identical points.
+        let second = engine
+            .yield_sweep(&base, CodeKind::Tree, LogicLevel::BINARY, &lengths)
+            .unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn duplicate_points_in_one_batch_are_evaluated_once() {
+        let base = base();
+        let engine = engine(2);
+        let reports = engine
+            .full_sweep(
+                &base,
+                &[CodeKind::Tree, CodeKind::Tree],
+                LogicLevel::BINARY,
+                &[8],
+            )
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(engine.cached_report_count(), 1);
+    }
+
+    #[test]
+    fn empty_sweeps_are_rejected() {
+        let engine = engine(2);
+        assert!(matches!(
+            engine.complexity_sweep(&base(), &[], &[LogicLevel::BINARY], 8, 10),
+            Err(SimError::EmptySweep)
+        ));
+        assert!(matches!(
+            engine.yield_sweep(&base(), CodeKind::Tree, LogicLevel::BINARY, &[]),
+            Err(SimError::EmptySweep)
+        ));
+        assert!(matches!(
+            engine.bit_area_sweep(&base(), CodeKind::Tree, LogicLevel::BINARY, &[]),
+            Err(SimError::EmptySweep)
+        ));
+        assert!(matches!(
+            engine.full_sweep(&base(), &[], LogicLevel::BINARY, &[8]),
+            Err(SimError::EmptySweep)
+        ));
+    }
+}

@@ -7,6 +7,11 @@
 //! parameter sweeps behind Figs. 5–8, and a Monte-Carlo cross-check of the
 //! analytic yield model.
 //!
+//! Both the Monte-Carlo validator and the sweeps run on a work-sharded
+//! parallel [`ExecutionEngine`] whose results are bit-identical for any
+//! thread count; the serial free functions are thin wrappers over a
+//! single-threaded engine.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,6 +34,7 @@
 
 mod ablation;
 mod config;
+mod engine;
 mod error;
 mod monte_carlo;
 mod platform;
@@ -40,9 +46,11 @@ pub use ablation::{
     SensitivityPoint, SensitivitySweep,
 };
 pub use config::SimConfig;
+pub use engine::{EngineConfig, ExecutionEngine, DEFAULT_CHUNK_SIZE, ENGINE_THREADS_ENV};
 pub use error::{Result, SimError};
 pub use monte_carlo::{
     max_profile_difference, monte_carlo_addressability, MonteCarloConfig, MonteCarloOutcome,
+    NormalSource,
 };
 pub use platform::{PlatformReport, SimulationPlatform};
 pub use report::{Fig5Report, Fig6Report, Fig7Report, Fig8Report};
@@ -63,5 +71,7 @@ mod crate_tests {
         assert_send_sync::<PlatformReport>();
         assert_send_sync::<MonteCarloConfig>();
         assert_send_sync::<SimError>();
+        assert_send_sync::<EngineConfig>();
+        assert_send_sync::<ExecutionEngine>();
     }
 }

@@ -6,6 +6,25 @@
 //! The analytic model in `crossbar-array` integrates the same Gaussians in
 //! closed form; the Monte-Carlo path exists to validate that integration and
 //! to support experiments with non-Gaussian disturbances later.
+//!
+//! # Window semantics
+//!
+//! The `window` argument is the **half-width** of the decision interval, the
+//! same quantity [`device_physics::DopingLadder::window_half_width`] returns
+//! and `VariabilityModel::in_window_probability` integrates over: a region
+//! passes iff `|ΔV_T| ≤ window`. The analytic path
+//! ([`AddressabilityProfile::from_variability`]) uses the identical
+//! convention, so the two estimates are directly comparable.
+//!
+//! # Sampling discipline (common random numbers)
+//!
+//! Every region's deviation is drawn **unconditionally**: a sample consumes
+//! exactly `M` normals per nanowire whether or not an early region already
+//! fell outside the window. RNG consumption therefore never depends on the
+//! window or the acceptance outcome, so two runs with the same seed see the
+//! *same* deviations and differ only in the accept/reject decision. That
+//! makes common-random-number comparisons (wider window ⇒ supersets of
+//! accepted samples, per nanowire) exact instead of statistical.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,6 +34,7 @@ use crossbar_array::AddressabilityProfile;
 use device_physics::{VariabilityModel, Volts};
 use mspt_fabrication::VariabilityMatrix;
 
+use crate::engine::ExecutionEngine;
 use crate::error::{Result, SimError};
 
 /// Configuration of a Monte-Carlo addressability estimation.
@@ -47,6 +67,9 @@ pub struct MonteCarloOutcome {
 /// Estimates the per-nanowire addressability of a half cave by sampling the
 /// Gaussian disturbance of every doping region `samples` times.
 ///
+/// Thin wrapper over a single-threaded [`ExecutionEngine`]; results are
+/// bit-identical to the engine at any thread count.
+///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidConfig`] when `samples` is zero, or propagates
@@ -57,6 +80,11 @@ pub fn monte_carlo_addressability(
     window: Volts,
     config: MonteCarloConfig,
 ) -> Result<MonteCarloOutcome> {
+    ExecutionEngine::serial().monte_carlo_addressability(variability, model, window, config)
+}
+
+/// Validates a Monte-Carlo configuration and decision window.
+pub(crate) fn validate_monte_carlo(config: &MonteCarloConfig, window: Volts) -> Result<()> {
     if config.samples == 0 {
         return Err(SimError::InvalidConfig {
             reason: "Monte-Carlo estimation needs at least one sample".to_string(),
@@ -67,10 +95,16 @@ pub fn monte_carlo_addressability(
             reason: format!("decision window must be non-negative, got {window}"),
         });
     }
+    Ok(())
+}
 
+/// Pre-computes the per-(nanowire, region) standard deviations.
+pub(crate) fn region_sigmas(
+    variability: &VariabilityMatrix,
+    model: &VariabilityModel,
+) -> Result<Vec<Vec<f64>>> {
     let n = variability.nanowire_count();
     let m = variability.region_count();
-    // Pre-compute the per-region standard deviations.
     let mut sigmas = vec![vec![0.0f64; m]; n];
     for (i, row) in sigmas.iter_mut().enumerate() {
         for (j, slot) in row.iter_mut().enumerate() {
@@ -78,45 +112,96 @@ pub fn monte_carlo_addressability(
             *slot = model.sigma_after_doses(doses).value();
         }
     }
+    Ok(sigmas)
+}
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut addressable_counts = vec![0usize; n];
-    let half_width = window.value();
+/// Derives the RNG seed of one work chunk from the run seed and the chunk
+/// index — a SplitMix64-style finalizer, so neighbouring chunks get
+/// well-separated generator states and the mapping depends on nothing else.
+pub(crate) fn chunk_seed(seed: u64, chunk_index: u64) -> u64 {
+    let mut z = seed.wrapping_add(
+        chunk_index
+            .wrapping_add(1)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
-    for _ in 0..config.samples {
-        for (i, row) in sigmas.iter().enumerate() {
+/// Runs one deterministic chunk of `samples` array instances and returns the
+/// per-nanowire counts of fully-in-window samples.
+///
+/// Every region deviation is drawn unconditionally (no early exit), so the
+/// chunk consumes exactly `samples · N · M` normals regardless of the window
+/// — the fixed-consumption discipline the module docs describe.
+pub(crate) fn sample_chunk(
+    sigmas: &[Vec<f64>],
+    window_half_width: f64,
+    seed: u64,
+    samples: usize,
+) -> Vec<usize> {
+    let mut normals = NormalSource::from_seed(seed);
+    let mut counts = vec![0usize; sigmas.len()];
+    for _ in 0..samples {
+        for (count, row) in counts.iter_mut().zip(sigmas) {
             let mut all_in_window = true;
             for &sigma in row {
-                let deviation = sigma * standard_normal(&mut rng);
-                if deviation.abs() > half_width {
+                let deviation = sigma * normals.sample();
+                if deviation.abs() > window_half_width {
                     all_in_window = false;
-                    break;
                 }
             }
             if all_in_window {
-                addressable_counts[i] += 1;
+                *count += 1;
             }
         }
     }
-
-    let probabilities: Vec<f64> = addressable_counts
-        .into_iter()
-        .map(|count| count as f64 / config.samples as f64)
-        .collect();
-    Ok(MonteCarloOutcome {
-        profile: AddressabilityProfile::new(probabilities)?,
-        samples: config.samples,
-    })
+    counts
 }
 
-/// A standard-normal sample via the Box–Muller transform (the workspace only
-/// depends on `rand`, which provides uniform sampling).
-fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.gen::<f64>();
-        let u2: f64 = rng.gen::<f64>();
-        if u1 > f64::MIN_POSITIVE {
-            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+/// A standard-normal sampler over any uniform generator, via the Box–Muller
+/// transform (the workspace only depends on `rand`, which provides uniform
+/// sampling).
+///
+/// Each transform produces a *pair* of independent normals; the sine half is
+/// cached and served by the next call, so the source consumes two uniforms
+/// per two normals instead of discarding half of every pair.
+#[derive(Debug, Clone)]
+pub struct NormalSource<R: Rng> {
+    rng: R,
+    cached: Option<f64>,
+}
+
+impl NormalSource<StdRng> {
+    /// A source over a deterministically seeded [`StdRng`].
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        NormalSource::new(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl<R: Rng> NormalSource<R> {
+    /// Wraps a uniform generator.
+    #[must_use]
+    pub fn new(rng: R) -> Self {
+        NormalSource { rng, cached: None }
+    }
+
+    /// Draws one standard-normal value (zero mean, unit variance).
+    pub fn sample(&mut self) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        loop {
+            let u1: f64 = self.rng.gen::<f64>();
+            let u2: f64 = self.rng.gen::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                let radius = (-2.0 * u1.ln()).sqrt();
+                let angle = 2.0 * std::f64::consts::PI * u2;
+                self.cached = Some(radius * angle.sin());
+                return radius * angle.cos();
+            }
         }
     }
 }
@@ -225,9 +310,9 @@ mod tests {
     }
 
     #[test]
-    fn standard_normal_has_zero_mean_and_unit_variance() {
-        let mut rng = StdRng::seed_from_u64(123);
-        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+    fn normal_source_has_zero_mean_and_unit_variance() {
+        let mut normals = NormalSource::from_seed(123);
+        let samples: Vec<f64> = (0..20_000).map(|_| normals.sample()).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let variance =
             samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
@@ -236,7 +321,37 @@ mod tests {
     }
 
     #[test]
+    fn normal_source_serves_both_box_muller_halves() {
+        // The cosine and sine halves of one transform come from the same two
+        // uniforms: two fresh sources produce pairwise-equal radii.
+        let mut a = NormalSource::from_seed(99);
+        let mut b = NormalSource::from_seed(99);
+        let first = a.sample();
+        let second = a.sample();
+        let radius = (first * first + second * second).sqrt();
+        assert!(radius > 0.0);
+        // Same stream, same values: the pair is deterministic.
+        assert_eq!(b.sample(), first);
+        assert_eq!(b.sample(), second);
+        // And consuming the pair advanced the underlying RNG only once
+        // (two uniforms): the third sample starts a new transform.
+        assert_ne!(a.sample(), first);
+    }
+
+    #[test]
+    fn chunk_seeds_are_distinct_and_stable() {
+        assert_eq!(chunk_seed(42, 0), chunk_seed(42, 0));
+        assert_ne!(chunk_seed(42, 0), chunk_seed(42, 1));
+        assert_ne!(chunk_seed(42, 0), chunk_seed(43, 0));
+    }
+
+    #[test]
     fn wider_windows_never_reduce_addressability() {
+        // Common random numbers: the fixed-consumption sampling discipline
+        // draws the same deviations for both runs (same seed, same sigmas),
+        // so the wide-window run accepts a superset of the narrow-window
+        // run's samples — the comparison is exact per nanowire, with no
+        // statistical slack.
         let variability = variability(CodeKind::Hot, 6, 12);
         let model = VariabilityModel::paper_default();
         let narrow = monte_carlo_addressability(
@@ -259,8 +374,18 @@ mod tests {
             },
         )
         .unwrap();
-        let narrow_mean = narrow.profile.mean();
-        let wide_mean = wide.profile.mean();
-        assert!(wide_mean >= narrow_mean);
+        for (n, (narrow_p, wide_p)) in narrow
+            .profile
+            .probabilities()
+            .iter()
+            .zip(wide.profile.probabilities())
+            .enumerate()
+        {
+            assert!(
+                wide_p >= narrow_p,
+                "nanowire {n}: wide {wide_p} < narrow {narrow_p}"
+            );
+        }
+        assert!(wide.profile.mean() >= narrow.profile.mean());
     }
 }

@@ -7,7 +7,8 @@ use mspt_fabrication::Matrix;
 use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 
 use crate::config::SimConfig;
-use crate::error::{Result, SimError};
+use crate::engine::ExecutionEngine;
+use crate::error::Result;
 use crate::platform::{PlatformReport, SimulationPlatform};
 
 /// One point of the fabrication-complexity sweep (Fig. 5).
@@ -72,6 +73,9 @@ pub struct BitAreaPoint {
 /// Sweeps the fabrication complexity `Φ` over code families and logic
 /// radices at a fixed half-cave size (Fig. 5 uses `N = 10`).
 ///
+/// Thin wrapper over a single-threaded [`ExecutionEngine`]; use the engine
+/// directly to batch the points across threads.
+///
 /// # Errors
 ///
 /// Returns [`SimError::EmptySweep`] for empty parameter sets, or propagates
@@ -83,26 +87,7 @@ pub fn complexity_sweep(
     code_length: usize,
     nanowires: usize,
 ) -> Result<Vec<ComplexityPoint>> {
-    if kinds.is_empty() || radices.is_empty() {
-        return Err(SimError::EmptySweep);
-    }
-    let mut points = Vec::with_capacity(kinds.len() * radices.len());
-    for &radix in radices {
-        for &kind in kinds {
-            let code = CodeSpec::new(kind, radix, code_length)?;
-            let config = base.clone().with_code(code);
-            let platform = SimulationPlatform::new(config);
-            let cost = platform.fabrication_cost_for(nanowires)?;
-            points.push(ComplexityPoint {
-                kind,
-                radix,
-                code_length,
-                nanowires,
-                fabrication_steps: cost.total(),
-            });
-        }
-    }
-    Ok(points)
+    ExecutionEngine::serial().complexity_sweep(base, kinds, radices, code_length, nanowires)
 }
 
 /// Computes the variability map of one code family and length (one panel of
@@ -136,6 +121,9 @@ pub fn variability_map(
 /// Sweeps the crossbar yield over code lengths for one code family (one
 /// series of Fig. 7).
 ///
+/// Thin wrapper over a single-threaded [`ExecutionEngine`]; use the engine
+/// directly to batch and memoize the points across threads.
+///
 /// # Errors
 ///
 /// Returns [`SimError::EmptySweep`] for an empty length set, or propagates
@@ -148,28 +136,14 @@ pub fn yield_sweep(
     radix: LogicLevel,
     code_lengths: &[usize],
 ) -> Result<Vec<YieldPoint>> {
-    if code_lengths.is_empty() {
-        return Err(SimError::EmptySweep);
-    }
-    let mut points = Vec::new();
-    for &code_length in code_lengths {
-        let Ok(code) = CodeSpec::new(kind, radix, code_length) else {
-            continue;
-        };
-        let config = base.clone().with_code(code);
-        let report = SimulationPlatform::new(config).evaluate()?;
-        points.push(YieldPoint {
-            kind,
-            code_length,
-            cave_yield: report.cave_yield,
-            crossbar_yield: report.crossbar_yield,
-        });
-    }
-    Ok(points)
+    ExecutionEngine::serial().yield_sweep(base, kind, radix, code_lengths)
 }
 
 /// Sweeps the effective bit area over code lengths for one code family (one
 /// bar group of Fig. 8).
+///
+/// Thin wrapper over a single-threaded [`ExecutionEngine`]; use the engine
+/// directly to batch and memoize the points across threads.
 ///
 /// # Errors
 ///
@@ -181,29 +155,15 @@ pub fn bit_area_sweep(
     radix: LogicLevel,
     code_lengths: &[usize],
 ) -> Result<Vec<BitAreaPoint>> {
-    if code_lengths.is_empty() {
-        return Err(SimError::EmptySweep);
-    }
-    let mut points = Vec::new();
-    for &code_length in code_lengths {
-        let Ok(code) = CodeSpec::new(kind, radix, code_length) else {
-            continue;
-        };
-        let config = base.clone().with_code(code);
-        let report = SimulationPlatform::new(config).evaluate()?;
-        points.push(BitAreaPoint {
-            kind,
-            code_length,
-            bit_area: report.effective_bit_area,
-            crossbar_yield: report.crossbar_yield,
-        });
-    }
-    Ok(points)
+    ExecutionEngine::serial().bit_area_sweep(base, kind, radix, code_lengths)
 }
 
 /// Evaluates the full platform report for every (kind, length) pair —
 /// convenience for the experiments and benches that need several figures at
 /// once.
+///
+/// Thin wrapper over a single-threaded [`ExecutionEngine`]; use the engine
+/// directly to batch and memoize the points across threads.
 ///
 /// # Errors
 ///
@@ -215,25 +175,13 @@ pub fn full_sweep(
     radix: LogicLevel,
     code_lengths: &[usize],
 ) -> Result<Vec<PlatformReport>> {
-    if kinds.is_empty() || code_lengths.is_empty() {
-        return Err(SimError::EmptySweep);
-    }
-    let mut reports = Vec::new();
-    for &kind in kinds {
-        for &code_length in code_lengths {
-            let Ok(code) = CodeSpec::new(kind, radix, code_length) else {
-                continue;
-            };
-            let config = base.clone().with_code(code);
-            reports.push(SimulationPlatform::new(config).evaluate()?);
-        }
-    }
-    Ok(reports)
+    ExecutionEngine::serial().full_sweep(base, kinds, radix, code_lengths)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::SimError;
 
     fn base() -> SimConfig {
         let code = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, 8).unwrap();

@@ -1,0 +1,102 @@
+//! Cross-thread equivalence and RNG-discipline regression tests for the
+//! parallel execution engine: the engine must be bit-identical to the serial
+//! path for Monte-Carlo at any thread count, element-identical for sweeps,
+//! and the exact Monte-Carlo outcome for a fixed seed is pinned so future
+//! changes to the sampling discipline are loud.
+
+use decoder_sim::{
+    full_sweep, monte_carlo_addressability, EngineConfig, ExecutionEngine, MonteCarloConfig,
+    SimConfig, DEFAULT_CHUNK_SIZE,
+};
+use device_physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
+use mspt_fabrication::{PatternMatrix, VariabilityMatrix};
+use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+fn variability(kind: CodeKind, length: usize, nanowires: usize) -> VariabilityMatrix {
+    let seq = CodeSpec::new(kind, LogicLevel::BINARY, length)
+        .unwrap()
+        .generate()
+        .unwrap()
+        .take_cyclic(nanowires)
+        .unwrap();
+    let ladder = DopingLadder::from_model(
+        &ThresholdModel::default_mspt(),
+        2,
+        (Volts::new(0.0), Volts::new(1.0)),
+    )
+    .unwrap();
+    VariabilityMatrix::from_pattern(
+        &PatternMatrix::from_sequence(&seq).unwrap(),
+        &ladder,
+        &VariabilityModel::paper_default(),
+    )
+    .unwrap()
+}
+
+fn engine(threads: usize) -> ExecutionEngine {
+    ExecutionEngine::new(EngineConfig {
+        threads,
+        chunk_size: DEFAULT_CHUNK_SIZE,
+    })
+}
+
+#[test]
+fn monte_carlo_is_bit_identical_across_thread_counts() {
+    let variability = variability(CodeKind::Tree, 8, 10);
+    let model = VariabilityModel::paper_default();
+    let window = Volts::new(0.25);
+    let config = MonteCarloConfig {
+        samples: 1_000,
+        seed: 42,
+    };
+    let serial = monte_carlo_addressability(&variability, &model, window, config).unwrap();
+    for threads in [1usize, 2, 4] {
+        let parallel = engine(threads)
+            .monte_carlo_addressability(&variability, &model, window, config)
+            .unwrap();
+        assert_eq!(
+            serial, parallel,
+            "outcome diverged at {threads} engine threads"
+        );
+    }
+}
+
+#[test]
+fn full_sweep_is_element_identical_across_thread_counts() {
+    let code = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, 8).unwrap();
+    let base = SimConfig::paper_defaults(code).unwrap();
+    let kinds = [CodeKind::Tree, CodeKind::Gray, CodeKind::Hot];
+    let lengths = [4usize, 6, 8];
+    let serial = full_sweep(&base, &kinds, LogicLevel::BINARY, &lengths).unwrap();
+    for threads in [2usize, 4] {
+        let parallel = engine(threads)
+            .full_sweep(&base, &kinds, LogicLevel::BINARY, &lengths)
+            .unwrap();
+        assert_eq!(serial, parallel, "sweep diverged at {threads} threads");
+    }
+}
+
+/// Pins the exact per-nanowire acceptance counts for a fixed seed. Any change
+/// to the RNG discipline — chunk seeding, Box–Muller pair handling, draw
+/// order, chunk size — shows up here as a loud, exact failure rather than a
+/// silent statistical drift.
+#[test]
+fn fixed_seed_outcome_is_pinned() {
+    let variability = variability(CodeKind::Tree, 8, 10);
+    let model = VariabilityModel::paper_default();
+    let config = MonteCarloConfig {
+        samples: 500,
+        seed: 42,
+    };
+    let outcome =
+        monte_carlo_addressability(&variability, &model, Volts::new(0.25), config).unwrap();
+    assert_eq!(outcome.samples, 500);
+    let counts: Vec<usize> = outcome
+        .profile
+        .probabilities()
+        .iter()
+        .map(|p| (p * 500.0).round() as usize)
+        .collect();
+    let pinned: Vec<usize> = vec![373, 394, 405, 421, 453, 476, 487, 494, 500, 500];
+    assert_eq!(counts, pinned, "probabilities: {:?}", outcome.profile);
+}

@@ -12,7 +12,8 @@
 //! * [`physics`] — threshold-voltage / doping device model and Gaussian statistics
 //! * [`fabrication`] — MSPT pattern/doping/step matrices, fabrication complexity Φ and variability Σ
 //! * [`crossbar`] — crossbar geometry, contact groups, yield and area models
-//! * [`sim`] — the paper's Section 6 simulation platform and parameter sweeps
+//! * [`sim`] — the paper's Section 6 simulation platform, parameter sweeps and
+//!   the work-sharded parallel execution engine
 //! * [`decoder`] — the top-level decoder design and optimisation API
 //!
 //! # Quickstart
@@ -48,5 +49,5 @@ pub mod prelude {
         FabricationCost, PatternMatrix, StepDopingMatrix, VariabilityMatrix,
     };
     pub use crate::physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
-    pub use crate::sim::{SimConfig, SimulationPlatform};
+    pub use crate::sim::{EngineConfig, ExecutionEngine, SimConfig, SimulationPlatform};
 }
