@@ -1,0 +1,37 @@
+//! Serial vs engine-sharded defect-map generation: the same independently
+//! seeded band layout assembled by one thread or many — bit-identical maps
+//! at every thread count, only the wall-clock changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossbar_array::DefectModel;
+use decoder_sim::{EngineConfig, ExecutionEngine, DEFAULT_CHUNK_SIZE};
+
+/// Crossbar edge used by the bench: 768 × 768 crosspoints spans twelve
+/// 64-row bands, enough for the sharding to matter.
+const EDGE: usize = 768;
+
+fn bench_defect_map(c: &mut Criterion) {
+    let model = DefectModel::new(0.02, 0.01).expect("model");
+    let mut group = c.benchmark_group(format!("defect_map_{EDGE}x{EDGE}"));
+    group.sample_size(10);
+    group.bench_function("serial_sample_map", |b| {
+        b.iter(|| model.sample_map(EDGE, EDGE, 42).expect("map"))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let engine = ExecutionEngine::new(EngineConfig {
+            threads,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        });
+        group.bench_function(format!("engine_{threads}_threads"), |b| {
+            b.iter(|| {
+                engine
+                    .sample_defect_map(&model, EDGE, EDGE, 42)
+                    .expect("map")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_defect_map);
+criterion_main!(benches);

@@ -42,9 +42,9 @@ impl Default for ArrangedHotBudget {
 ///
 /// # Errors
 ///
-/// * [`CodeError::InvalidHotLength`] when the length is not a positive
+/// * [`CodeError::InvalidHotLength`](crate::CodeError::InvalidHotLength) when the length is not a positive
 ///   multiple of the radix.
-/// * [`CodeError::SpaceTooLarge`] when the space exceeds the enumeration
+/// * [`CodeError::SpaceTooLarge`](crate::CodeError::SpaceTooLarge) when the space exceeds the enumeration
 ///   limit.
 ///
 /// # Examples

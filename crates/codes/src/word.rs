@@ -178,7 +178,7 @@ impl CodeWord {
     /// The reflected word: this word with its complement appended, doubling
     /// the length (Section 2.3). Reflection guarantees every word contains
     /// each digit value a balanced number of times across base and mirror
-    /// halves, which the addressing scheme of ref. [2] requires.
+    /// halves, which the addressing scheme of ref. \[2\] requires.
     #[must_use]
     pub fn reflected(&self) -> CodeWord {
         let mut digits = self.digits.clone();

@@ -13,6 +13,28 @@
 //!
 //! Both defect types are independent of the decoder-induced losses, so the
 //! composite crossbar yield is the product of the three factors.
+//!
+//! # Chunked map layout (determinism contract)
+//!
+//! [`DefectModel::sample_map`] draws a map not from one long RNG stream but
+//! from **independently seeded chunks**, so map generation can be sharded
+//! across threads (see `decoder_sim::ExecutionEngine::sample_defect_map`)
+//! while staying bit-identical for any thread count:
+//!
+//! * chunk `0` — the row-breakage vector;
+//! * chunk `1` — the column-breakage vector;
+//! * chunk `2 + b` — band `b` of the crosspoint-defect matrix, covering rows
+//!   `b · DEFECT_BAND_ROWS .. (b + 1) · DEFECT_BAND_ROWS`.
+//!
+//! Chunk `c` is seeded [`chunk_seed`]`(seed ^ DOMAIN, c)`, where `DOMAIN` is
+//! a fixed defect-map tag: a Monte-Carlo estimation and a defect map sharing
+//! one run seed therefore draw from *decorrelated* streams instead of
+//! replaying each other's uniforms.
+//!
+//! Every chunk consumes a fixed number of uniforms (one per nanowire or
+//! crosspoint it covers), so the map depends only on `(rates, rows, columns,
+//! seed)` — never on which thread samples which chunk, and never on the
+//! defect rates steering RNG consumption.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,6 +42,55 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{CrossbarError, Result};
 use crate::yield_model::CaveYield;
+
+/// Derives the RNG seed of one deterministic work chunk from a run seed and
+/// the chunk index — a SplitMix64-style finalizer, so neighbouring chunks get
+/// well-separated generator states and the mapping depends on nothing else.
+///
+/// This is the workspace-wide stream-splitting primitive: the Monte-Carlo
+/// sampler in `decoder-sim` seeds its sample chunks with it directly, and
+/// [`DefectModel::sample_map`] seeds its map chunks with it through a
+/// defect-map domain tag (see the module docs), so the two samplers never
+/// replay each other's streams for a shared run seed. Both contracts
+/// ("bit-identical for any thread count") rest on this function being pure in
+/// `(seed, chunk_index)`.
+#[must_use]
+pub fn chunk_seed(seed: u64, chunk_index: u64) -> u64 {
+    let mut z = seed.wrapping_add(
+        chunk_index
+            .wrapping_add(1)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Number of crossbar rows per defect-map band — the fixed chunk size of the
+/// chunked map layout. Fixed (rather than derived from the machine) so maps
+/// are reproducible across hosts; like the Monte-Carlo `chunk_size`, maps
+/// depend on this value but never on the thread count.
+pub const DEFECT_BAND_ROWS: usize = 64;
+
+/// Number of [`DEFECT_BAND_ROWS`]-row bands a `rows`-row defect map is
+/// sampled in (the last band may be shorter).
+#[must_use]
+pub fn defect_band_count(rows: usize) -> usize {
+    rows.div_ceil(DEFECT_BAND_ROWS)
+}
+
+/// Domain-separation tag mixed into the run seed before defect-map chunk
+/// derivation. Without it, chunk `c` of a defect map and chunk `c` of a
+/// Monte-Carlo estimation sharing one run seed would consume the *same*
+/// uniform stream, statistically coupling broken-nanowire placement to the
+/// sampled dose disturbances in combined studies.
+const DEFECT_SEED_DOMAIN: u64 = 0xdefe_c7ed_0000_0001;
+
+/// The defect-map instance of the chunk-seeding contract:
+/// `chunk_seed(seed ^ DEFECT_SEED_DOMAIN, chunk)`.
+fn defect_chunk_seed(seed: u64, chunk: u64) -> u64 {
+    chunk_seed(seed ^ DEFECT_SEED_DOMAIN, chunk)
+}
 
 /// The defect rates of the crossbar, all as independent probabilities.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -96,32 +167,70 @@ impl DefectModel {
     /// deterministic seed: which nanowires are broken and which crosspoints
     /// are defective.
     ///
+    /// The map is assembled from the independently seeded chunks of the
+    /// module-level layout, so this serial reference implementation is
+    /// bit-identical to a sharded assembly of the same chunks at any thread
+    /// count.
+    ///
     /// # Errors
     ///
     /// Returns [`CrossbarError::InvalidSpec`] when either dimension is zero.
     pub fn sample_map(&self, rows: usize, columns: usize, seed: u64) -> Result<DefectMap> {
-        if rows == 0 || columns == 0 {
-            return Err(CrossbarError::InvalidSpec {
-                reason: format!("defect map dimensions {rows}x{columns} must be positive"),
-            });
+        let mut defective = Vec::with_capacity(rows.saturating_mul(columns));
+        for band in 0..defect_band_count(rows) {
+            defective.extend(self.sample_defective_band(band, rows, columns, seed));
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let broken_rows = (0..rows)
-            .map(|_| rng.gen::<f64>() < self.nanowire_breakage)
-            .collect();
-        let broken_columns = (0..columns)
-            .map(|_| rng.gen::<f64>() < self.nanowire_breakage)
-            .collect();
-        let defective = (0..rows * columns)
-            .map(|_| rng.gen::<f64>() < self.crosspoint_defect)
-            .collect();
-        Ok(DefectMap {
+        DefectMap::from_parts(
             rows,
             columns,
-            broken_rows,
-            broken_columns,
+            self.sample_row_breakage(rows, seed),
+            self.sample_column_breakage(columns, seed),
             defective,
-        })
+        )
+    }
+
+    /// Samples chunk `0` of the map layout: the row-breakage vector (`rows`
+    /// uniforms from the chunk-0 generator of the domain-tagged layout).
+    #[must_use]
+    pub fn sample_row_breakage(&self, rows: usize, seed: u64) -> Vec<bool> {
+        self.sample_bools(rows, self.nanowire_breakage, defect_chunk_seed(seed, 0))
+    }
+
+    /// Samples chunk `1` of the map layout: the column-breakage vector
+    /// (`columns` uniforms from the chunk-1 generator of the domain-tagged
+    /// layout).
+    #[must_use]
+    pub fn sample_column_breakage(&self, columns: usize, seed: u64) -> Vec<bool> {
+        self.sample_bools(columns, self.nanowire_breakage, defect_chunk_seed(seed, 1))
+    }
+
+    /// Samples chunk `2 + band` of the map layout: the crosspoint-defect
+    /// flags of the rows in `band`, in row-major order (one uniform per
+    /// crosspoint, from the chunk-`2 + band` generator of the domain-tagged
+    /// layout).
+    ///
+    /// Bands past the end of the map (`band ≥ defect_band_count(rows)`) are
+    /// empty.
+    #[must_use]
+    pub fn sample_defective_band(
+        &self,
+        band: usize,
+        rows: usize,
+        columns: usize,
+        seed: u64,
+    ) -> Vec<bool> {
+        let start = band.saturating_mul(DEFECT_BAND_ROWS);
+        let band_rows = rows.saturating_sub(start).min(DEFECT_BAND_ROWS);
+        self.sample_bools(
+            band_rows * columns,
+            self.crosspoint_defect,
+            defect_chunk_seed(seed, 2 + band as u64),
+        )
+    }
+
+    fn sample_bools(&self, count: usize, rate: f64, seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| rng.gen::<f64>() < rate).collect()
     }
 }
 
@@ -162,6 +271,48 @@ pub struct DefectMap {
 }
 
 impl DefectMap {
+    /// Assembles a map from sampled chunks: the breakage vectors and the
+    /// row-major crosspoint-defect flags (the concatenated bands of the
+    /// module-level layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidSpec`] when either dimension is zero
+    /// or a part's length does not match the dimensions.
+    pub fn from_parts(
+        rows: usize,
+        columns: usize,
+        broken_rows: Vec<bool>,
+        broken_columns: Vec<bool>,
+        defective: Vec<bool>,
+    ) -> Result<Self> {
+        if rows == 0 || columns == 0 {
+            return Err(CrossbarError::InvalidSpec {
+                reason: format!("defect map dimensions {rows}x{columns} must be positive"),
+            });
+        }
+        if broken_rows.len() != rows
+            || broken_columns.len() != columns
+            || defective.len() != rows * columns
+        {
+            return Err(CrossbarError::InvalidSpec {
+                reason: format!(
+                    "defect map parts ({}, {}, {}) do not match dimensions {rows}x{columns}",
+                    broken_rows.len(),
+                    broken_columns.len(),
+                    defective.len()
+                ),
+            });
+        }
+        Ok(DefectMap {
+            rows,
+            columns,
+            broken_rows,
+            broken_columns,
+            defective,
+        })
+    }
+
     /// Number of row nanowires.
     #[must_use]
     pub fn rows(&self) -> usize {
@@ -291,5 +442,58 @@ mod tests {
     fn zero_sized_maps_are_rejected() {
         assert!(DefectModel::ideal().sample_map(0, 4, 1).is_err());
         assert!(DefectModel::ideal().sample_map(4, 0, 1).is_err());
+    }
+
+    #[test]
+    fn chunk_seeds_are_distinct_and_stable() {
+        assert_eq!(chunk_seed(42, 0), chunk_seed(42, 0));
+        assert_ne!(chunk_seed(42, 0), chunk_seed(42, 1));
+        assert_ne!(chunk_seed(42, 0), chunk_seed(43, 0));
+    }
+
+    #[test]
+    fn maps_assemble_from_independently_sampled_chunks() {
+        // Spanning multiple bands (150 rows > DEFECT_BAND_ROWS), reassembling
+        // the chunks in any grouping must reproduce sample_map exactly — the
+        // property the execution engine's sharded assembly relies on.
+        let model = DefectModel::new(0.1, 0.05).unwrap();
+        let (rows, columns, seed) = (150usize, 40usize, 42u64);
+        assert_eq!(defect_band_count(rows), 3);
+        let mut defective = Vec::new();
+        // Deliberately sample the bands out of order to mimic scheduling.
+        let mut bands: Vec<(usize, Vec<bool>)> = (0..defect_band_count(rows))
+            .rev()
+            .map(|band| (band, model.sample_defective_band(band, rows, columns, seed)))
+            .collect();
+        bands.sort_by_key(|(band, _)| *band);
+        for (_, band) in bands {
+            defective.extend(band);
+        }
+        let assembled = DefectMap::from_parts(
+            rows,
+            columns,
+            model.sample_row_breakage(rows, seed),
+            model.sample_column_breakage(columns, seed),
+            defective,
+        )
+        .unwrap();
+        assert_eq!(assembled, model.sample_map(rows, columns, seed).unwrap());
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        assert!(
+            DefectMap::from_parts(2, 2, vec![false; 2], vec![false; 2], vec![false; 4]).is_ok()
+        );
+        assert!(
+            DefectMap::from_parts(2, 2, vec![false; 3], vec![false; 2], vec![false; 4]).is_err()
+        );
+        assert!(
+            DefectMap::from_parts(2, 2, vec![false; 2], vec![false; 1], vec![false; 4]).is_err()
+        );
+        assert!(
+            DefectMap::from_parts(2, 2, vec![false; 2], vec![false; 2], vec![false; 3]).is_err()
+        );
+        assert!(DefectMap::from_parts(0, 2, vec![], vec![false; 2], vec![]).is_err());
     }
 }

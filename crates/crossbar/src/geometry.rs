@@ -121,7 +121,7 @@ impl LayoutRules {
 
     /// The overlay/alignment tolerance of the contact-group mask; nanowires
     /// within this distance of a group boundary may be contacted by both
-    /// adjacent groups and are removed from the addressable set (ref. [6]).
+    /// adjacent groups and are removed from the addressable set (ref. \[6\]).
     #[must_use]
     pub fn contact_alignment_tolerance(&self) -> Nanometers {
         self.contact_alignment_tolerance

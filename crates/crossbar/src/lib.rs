@@ -74,7 +74,9 @@ pub use area::CrossbarArea;
 pub use array::{CrossbarSpec, PAPER_RAW_BITS};
 pub use cave::{Cave, HalfCave};
 pub use contact::{ContactGroupLayout, PositionKind};
-pub use defects::{CompositeYield, DefectMap, DefectModel};
+pub use defects::{
+    chunk_seed, defect_band_count, CompositeYield, DefectMap, DefectModel, DEFECT_BAND_ROWS,
+};
 pub use error::{CrossbarError, Result};
 pub use geometry::LayoutRules;
 pub use memory::CrossbarMemory;

@@ -24,5 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", mspt_experiments::fig8_report_with(&engine)?);
     println!();
     print!("{}", mspt_experiments::headline_numbers_with(&engine)?);
+    println!();
+    print!("{}", mspt_experiments::disturbance_report_with(&engine)?);
     Ok(())
 }

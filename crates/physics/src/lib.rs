@@ -5,7 +5,7 @@
 //! Gaussian variability model of Definition 5, and the unit newtypes shared
 //! by the rest of the workspace.
 //!
-//! The paper (ref. [14], Sze & Ng) only relies on two properties of the
+//! The paper (ref. \[14\], Sze & Ng) only relies on two properties of the
 //! doping → threshold function `f`: it is *monotone* and therefore
 //! *bijective*. [`ThresholdModel`] implements the long-channel MOS threshold
 //! equation, which has both properties, and [`DopingLadder`] packages the

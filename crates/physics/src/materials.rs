@@ -3,7 +3,7 @@
 //! threshold-voltage model.
 //!
 //! Values follow Sze & Ng, *Physics of Semiconductor Devices* (the paper's
-//! ref. [14]) at room temperature.
+//! ref. \[14\]) at room temperature.
 
 /// Elementary charge in coulombs.
 pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;

@@ -367,7 +367,7 @@ impl DopingLadder {
     /// The decision-window half-width implied by the ladder: half the
     /// smallest separation between adjacent threshold levels. A region is
     /// considered addressable when its actual threshold stays within this
-    /// window of the nominal level (Section 6.1, following ref. [2]).
+    /// window of the nominal level (Section 6.1, following ref. \[2\]).
     #[must_use]
     pub fn window_half_width(&self) -> Volts {
         let min_sep = self

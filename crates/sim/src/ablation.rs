@@ -141,7 +141,7 @@ pub fn window_sensitivity(
 }
 
 /// Sweeps the contact alignment tolerance (in nanometres) — the constant
-/// behind the boundary-nanowire losses of ref. [6].
+/// behind the boundary-nanowire losses of ref. \[6\].
 ///
 /// # Errors
 ///

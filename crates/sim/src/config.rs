@@ -7,6 +7,7 @@ use crossbar_array::{CrossbarSpec, LayoutRules, PAPER_RAW_BITS};
 use device_physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
 use nanowire_codes::{CodeBudgets, CodeSpec};
 
+use crate::disturbance::DisturbanceKind;
 use crate::error::{Result, SimError};
 
 /// Full configuration of one decoder/crossbar simulation.
@@ -36,6 +37,10 @@ pub struct SimConfig {
     supply_range: (Volts, Volts),
     window_override: Option<Volts>,
     code_budgets: CodeBudgets,
+    // Defaulted so configurations serialized before this field existed
+    // still deserialize (Gaussian is exactly the pre-field behaviour).
+    #[serde(default)]
+    disturbance: DisturbanceKind,
 }
 
 impl SimConfig {
@@ -115,6 +120,7 @@ impl SimConfig {
             supply_range,
             window_override: None,
             code_budgets: CodeBudgets::default(),
+            disturbance: DisturbanceKind::default(),
         })
     }
 
@@ -164,6 +170,15 @@ impl SimConfig {
         self
     }
 
+    /// Selects the dose-disturbance distribution the Monte-Carlo path
+    /// samples under (defaults to [`DisturbanceKind::Gaussian`], the only
+    /// distribution the analytic path can integrate in closed form).
+    #[must_use]
+    pub fn with_disturbance(mut self, disturbance: DisturbanceKind) -> Self {
+        self.disturbance = disturbance;
+        self
+    }
+
     /// The code specification under evaluation.
     #[must_use]
     pub fn code(&self) -> CodeSpec {
@@ -210,6 +225,12 @@ impl SimConfig {
     #[must_use]
     pub fn code_budgets(&self) -> CodeBudgets {
         self.code_budgets
+    }
+
+    /// The dose-disturbance distribution of the Monte-Carlo path.
+    #[must_use]
+    pub fn disturbance(&self) -> DisturbanceKind {
+        self.disturbance
     }
 
     /// The crossbar specification implied by this configuration.
@@ -337,6 +358,20 @@ mod tests {
         assert_eq!(config.decision_window().unwrap(), Volts::new(0.2));
         let other = CodeSpec::new(CodeKind::Hot, LogicLevel::BINARY, 6).unwrap();
         assert_eq!(config.with_code(other).code(), other);
+    }
+
+    #[test]
+    fn disturbance_defaults_to_gaussian_and_overrides() {
+        let config = SimConfig::paper_defaults(code()).unwrap();
+        assert_eq!(config.disturbance(), DisturbanceKind::Gaussian);
+        let heavy = config.with_disturbance(DisturbanceKind::Laplace);
+        assert_eq!(heavy.disturbance(), DisturbanceKind::Laplace);
+        // The disturbance choice is part of the configuration's identity
+        // (the engine's report cache keys on SimConfig equality).
+        assert_ne!(
+            heavy,
+            heavy.clone().with_disturbance(DisturbanceKind::Gaussian)
+        );
     }
 
     #[test]

@@ -29,12 +29,13 @@ use std::thread;
 
 use serde::{Deserialize, Serialize};
 
-use crossbar_array::AddressabilityProfile;
+use crossbar_array::{defect_band_count, AddressabilityProfile, DefectMap, DefectModel};
 use device_physics::{VariabilityModel, Volts};
 use mspt_fabrication::VariabilityMatrix;
 use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 
 use crate::config::SimConfig;
+use crate::disturbance::{DisturbanceModel, GaussianDisturbance};
 use crate::error::{Result, SimError};
 use crate::monte_carlo::{
     chunk_seed, region_sigmas, sample_chunk, validate_monte_carlo, MonteCarloConfig,
@@ -229,6 +230,27 @@ impl ExecutionEngine {
         window: Volts,
         config: MonteCarloConfig,
     ) -> Result<MonteCarloOutcome> {
+        self.monte_carlo_with_disturbance(variability, model, window, config, &GaussianDisturbance)
+    }
+
+    /// [`ExecutionEngine::monte_carlo_addressability`] under an explicit
+    /// [`DisturbanceModel`] instead of the default Gaussian. The determinism
+    /// contract is unchanged: chunk `c` draws from `chunk_seed(seed, c)` and
+    /// the model's fixed per-nanowire consumption keeps outcomes
+    /// bit-identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero samples or a negative
+    /// window, or propagates lower-layer errors.
+    pub fn monte_carlo_with_disturbance(
+        &self,
+        variability: &VariabilityMatrix,
+        model: &VariabilityModel,
+        window: Volts,
+        config: MonteCarloConfig,
+        disturbance: &dyn DisturbanceModel,
+    ) -> Result<MonteCarloOutcome> {
         validate_monte_carlo(&config, window)?;
         let sigmas = region_sigmas(variability, model)?;
         let window_half_width = window.value();
@@ -242,6 +264,7 @@ impl ExecutionEngine {
                 window_half_width,
                 chunk_seed(config.seed, chunk as u64),
                 samples,
+                disturbance,
             ))
         })?;
         let mut totals = vec![0usize; variability.nanowire_count()];
@@ -258,6 +281,66 @@ impl ExecutionEngine {
             profile: AddressabilityProfile::new(probabilities)?,
             samples: config.samples,
         })
+    }
+
+    /// Monte-Carlo addressability of a full simulation configuration under
+    /// its configured [`DisturbanceKind`](crate::DisturbanceKind): derives
+    /// the variability matrix, model and decision window from `sim` and
+    /// samples with `sim.disturbance()` — the engine-side entry point the
+    /// experiments layer sweeps over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, code, fabrication and sampling errors.
+    pub fn monte_carlo_for_config(
+        &self,
+        sim: &SimConfig,
+        config: MonteCarloConfig,
+    ) -> Result<MonteCarloOutcome> {
+        let platform = SimulationPlatform::new(sim.clone());
+        let variability = platform.variability()?;
+        let model = sim.variability_model()?;
+        let window = sim.decision_window()?;
+        let disturbance = sim.disturbance().model()?;
+        self.monte_carlo_with_disturbance(
+            &variability,
+            &model,
+            window,
+            config,
+            disturbance.as_ref(),
+        )
+    }
+
+    /// Samples a crossbar defect map with its bands sharded across the
+    /// engine's threads — bit-identical to the serial
+    /// [`DefectModel::sample_map`] at any thread count, because both assemble
+    /// the same independently seeded chunks (see the layout documented on
+    /// `crossbar_array::defects`): the breakage vectors are cheap and drawn
+    /// inline, the `O(rows · columns)` crosspoint bands fan out through the
+    /// engine and are concatenated in band order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the crossbar layer's `InvalidSpec` when either dimension is
+    /// zero.
+    pub fn sample_defect_map(
+        &self,
+        model: &DefectModel,
+        rows: usize,
+        columns: usize,
+        seed: u64,
+    ) -> Result<DefectMap> {
+        let bands = self.run_indexed(defect_band_count(rows), |band| {
+            Ok(model.sample_defective_band(band, rows, columns, seed))
+        })?;
+        let defective: Vec<bool> = bands.into_iter().flatten().collect();
+        Ok(DefectMap::from_parts(
+            rows,
+            columns,
+            model.sample_row_breakage(rows, seed),
+            model.sample_column_breakage(columns, seed),
+            defective,
+        )?)
     }
 
     /// Evaluates every configuration, serving repeats from the memoized

@@ -5,11 +5,16 @@
 //! parameters, one orchestrator ([`SimulationPlatform`]) that takes a code
 //! choice to fabrication complexity, variability, yield and bit area, the
 //! parameter sweeps behind Figs. 5–8, and a Monte-Carlo cross-check of the
-//! analytic yield model.
+//! analytic yield model with pluggable disturbance distributions
+//! ([`DisturbanceModel`]: Gaussian, heavy-tailed Laplace, correlated
+//! inter-region) — the regimes the closed-form Gaussian integration cannot
+//! reach.
 //!
 //! Both the Monte-Carlo validator and the sweeps run on a work-sharded
 //! parallel [`ExecutionEngine`] whose results are bit-identical for any
-//! thread count; the serial free functions are thin wrappers over a
+//! thread count; the engine also shards crossbar defect-map generation
+//! ([`ExecutionEngine::sample_defect_map`]) under the same per-chunk seeding
+//! contract. The serial free functions are thin wrappers over a
 //! single-threaded engine.
 //!
 //! # Examples
@@ -34,6 +39,7 @@
 
 mod ablation;
 mod config;
+mod disturbance;
 mod engine;
 mod error;
 mod monte_carlo;
@@ -46,12 +52,22 @@ pub use ablation::{
     SensitivityPoint, SensitivitySweep,
 };
 pub use config::SimConfig;
+pub use disturbance::{
+    CorrelatedDisturbance, DisturbanceKind, DisturbanceModel, GaussianDisturbance,
+    LaplaceDisturbance,
+};
 pub use engine::{EngineConfig, ExecutionEngine, DEFAULT_CHUNK_SIZE, ENGINE_THREADS_ENV};
 pub use error::{Result, SimError};
 pub use monte_carlo::{
-    max_profile_difference, monte_carlo_addressability, MonteCarloConfig, MonteCarloOutcome,
-    NormalSource,
+    max_profile_difference, monte_carlo_addressability, monte_carlo_with_disturbance,
+    MonteCarloConfig, MonteCarloOutcome, NormalSource,
 };
+
+// Re-exported so the sampling and defect-map determinism contracts can be
+// referenced from one API: Monte-Carlo chunk `c` draws from
+// `chunk_seed(seed, c)`; defect maps derive theirs through a domain tag so
+// the two samplers stay decorrelated for a shared run seed.
+pub use crossbar_array::chunk_seed;
 pub use platform::{PlatformReport, SimulationPlatform};
 pub use report::{Fig5Report, Fig6Report, Fig7Report, Fig8Report};
 pub use sweep::{

@@ -5,7 +5,10 @@
 //!
 //! The analytic model in `crossbar-array` integrates the same Gaussians in
 //! closed form; the Monte-Carlo path exists to validate that integration and
-//! to support experiments with non-Gaussian disturbances later.
+//! to explore the distributions the closed form cannot reach — the sampler
+//! draws its region disturbances through the pluggable
+//! [`DisturbanceModel`](crate::disturbance) trait (Gaussian by default,
+//! heavy-tailed Laplace and correlated inter-region models included).
 //!
 //! # Window semantics
 //!
@@ -34,6 +37,11 @@ use crossbar_array::AddressabilityProfile;
 use device_physics::{VariabilityModel, Volts};
 use mspt_fabrication::VariabilityMatrix;
 
+// The stream-splitting primitive is shared with the defect-map sharding in
+// `crossbar-array`; both determinism contracts rest on the same function.
+pub(crate) use crossbar_array::chunk_seed;
+
+use crate::disturbance::DisturbanceModel;
 use crate::engine::ExecutionEngine;
 use crate::error::{Result, SimError};
 
@@ -83,6 +91,34 @@ pub fn monte_carlo_addressability(
     ExecutionEngine::serial().monte_carlo_addressability(variability, model, window, config)
 }
 
+/// [`monte_carlo_addressability`] under an explicit [`DisturbanceModel`]
+/// instead of the default Gaussian — the serial entry point for heavy-tailed
+/// or correlated dose-noise studies.
+///
+/// Thin wrapper over a single-threaded
+/// [`ExecutionEngine::monte_carlo_with_disturbance`]; results are
+/// bit-identical to the engine at any thread count.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] when `samples` is zero, or propagates
+/// lower-layer errors.
+pub fn monte_carlo_with_disturbance(
+    variability: &VariabilityMatrix,
+    model: &VariabilityModel,
+    window: Volts,
+    config: MonteCarloConfig,
+    disturbance: &dyn DisturbanceModel,
+) -> Result<MonteCarloOutcome> {
+    ExecutionEngine::serial().monte_carlo_with_disturbance(
+        variability,
+        model,
+        window,
+        config,
+        disturbance,
+    )
+}
+
 /// Validates a Monte-Carlo configuration and decision window.
 pub(crate) fn validate_monte_carlo(config: &MonteCarloConfig, window: Volts) -> Result<()> {
     if config.samples == 0 {
@@ -115,44 +151,35 @@ pub(crate) fn region_sigmas(
     Ok(sigmas)
 }
 
-/// Derives the RNG seed of one work chunk from the run seed and the chunk
-/// index — a SplitMix64-style finalizer, so neighbouring chunks get
-/// well-separated generator states and the mapping depends on nothing else.
-pub(crate) fn chunk_seed(seed: u64, chunk_index: u64) -> u64 {
-    let mut z = seed.wrapping_add(
-        chunk_index
-            .wrapping_add(1)
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15),
-    );
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 /// Runs one deterministic chunk of `samples` array instances and returns the
 /// per-nanowire counts of fully-in-window samples.
 ///
 /// Every region deviation is drawn unconditionally (no early exit), so the
-/// chunk consumes exactly `samples · N · M` normals regardless of the window
-/// — the fixed-consumption discipline the module docs describe.
+/// chunk consumes exactly the disturbance model's fixed per-nanowire draw
+/// count regardless of the window — the fixed-consumption discipline the
+/// module docs describe. Under [`GaussianDisturbance`] the consumed stream
+/// is bit-identical to the pre-trait sampler: one normal per region, in
+/// region order.
+///
+/// [`GaussianDisturbance`]: crate::disturbance::GaussianDisturbance
 pub(crate) fn sample_chunk(
     sigmas: &[Vec<f64>],
     window_half_width: f64,
     seed: u64,
     samples: usize,
+    disturbance: &dyn DisturbanceModel,
 ) -> Vec<usize> {
     let mut normals = NormalSource::from_seed(seed);
+    let regions = sigmas.first().map_or(0, Vec::len);
+    let mut deviations = vec![0.0f64; regions];
     let mut counts = vec![0usize; sigmas.len()];
     for _ in 0..samples {
         for (count, row) in counts.iter_mut().zip(sigmas) {
-            let mut all_in_window = true;
-            for &sigma in row {
-                let deviation = sigma * normals.sample();
-                if deviation.abs() > window_half_width {
-                    all_in_window = false;
-                }
-            }
-            if all_in_window {
+            disturbance.sample_regions(row, &mut normals, &mut deviations[..row.len()]);
+            if deviations[..row.len()]
+                .iter()
+                .all(|deviation| deviation.abs() <= window_half_width)
+            {
                 *count += 1;
             }
         }
@@ -186,6 +213,16 @@ impl<R: Rng> NormalSource<R> {
     #[must_use]
     pub fn new(rng: R) -> Self {
         NormalSource { rng, cached: None }
+    }
+
+    /// Draws one uniform value in `[0, 1)` straight from the underlying
+    /// generator — the primitive inverse-CDF disturbance models build on.
+    ///
+    /// Bypasses (and leaves untouched) the cached Box–Muller half, so a
+    /// model mixing [`NormalSource::sample`] and [`NormalSource::uniform`]
+    /// calls still consumes the underlying stream deterministically.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
     }
 
     /// Draws one standard-normal value (zero mean, unit variance).

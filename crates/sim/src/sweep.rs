@@ -78,7 +78,7 @@ pub struct BitAreaPoint {
 ///
 /// # Errors
 ///
-/// Returns [`SimError::EmptySweep`] for empty parameter sets, or propagates
+/// Returns [`SimError::EmptySweep`](crate::SimError::EmptySweep) for empty parameter sets, or propagates
 /// evaluation errors.
 pub fn complexity_sweep(
     base: &SimConfig,
@@ -126,7 +126,7 @@ pub fn variability_map(
 ///
 /// # Errors
 ///
-/// Returns [`SimError::EmptySweep`] for an empty length set, or propagates
+/// Returns [`SimError::EmptySweep`](crate::SimError::EmptySweep) for an empty length set, or propagates
 /// evaluation errors. Lengths that are invalid for the family/radix are
 /// skipped silently so hot-code sweeps can share length lists with
 /// tree-code sweeps.
@@ -147,7 +147,7 @@ pub fn yield_sweep(
 ///
 /// # Errors
 ///
-/// Returns [`SimError::EmptySweep`] for an empty length set, or propagates
+/// Returns [`SimError::EmptySweep`](crate::SimError::EmptySweep) for an empty length set, or propagates
 /// evaluation errors. Invalid lengths for the family are skipped.
 pub fn bit_area_sweep(
     base: &SimConfig,
@@ -167,7 +167,7 @@ pub fn bit_area_sweep(
 ///
 /// # Errors
 ///
-/// Returns [`SimError::EmptySweep`] for empty parameter sets, or propagates
+/// Returns [`SimError::EmptySweep`](crate::SimError::EmptySweep) for empty parameter sets, or propagates
 /// evaluation errors. Invalid (kind, length) pairs are skipped.
 pub fn full_sweep(
     base: &SimConfig,

@@ -4,9 +4,11 @@
 //! and the exact Monte-Carlo outcome for a fixed seed is pinned so future
 //! changes to the sampling discipline are loud.
 
+use crossbar_array::DefectModel;
 use decoder_sim::{
-    full_sweep, monte_carlo_addressability, EngineConfig, ExecutionEngine, MonteCarloConfig,
-    SimConfig, DEFAULT_CHUNK_SIZE,
+    full_sweep, monte_carlo_addressability, monte_carlo_with_disturbance, DisturbanceKind,
+    EngineConfig, ExecutionEngine, GaussianDisturbance, MonteCarloConfig, SimConfig,
+    DEFAULT_CHUNK_SIZE,
 };
 use device_physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
 use mspt_fabrication::{PatternMatrix, VariabilityMatrix};
@@ -99,4 +101,136 @@ fn fixed_seed_outcome_is_pinned() {
         .collect();
     let pinned: Vec<usize> = vec![373, 394, 405, 421, 453, 476, 487, 494, 500, 500];
     assert_eq!(counts, pinned, "probabilities: {:?}", outcome.profile);
+
+    // The trait-based Gaussian path is the *same* path: explicitly threading
+    // GaussianDisturbance must reproduce the pre-refactor RNG stream (and
+    // therefore the pinned counts above) bit-for-bit.
+    let via_trait = monte_carlo_with_disturbance(
+        &variability,
+        &model,
+        Volts::new(0.25),
+        config,
+        &GaussianDisturbance,
+    )
+    .unwrap();
+    assert_eq!(outcome, via_trait);
+}
+
+#[test]
+fn non_gaussian_disturbances_are_bit_identical_across_thread_counts() {
+    let variability = variability(CodeKind::Gray, 8, 12);
+    let model = VariabilityModel::paper_default();
+    let window = Volts::new(0.25);
+    let config = MonteCarloConfig {
+        samples: 1_000,
+        seed: 7,
+    };
+    for kind in [
+        DisturbanceKind::Laplace,
+        DisturbanceKind::Correlated {
+            shared_fraction: 0.5,
+        },
+    ] {
+        let disturbance = kind.model().unwrap();
+        let serial = monte_carlo_with_disturbance(
+            &variability,
+            &model,
+            window,
+            config,
+            disturbance.as_ref(),
+        )
+        .unwrap();
+        for threads in [2usize, 4] {
+            let parallel = engine(threads)
+                .monte_carlo_with_disturbance(
+                    &variability,
+                    &model,
+                    window,
+                    config,
+                    disturbance.as_ref(),
+                )
+                .unwrap();
+            assert_eq!(
+                serial, parallel,
+                "{kind} outcome diverged at {threads} engine threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn config_carried_disturbance_reaches_the_sampler() {
+    let code = CodeSpec::new(CodeKind::Gray, LogicLevel::BINARY, 8).unwrap();
+    let base = SimConfig::paper_defaults(code).unwrap();
+    let config = MonteCarloConfig {
+        samples: 500,
+        seed: 3,
+    };
+    let engine = engine(2);
+    // A Gaussian-configured SimConfig goes through the identical stream as
+    // the plain entry point...
+    let platform = decoder_sim::SimulationPlatform::new(base.clone());
+    let direct = engine
+        .monte_carlo_addressability(
+            &platform.variability().unwrap(),
+            &base.variability_model().unwrap(),
+            base.decision_window().unwrap(),
+            config,
+        )
+        .unwrap();
+    assert_eq!(
+        engine.monte_carlo_for_config(&base, config).unwrap(),
+        direct
+    );
+    // ...while a heavy-tailed configuration samples a different stream.
+    let heavy = base.with_disturbance(DisturbanceKind::Laplace);
+    assert_ne!(
+        engine.monte_carlo_for_config(&heavy, config).unwrap(),
+        direct
+    );
+}
+
+#[test]
+fn defect_maps_are_bit_identical_across_thread_counts() {
+    let model = DefectModel::new(0.05, 0.02).unwrap();
+    // 300 rows spans five 64-row bands, the last one partial.
+    let (rows, columns, seed) = (300usize, 70usize, 42u64);
+    let serial = model.sample_map(rows, columns, seed).unwrap();
+    for threads in [1usize, 2, 4] {
+        let sharded = engine(threads)
+            .sample_defect_map(&model, rows, columns, seed)
+            .unwrap();
+        assert_eq!(serial, sharded, "map diverged at {threads} engine threads");
+    }
+    assert!(engine(2).sample_defect_map(&model, 0, 4, seed).is_err());
+}
+
+/// Pins the content of a fixed-seed defect map, including positions. Any
+/// change to the chunked map layout — band size, chunk-seed derivation,
+/// draw order, band order — shows up here as a loud, exact failure rather
+/// than a silent reshuffle.
+#[test]
+fn fixed_seed_defect_map_is_pinned() {
+    let model = DefectModel::new(0.1, 0.05).unwrap();
+    let map = model.sample_map(100, 80, 42).unwrap();
+    let broken_rows: Vec<usize> = (0..100).filter(|&r| map.row_broken(r)).collect();
+    let broken_columns: Vec<usize> = (0..80).filter(|&c| map.column_broken(c)).collect();
+    let defects: Vec<(usize, usize)> = (0..100)
+        .flat_map(|r| (0..80).map(move |c| (r, c)))
+        .filter(|&(r, c)| map.crosspoint_defective(r, c))
+        .collect();
+    // A position-sensitive checksum over the flattened defect coordinates:
+    // permuting which crosspoints are defective changes it even when the
+    // defect count stays the same.
+    let checksum = defects.iter().fold(0u64, |acc, &(r, c)| {
+        acc.wrapping_mul(31).wrapping_add((r * 80 + c) as u64)
+    });
+    assert_eq!(broken_rows, vec![13, 19, 21, 30, 48, 67, 68, 70, 86, 90]);
+    assert_eq!(broken_columns, vec![0, 9, 22, 33, 34, 40, 41, 61, 78]);
+    assert_eq!(
+        (defects.len(), checksum),
+        (403, 11_250_109_737_314_579_149),
+        "usable fraction: {}",
+        map.usable_fraction()
+    );
 }

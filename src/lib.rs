@@ -12,8 +12,9 @@
 //! * [`physics`] — threshold-voltage / doping device model and Gaussian statistics
 //! * [`fabrication`] — MSPT pattern/doping/step matrices, fabrication complexity Φ and variability Σ
 //! * [`crossbar`] — crossbar geometry, contact groups, yield and area models
-//! * [`sim`] — the paper's Section 6 simulation platform, parameter sweeps and
-//!   the work-sharded parallel execution engine
+//! * [`sim`] — the paper's Section 6 simulation platform, parameter sweeps,
+//!   pluggable disturbance distributions and the work-sharded parallel
+//!   execution engine
 //! * [`decoder`] — the top-level decoder design and optimisation API
 //!
 //! # Quickstart
@@ -44,10 +45,14 @@ pub use nanowire_codes as codes;
 pub mod prelude {
     pub use crate::codes::{CodeKind, CodeSequence, CodeSpec, CodeWord, LogicLevel};
     pub use crate::crossbar::{CrossbarSpec, LayoutRules};
+    pub use crate::crossbar::{DefectMap, DefectModel};
     pub use crate::decoder::{CodeSelection, DecoderDesign, DesignReport};
     pub use crate::fabrication::{
         FabricationCost, PatternMatrix, StepDopingMatrix, VariabilityMatrix,
     };
     pub use crate::physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
-    pub use crate::sim::{EngineConfig, ExecutionEngine, SimConfig, SimulationPlatform};
+    pub use crate::sim::{
+        DisturbanceKind, DisturbanceModel, EngineConfig, ExecutionEngine, SimConfig,
+        SimulationPlatform,
+    };
 }

@@ -359,7 +359,7 @@ pub mod collection {
     use rand::RngCore;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Length specification for [`vec()`](fn@vec): a fixed `usize` or a `Range<usize>`.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
