@@ -1,0 +1,115 @@
+//! Hammers the `mspt-serve` layer from N client threads with a Zipf-ish mix
+//! of Fig. 5–8 configurations and prints throughput and hit rate — then
+//! **gates** on the serving layer's contracts, so CI can run this binary
+//! as-is:
+//!
+//! * every response must be bit-identical to a serial evaluation of the
+//!   same configuration;
+//! * a second pass over the same mix must be served entirely from the warm
+//!   cache (100 % hit rate, zero misses).
+//!
+//! Knobs (all environment variables):
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `MSPT_STRESS_CLIENTS` | concurrent client threads | 8 |
+//! | `MSPT_STRESS_REQUESTS` | wire requests per client per pass | 64 |
+//! | `MSPT_STRESS_SEED` | run seed of the Zipf request streams | 2009 |
+//! | `MSPT_ENGINE_THREADS` | engine worker threads | available parallelism |
+//! | `MSPT_CACHE_CAPACITY` | report-cache bound | 4096 |
+//! | `MSPT_CACHE_PATH` | warm-cache snapshot to load/save | unset |
+
+use std::path::Path;
+use std::sync::Arc;
+
+use decoder_sim::{EngineConfig, ExecutionEngine, CACHE_PATH_ENV};
+use mspt_serve::{run_stress, ReportServer, StressConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|value| value.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stress = StressConfig {
+        clients: env_u64("MSPT_STRESS_CLIENTS", 8) as usize,
+        requests_per_client: env_u64("MSPT_STRESS_REQUESTS", 64) as usize,
+        seed: env_u64("MSPT_STRESS_SEED", 2_009),
+    };
+    let engine = Arc::new(ExecutionEngine::new(EngineConfig::default()));
+    let cache_path = std::env::var(CACHE_PATH_ENV).ok().filter(|p| !p.is_empty());
+    if let Some(path) = &cache_path {
+        match engine.load_cache(Path::new(path)) {
+            Ok(count) => println!("warm cache: loaded {count} report(s) from {path}"),
+            Err(error) => println!("warm cache: starting cold ({error})"),
+        }
+    }
+    let server = ReportServer::new(Arc::clone(&engine));
+    let mix = mspt_experiments::stress_mix()?;
+
+    println!("==========================================================");
+    println!(" serve_stress — concurrent serving over the shared cache");
+    println!("==========================================================");
+    println!(
+        " engine: {} thread(s); cache capacity {} in {} shard(s)",
+        engine.config().threads,
+        engine.cache_config().capacity,
+        engine.cache_config().shards,
+    );
+    println!(
+        " mix: {} distinct configuration(s); {} client(s) × {} request(s)/pass; seed {}",
+        mix.len(),
+        stress.clients,
+        stress.requests_per_client,
+        stress.seed
+    );
+
+    let first = run_stress(&server, &mix, &stress)?;
+    println!(
+        "pass 1 (cold): {:8.0} req/s  hit rate {:5.1}%  ({} hits / {} misses, {} mismatches)",
+        first.throughput_rps(),
+        first.hit_rate() * 100.0,
+        first.hits,
+        first.misses,
+        first.mismatches
+    );
+    let second = run_stress(&server, &mix, &stress)?;
+    println!(
+        "pass 2 (warm): {:8.0} req/s  hit rate {:5.1}%  ({} hits / {} misses, {} mismatches)",
+        second.throughput_rps(),
+        second.hit_rate() * 100.0,
+        second.hits,
+        second.misses,
+        second.mismatches
+    );
+
+    // The gates: bit-identical responses on both passes, fully warm second
+    // pass. CI runs this binary and relies on a non-zero exit here.
+    if first.mismatches != 0 || second.mismatches != 0 {
+        return Err(format!(
+            "served reports diverged from the serial reference ({} + {} mismatches)",
+            first.mismatches, second.mismatches
+        )
+        .into());
+    }
+    if second.misses != 0 {
+        return Err(format!(
+            "second pass was not served entirely from the warm cache ({} misses)",
+            second.misses
+        )
+        .into());
+    }
+
+    if let Some(path) = &cache_path {
+        let saved = engine.save_cache(Path::new(path))?;
+        println!("warm cache: saved {saved} report(s) to {path}");
+    }
+    println!(
+        "serve_stress: OK — {} request(s) total, final cache: {:?}",
+        server.request_count(),
+        engine.cache_stats()
+    );
+    Ok(())
+}

@@ -326,6 +326,40 @@ pub fn disturbance_report_with(engine: &ExecutionEngine) -> Result<DisturbanceRe
     })
 }
 
+/// The serving-layer stress mix: every Fig. 7/8 sweep configuration (the
+/// four code families at their valid lengths) plus one Laplace-disturbance
+/// variant, so a stress run also exercises disturbance-kind cache keying.
+/// This is the repeated-`SimConfig` workload the shared warm cache is built
+/// for — the request population of the `serve_stress` binary and the CI
+/// serving gate.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors (none occur for the paper's
+/// parameters).
+pub fn stress_mix() -> Result<Vec<mspt_serve::ReportRequest>> {
+    use mspt_serve::ReportRequest;
+    let base = paper_base_config()?;
+    let mut mix = Vec::new();
+    for (kind, lengths) in [
+        (CodeKind::Tree, &TREE_FAMILY_LENGTHS),
+        (CodeKind::BalancedGray, &TREE_FAMILY_LENGTHS),
+        (CodeKind::Hot, &HOT_FAMILY_LENGTHS),
+        (CodeKind::ArrangedHot, &HOT_FAMILY_LENGTHS),
+    ] {
+        for &length in lengths {
+            let code = CodeSpec::new(kind, LogicLevel::BINARY, length)?;
+            mix.push(ReportRequest::new(base.clone().with_code(code)));
+        }
+    }
+    let code = CodeSpec::new(CodeKind::BalancedGray, LogicLevel::BINARY, 10)?;
+    mix.push(ReportRequest::with_disturbance(
+        base.with_code(code),
+        DisturbanceKind::Laplace,
+    ));
+    Ok(mix)
+}
+
 /// The headline numbers of the abstract and Section 7, computed from the same
 /// sweeps that regenerate the figures. All values are fractions (0.17 means
 /// 17 %), except the two bit areas which are in nm².

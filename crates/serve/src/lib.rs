@@ -1,0 +1,545 @@
+//! # mspt-serve
+//!
+//! The concurrent serving layer over the execution engine's shared report
+//! cache — the first step toward the workspace's heavy-traffic north star.
+//!
+//! A **request** is a serialized [`SimConfig`] (plus an optional
+//! [`DisturbanceKind`] override), a **response** is a [`PlatformReport`];
+//! both travel as JSON through the std-only codec in `decoder_sim::codec`
+//! (the vendored serde stand-in has no serializers, and crates.io is
+//! unreachable in this build environment). Every server clone shares one
+//! [`ExecutionEngine`], so every client shares one warm
+//! [`ReportCache`](decoder_sim::ReportCache):
+//!
+//! * repeated configurations are cache **hits** — the figure-sweep workload
+//!   (and spectrum-style parameter sweeps over the same points) evaluates
+//!   each distinct configuration once, ever;
+//! * concurrent identical requests **single-flight** onto one in-flight
+//!   evaluation instead of duplicating it;
+//! * reports served from the cache are **bit-identical** to a serial
+//!   evaluation of the same configuration — determinism survives the cache.
+//!
+//! [`run_stress`] is the load harness behind the `serve_stress` experiment
+//! binary and the CI serving gate: N client threads hammer one server with a
+//! Zipf-ish mix of figure configurations and every response is checked
+//! bit-for-bit against an independently computed serial reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use decoder_sim::{EngineConfig, ExecutionEngine, SimConfig};
+//! use mspt_serve::{ReportRequest, ReportServer};
+//! use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = ReportServer::new(Arc::new(ExecutionEngine::new(EngineConfig {
+//!     threads: 2,
+//!     chunk_size: 256,
+//! })));
+//! let code = CodeSpec::new(CodeKind::BalancedGray, LogicLevel::BINARY, 10)?;
+//! let request = ReportRequest::new(SimConfig::paper_defaults(code)?);
+//!
+//! // Typed path.
+//! let report = server.serve(&request)?;
+//! assert!(report.crossbar_yield > 0.0);
+//!
+//! // Wire path: JSON in, JSON out, errors become error responses.
+//! let response = server.handle(&request.to_json_string());
+//! assert_eq!(mspt_serve::parse_response(&response)?, report);
+//!
+//! // The repeat is a cache hit.
+//! server.serve(&request)?;
+//! assert_eq!(server.stats().hits, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use decoder_sim::codec::{
+    config_from_json, config_to_json, disturbance_from_json, disturbance_to_json, report_from_json,
+    report_to_json, JsonValue,
+};
+use decoder_sim::{
+    chunk_seed, CacheStats, DisturbanceKind, ExecutionEngine, PlatformReport, Result, SimConfig,
+    SimError, SimulationPlatform,
+};
+
+/// Schema version of the wire format. Requests and responses carry it;
+/// mismatched versions are rejected, never reinterpreted.
+pub const WIRE_SCHEMA_VERSION: u64 = 1;
+
+/// Domain-separation tag mixed into the stress harness's per-client seeds
+/// (through the workspace-wide [`chunk_seed`] primitive), so a load test
+/// sharing a run seed with a Monte-Carlo estimation or a defect map draws a
+/// decorrelated stream instead of replaying theirs.
+pub const STRESS_SEED_DOMAIN: u64 = 0x5e12_7e57_ae5d_0004;
+
+fn wire_err(reason: impl Into<String>) -> SimError {
+    SimError::Persistence {
+        reason: reason.into(),
+    }
+}
+
+/// One serving request: a full simulation configuration plus an optional
+/// disturbance override.
+///
+/// The override exists for clients that sweep disturbance models over one
+/// platform configuration; it is applied onto the configuration **before**
+/// the engine sees the request, so the cache key always carries the
+/// effective disturbance kind — a Gaussian and a Laplace request with the
+/// same platform parameters never alias in the cache or on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportRequest {
+    /// The configuration to evaluate.
+    pub config: SimConfig,
+    /// When set, replaces the configuration's disturbance kind.
+    pub disturbance: Option<DisturbanceKind>,
+}
+
+impl ReportRequest {
+    /// A request for a configuration as-is.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        ReportRequest {
+            config,
+            disturbance: None,
+        }
+    }
+
+    /// A request overriding the configuration's disturbance kind.
+    #[must_use]
+    pub fn with_disturbance(config: SimConfig, disturbance: DisturbanceKind) -> Self {
+        ReportRequest {
+            config,
+            disturbance: Some(disturbance),
+        }
+    }
+
+    /// The configuration the engine actually evaluates: the request's
+    /// configuration with the disturbance override (if any) applied.
+    #[must_use]
+    pub fn effective_config(&self) -> SimConfig {
+        match self.disturbance {
+            Some(kind) => self.config.clone().with_disturbance(kind),
+            None => self.config.clone(),
+        }
+    }
+
+    /// Encodes the request as a wire JSON document.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        JsonValue::Object(vec![
+            (
+                "schema_version".to_string(),
+                JsonValue::from_u64(WIRE_SCHEMA_VERSION),
+            ),
+            ("config".to_string(), config_to_json(&self.config)),
+            (
+                "disturbance".to_string(),
+                self.disturbance
+                    .map_or(JsonValue::Null, disturbance_to_json),
+            ),
+        ])
+        .render()
+    }
+
+    /// Decodes a wire JSON request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] on malformed JSON or a mismatched
+    /// `schema_version`, or propagates configuration validation errors.
+    pub fn from_json_str(request_json: &str) -> Result<Self> {
+        let value = JsonValue::parse(request_json)?;
+        let version = value.get("schema_version")?.as_u64()?;
+        if version != WIRE_SCHEMA_VERSION {
+            return Err(wire_err(format!(
+                "request schema version {version} does not match supported version {WIRE_SCHEMA_VERSION}"
+            )));
+        }
+        let config = config_from_json(value.get("config")?)?;
+        let disturbance = match value.get("disturbance")? {
+            JsonValue::Null => None,
+            kind => Some(disturbance_from_json(kind)?),
+        };
+        Ok(ReportRequest {
+            config,
+            disturbance,
+        })
+    }
+}
+
+/// Parses a wire response produced by [`ReportServer::handle`] back into a
+/// report — the client half of the wire protocol.
+///
+/// # Errors
+///
+/// Returns [`SimError::Persistence`] on malformed JSON, a mismatched
+/// `schema_version`, or an error response (the server-side reason is quoted
+/// in the error).
+pub fn parse_response(response_json: &str) -> Result<PlatformReport> {
+    let value = JsonValue::parse(response_json)?;
+    let version = value.get("schema_version")?.as_u64()?;
+    if version != WIRE_SCHEMA_VERSION {
+        return Err(wire_err(format!(
+            "response schema version {version} does not match supported version {WIRE_SCHEMA_VERSION}"
+        )));
+    }
+    match value.get("status")?.as_str()? {
+        "ok" => report_from_json(value.get("report")?),
+        "error" => Err(wire_err(format!(
+            "server error: {}",
+            value.get("reason")?.as_str()?
+        ))),
+        other => Err(wire_err(format!("unknown response status {other:?}"))),
+    }
+}
+
+/// The concurrent serving front end: every request is evaluated through one
+/// shared [`ExecutionEngine`] and its single-flight report cache. The server
+/// is `Send + Sync`; clone the `Arc` it wraps (or the server itself) into as
+/// many client threads as needed.
+#[derive(Debug, Clone)]
+pub struct ReportServer {
+    engine: Arc<ExecutionEngine>,
+    requests: Arc<AtomicU64>,
+}
+
+impl ReportServer {
+    /// Creates a server over a shared engine.
+    #[must_use]
+    pub fn new(engine: Arc<ExecutionEngine>) -> Self {
+        ReportServer {
+            engine,
+            requests: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The shared engine behind the server.
+    #[must_use]
+    pub fn engine(&self) -> &ExecutionEngine {
+        &self.engine
+    }
+
+    /// Total requests served (typed and wire) since construction.
+    #[must_use]
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The shared report cache's counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// Serves a typed request: applies the disturbance override, then
+    /// evaluates through the engine's single-flight cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn serve(&self, request: &ReportRequest) -> Result<PlatformReport> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.engine.report_for(&request.effective_config())
+    }
+
+    /// Serves a wire request: JSON in, JSON out. Never panics and never
+    /// returns `Err` — malformed requests and evaluation failures become
+    /// `{"status":"error",...}` responses, so one bad client cannot take the
+    /// server down.
+    #[must_use]
+    pub fn handle(&self, request_json: &str) -> String {
+        let outcome =
+            ReportRequest::from_json_str(request_json).and_then(|request| self.serve(&request));
+        let fields = match outcome {
+            Ok(report) => vec![
+                (
+                    "schema_version".to_string(),
+                    JsonValue::from_u64(WIRE_SCHEMA_VERSION),
+                ),
+                ("status".to_string(), JsonValue::String("ok".to_string())),
+                ("report".to_string(), report_to_json(&report)),
+            ],
+            Err(error) => vec![
+                (
+                    "schema_version".to_string(),
+                    JsonValue::from_u64(WIRE_SCHEMA_VERSION),
+                ),
+                ("status".to_string(), JsonValue::String("error".to_string())),
+                ("reason".to_string(), JsonValue::String(error.to_string())),
+            ],
+        };
+        JsonValue::Object(fields).render()
+    }
+}
+
+/// Knobs of the stress harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StressConfig {
+    /// Number of client threads hammering the server concurrently.
+    pub clients: usize,
+    /// Wire requests each client sends.
+    pub requests_per_client: usize,
+    /// Run seed. Client `c` draws its request indices from
+    /// `chunk_seed(seed ^ STRESS_SEED_DOMAIN, c)`, so the whole request
+    /// sequence is reproducible — two same-seed runs ask for the same
+    /// multiset of configurations in the same per-client order.
+    pub seed: u64,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            clients: 8,
+            requests_per_client: 64,
+            seed: 2_009,
+        }
+    }
+}
+
+/// The outcome of one stress pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressOutcome {
+    /// Wire requests sent across all clients.
+    pub requests: u64,
+    /// Responses that were **not** bit-identical to the serial reference
+    /// (zero on a healthy run — asserted by the CI gate).
+    pub mismatches: u64,
+    /// Cache hits observed during this pass (delta over the pass).
+    pub hits: u64,
+    /// Cache misses observed during this pass (delta over the pass).
+    pub misses: u64,
+    /// Wall-clock duration of the hammering phase (excludes the serial
+    /// reference computation).
+    pub elapsed: Duration,
+}
+
+impl StressOutcome {
+    /// Fraction of this pass's lookups served from the cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Requests per second of the hammering phase.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        let seconds = self.elapsed.as_secs_f64();
+        if seconds <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.requests as f64 / seconds
+        }
+    }
+}
+
+/// Draws one mix index from a Zipf-ish popularity law: request `mix[i]` with
+/// probability proportional to `1 / (i + 1)` — a few hot configurations and
+/// a long cold tail, the shape a shared warm cache is built for.
+fn zipf_index(rng: &mut StdRng, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("non-empty mix");
+    let draw = rng.gen::<f64>() * total;
+    cumulative
+        .iter()
+        .position(|&bound| draw < bound)
+        .unwrap_or(cumulative.len() - 1)
+}
+
+/// Hammers a server from [`StressConfig::clients`] threads with a Zipf-ish
+/// mix of requests, verifying every response **bit-for-bit** against a
+/// serial reference ([`SimulationPlatform::evaluate`], computed outside the
+/// timed phase and without touching the server's cache).
+///
+/// Each client sends wire JSON through [`ReportServer::handle`] — the full
+/// serialize → serve → deserialize loop, not a shortcut through the typed
+/// API. Hit/miss figures are deltas over the pass, so running two passes and
+/// asserting `hit_rate() == 1.0` on the second is exactly the CI gate's
+/// warm-cache check.
+///
+/// # Errors
+///
+/// Propagates reference-evaluation errors and response-decoding failures.
+/// Responses that decode but differ from the reference are *counted* in
+/// [`StressOutcome::mismatches`] rather than short-circuiting, so a
+/// determinism regression reports its blast radius.
+///
+/// # Panics
+///
+/// Panics when the mix is empty or the client/request counts are zero.
+pub fn run_stress(
+    server: &ReportServer,
+    mix: &[ReportRequest],
+    stress: &StressConfig,
+) -> Result<StressOutcome> {
+    assert!(!mix.is_empty(), "stress mix must not be empty");
+    assert!(stress.clients > 0, "stress needs at least one client");
+    assert!(
+        stress.requests_per_client > 0,
+        "stress needs at least one request per client"
+    );
+
+    // Serial references, computed independently of the engine and its cache.
+    let references: Vec<PlatformReport> = mix
+        .iter()
+        .map(|request| SimulationPlatform::new(request.effective_config()).evaluate())
+        .collect::<Result<_>>()?;
+    let encoded: Vec<String> = mix.iter().map(ReportRequest::to_json_string).collect();
+
+    let mut cumulative = Vec::with_capacity(mix.len());
+    let mut total = 0.0;
+    for rank in 0..mix.len() {
+        total += 1.0 / (rank as f64 + 1.0);
+        cumulative.push(total);
+    }
+
+    let before = server.stats();
+    let start = Instant::now();
+    let mut per_client: Vec<Result<u64>> = Vec::with_capacity(stress.clients);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..stress.clients)
+            .map(|client| {
+                let encoded = &encoded;
+                let references = &references;
+                let cumulative = &cumulative;
+                scope.spawn(move || -> Result<u64> {
+                    let mut rng = StdRng::seed_from_u64(chunk_seed(
+                        stress.seed ^ STRESS_SEED_DOMAIN,
+                        client as u64,
+                    ));
+                    let mut mismatches = 0u64;
+                    for _ in 0..stress.requests_per_client {
+                        let index = zipf_index(&mut rng, cumulative);
+                        let response = server.handle(&encoded[index]);
+                        let report = parse_response(&response)?;
+                        if report != references[index] {
+                            mismatches += 1;
+                        }
+                    }
+                    Ok(mismatches)
+                })
+            })
+            .collect();
+        for handle in handles {
+            per_client.push(handle.join().expect("stress client panicked"));
+        }
+    });
+    let elapsed = start.elapsed();
+    let after = server.stats();
+
+    let mut mismatches = 0u64;
+    for outcome in per_client {
+        mismatches += outcome?;
+    }
+    Ok(StressOutcome {
+        requests: (stress.clients * stress.requests_per_client) as u64,
+        mismatches,
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoder_sim::EngineConfig;
+    use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+    fn request(kind: CodeKind, length: usize) -> ReportRequest {
+        let code = CodeSpec::new(kind, LogicLevel::BINARY, length).unwrap();
+        ReportRequest::new(SimConfig::paper_defaults(code).unwrap())
+    }
+
+    fn server(threads: usize) -> ReportServer {
+        ReportServer::new(Arc::new(ExecutionEngine::new(EngineConfig {
+            threads,
+            chunk_size: 256,
+        })))
+    }
+
+    #[test]
+    fn requests_round_trip_the_wire_format() {
+        let typed = ReportRequest::with_disturbance(
+            request(CodeKind::Gray, 8).config,
+            DisturbanceKind::Laplace,
+        );
+        let decoded = ReportRequest::from_json_str(&typed.to_json_string()).unwrap();
+        assert_eq!(decoded, typed);
+        assert_eq!(
+            decoded.effective_config().disturbance(),
+            DisturbanceKind::Laplace
+        );
+    }
+
+    #[test]
+    fn mismatched_wire_versions_are_rejected() {
+        let good = request(CodeKind::Tree, 8).to_json_string();
+        let bad = good.replacen("\"schema_version\":1", "\"schema_version\":99", 1);
+        assert!(ReportRequest::from_json_str(&bad).is_err());
+
+        let response = server(1).handle(&good);
+        let bad = response.replacen("\"schema_version\":1", "\"schema_version\":99", 1);
+        assert!(parse_response(&bad).is_err());
+    }
+
+    #[test]
+    fn malformed_requests_become_error_responses() {
+        let server = server(1);
+        let response = server.handle("this is not json");
+        let error = parse_response(&response).unwrap_err();
+        assert!(error.to_string().contains("server error"));
+        // And a valid follow-up request still works.
+        let ok = server.handle(&request(CodeKind::Tree, 8).to_json_string());
+        assert!(parse_response(&ok).is_ok());
+    }
+
+    #[test]
+    fn disturbance_override_never_aliases_in_the_cache() {
+        let server = server(2);
+        let base = request(CodeKind::BalancedGray, 10);
+        let laplace =
+            ReportRequest::with_disturbance(base.config.clone(), DisturbanceKind::Laplace);
+        server.serve(&base).unwrap();
+        server.serve(&laplace).unwrap();
+        // Two distinct cache entries: the disturbance kind is part of the key.
+        assert_eq!(server.engine().cached_report_count(), 2);
+        assert_eq!(server.stats().misses, 2);
+    }
+
+    #[test]
+    fn zipf_mix_covers_hot_and_cold_ranks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cumulative: Vec<f64> = (0..4)
+            .scan(0.0, |total, rank| {
+                *total += 1.0 / (rank as f64 + 1.0);
+                Some(*total)
+            })
+            .collect();
+        let mut counts = [0usize; 4];
+        for _ in 0..4_000 {
+            counts[zipf_index(&mut rng, &cumulative)] += 1;
+        }
+        // Rank 0 is the hottest; every rank appears.
+        assert!(counts[0] > counts[3]);
+        assert!(counts.iter().all(|&count| count > 0));
+    }
+}

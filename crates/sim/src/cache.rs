@@ -1,0 +1,621 @@
+//! The sharded, bounded, single-flight report cache behind the execution
+//! engine and the serve layer.
+//!
+//! # Design
+//!
+//! * **Sharding.** Entries are spread over [`CacheConfig::shards`] independent
+//!   `Mutex`-guarded shards, selected by a fingerprint of the configuration's
+//!   canonical serialized form, so concurrent clients touching different
+//!   configurations rarely contend on one lock.
+//! * **Bounded LRU.** Each shard holds at most `ceil(capacity / shards)`
+//!   entries and evicts its least-recently-used entry beyond that (recency is
+//!   a global atomic tick, so LRU order is exact within a shard; with one
+//!   shard it is exact globally — the configuration the eviction tests use).
+//!   The shard count is clamped to at most `capacity`, so a tiny capacity is
+//!   an exact single-shard bound rather than one-per-shard over-retention;
+//!   capacity `0` disables storage entirely.
+//! * **Single-flight.** Concurrent identical requests block on one in-flight
+//!   evaluation via `Mutex` + `Condvar` (std only — crates.io is unreachable
+//!   here): the first requester computes, every waiter is then served the
+//!   cached result. If the leader fails, waiters retake the lead one at a
+//!   time instead of hanging.
+//! * **Counters.** Hits, misses and evictions are atomic counters readable at
+//!   any time through [`ReportCache::stats`]; the serve stress gate derives
+//!   its hit-rate assertions from them.
+//! * **Persistence.** [`ReportCache::save_to_path`] writes a versioned JSON
+//!   snapshot (`schema_version` [`CACHE_SCHEMA_VERSION`]) that
+//!   [`ReportCache::load_from_path`] restores bit-identically; a mismatched
+//!   schema version is rejected, never reinterpreted.
+//!
+//! # Cache-key identity
+//!
+//! Keys fingerprint the **canonical serialized configuration** — every field
+//! of [`SimConfig`], including its [`DisturbanceKind`](crate::DisturbanceKind)
+//! — mixed with a cache-domain tag through the workspace-wide
+//! [`chunk_seed`] stream-splitting primitive. A Gaussian and a Laplace run
+//! with the same platform parameters therefore never alias, in memory or on
+//! disk; equality of the full `SimConfig` is re-checked on every lookup, so a
+//! fingerprint collision can cost a duplicate evaluation but never serve the
+//! wrong report.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crossbar_array::chunk_seed;
+
+use crate::codec::{
+    canonical_config_string, config_from_json, config_to_json, report_from_json, report_to_json,
+    JsonValue,
+};
+use crate::config::SimConfig;
+use crate::error::{Result, SimError};
+use crate::platform::PlatformReport;
+
+/// Environment variable overriding the default report-cache capacity.
+pub const CACHE_CAPACITY_ENV: &str = "MSPT_CACHE_CAPACITY";
+
+/// Environment variable naming the warm-cache persistence file `run_all` and
+/// the serve stress bin load on start and save on exit.
+pub const CACHE_PATH_ENV: &str = "MSPT_CACHE_PATH";
+
+/// Schema version of the persisted snapshot format. Bump on any change to
+/// the on-disk layout; loaders reject every other version.
+pub const CACHE_SCHEMA_VERSION: u64 = 1;
+
+/// Default bound on the number of cached reports (far above the paper's
+/// sweep-point count, so default runs never evict).
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Default shard count of the cache.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// Domain-separation tag mixed into cache-key fingerprints before the
+/// [`chunk_seed`] finalizer. Keeps the cache's key stream decorrelated from
+/// the Monte-Carlo and defect-map seed domains, exactly like the defect
+/// layer's own domain tag.
+const CACHE_KEY_DOMAIN: u64 = 0xcac4_e4e7_5e12_7a03;
+
+/// Knobs of the report cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Upper bound on stored entries. `0` disables storage (every request
+    /// recomputes). The bound is enforced per shard as
+    /// `ceil(capacity / shards)`, so it is exact when `shards` divides
+    /// `capacity` (true for the defaults) or for a single shard, and never
+    /// exceeded by more than `shards − 1` entries otherwise. The shard count
+    /// is clamped to at most `capacity`, so tiny capacities degenerate to
+    /// exact single-shard LRU instead of over-retaining.
+    pub capacity: usize,
+    /// Number of independently locked shards (clamped to at least one, and
+    /// to at most `capacity` when the capacity is positive).
+    pub shards: usize,
+}
+
+impl CacheConfig {
+    /// A single-shard configuration: exact global LRU order, at the price of
+    /// one lock — what the eviction-order tests and small caches want.
+    #[must_use]
+    pub fn unsharded(capacity: usize) -> Self {
+        CacheConfig {
+            capacity,
+            shards: 1,
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    /// Capacity: the `MSPT_CACHE_CAPACITY` environment variable when set to a
+    /// valid integer (zero allowed — it disables caching), otherwise
+    /// [`DEFAULT_CACHE_CAPACITY`]. Shards: [`DEFAULT_CACHE_SHARDS`].
+    fn default() -> Self {
+        CacheConfig {
+            capacity: default_capacity(),
+            shards: DEFAULT_CACHE_SHARDS,
+        }
+    }
+}
+
+fn default_capacity() -> usize {
+    if let Ok(value) = std::env::var(CACHE_CAPACITY_ENV) {
+        if let Ok(parsed) = value.trim().parse::<usize>() {
+            return parsed;
+        }
+    }
+    DEFAULT_CACHE_CAPACITY
+}
+
+/// A point-in-time view of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from a stored entry (including single-flight waiters
+    /// served by the leader's computation).
+    pub hits: u64,
+    /// Lookups that had to compute (single-flight leaders only).
+    pub misses: u64,
+    /// Entries dropped to keep a shard within its capacity.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (`0.0` when none happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    fingerprint: u64,
+    config: SimConfig,
+    report: PlatformReport,
+    last_used: u64,
+}
+
+/// The `Mutex` + `Condvar` pair a single-flight leader signals completion on.
+struct Flight {
+    done: Mutex<bool>,
+    completed: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            done: Mutex::new(false),
+            completed: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("flight lock");
+        while !*done {
+            done = self.completed.wait(done).expect("flight lock");
+        }
+    }
+
+    fn complete(&self) {
+        // Tolerates a poisoned lock: completion also runs from a drop guard
+        // during panic unwinding, where a second panic would abort.
+        match self.done.lock() {
+            Ok(mut done) => *done = true,
+            Err(poisoned) => *poisoned.into_inner() = true,
+        }
+        self.completed.notify_all();
+    }
+}
+
+/// Unwinding-safe single-flight leadership: when the leader's stack unwinds
+/// — normally or through a panic in the compute closure — the guard removes
+/// the in-flight marker and wakes every waiter. Without it, a panicking
+/// evaluation would leave the marker behind and every current and future
+/// request for that fingerprint would block forever.
+struct FlightGuard<'a> {
+    cache: &'a ReportCache,
+    fingerprint: u64,
+    flight: Arc<Flight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        match self.cache.shard_for(self.fingerprint).lock() {
+            Ok(mut shard) => {
+                shard.in_flight.remove(&self.fingerprint);
+            }
+            Err(poisoned) => {
+                poisoned.into_inner().in_flight.remove(&self.fingerprint);
+            }
+        }
+        self.flight.complete();
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: Vec<Entry>,
+    in_flight: HashMap<u64, Arc<Flight>>,
+}
+
+/// The sharded, bounded, single-flight LRU cache of
+/// ([`SimConfig`] → [`PlatformReport`]) evaluations. See the module docs for
+/// the design; see [`ExecutionEngine`](crate::ExecutionEngine) for the
+/// primary consumer.
+pub struct ReportCache {
+    config: CacheConfig,
+    shards: Vec<Mutex<Shard>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ReportCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReportCache")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ReportCache {
+    fn default() -> Self {
+        ReportCache::new(CacheConfig::default())
+    }
+}
+
+impl ReportCache {
+    /// Creates a cache. The shard count is clamped to `1..=capacity` (one
+    /// shard when the capacity is zero); a zero capacity disables storage.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1).min(config.capacity.max(1));
+        ReportCache {
+            config: CacheConfig {
+                capacity: config.capacity,
+                shards,
+            },
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The (clamped) configuration of the cache.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The per-shard entry bound: `ceil(capacity / shards)`, or zero when
+    /// the cache is disabled.
+    fn shard_capacity(&self) -> usize {
+        self.config.capacity.div_ceil(self.config.shards)
+    }
+
+    /// The fingerprint of a configuration: an FNV-1a hash of its canonical
+    /// serialized form, finalized through [`chunk_seed`] under the cache's
+    /// domain tag. Includes every field of the configuration — notably the
+    /// disturbance kind.
+    #[must_use]
+    pub fn fingerprint(config: &SimConfig) -> u64 {
+        let canonical = canonical_config_string(config);
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in canonical.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        chunk_seed(hash ^ CACHE_KEY_DOMAIN, 0)
+    }
+
+    fn shard_for(&self, fingerprint: u64) -> &Mutex<Shard> {
+        &self.shards[(fingerprint % self.config.shards as u64) as usize]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("cache shard lock").entries.len())
+            .sum()
+    }
+
+    /// Whether the cache stores nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a configuration is currently stored. Does **not** refresh the
+    /// entry's recency or touch the counters — a pure probe for tests and
+    /// diagnostics.
+    #[must_use]
+    pub fn contains(&self, config: &SimConfig) -> bool {
+        let fingerprint = Self::fingerprint(config);
+        let shard = self
+            .shard_for(fingerprint)
+            .lock()
+            .expect("cache shard lock");
+        shard
+            .entries
+            .iter()
+            .any(|entry| entry.fingerprint == fingerprint && &entry.config == config)
+    }
+
+    /// The current counter values.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Inserts an entry into its shard as most-recently-used, then evicts
+    /// least-recently-used entries beyond the shard bound. Returns whether
+    /// the entry was stored — `false` for an already-present configuration
+    /// or a disabled cache.
+    fn insert_locked(
+        &self,
+        shard: &mut Shard,
+        fingerprint: u64,
+        config: &SimConfig,
+        report: &PlatformReport,
+    ) -> bool {
+        let capacity = self.shard_capacity();
+        if capacity == 0 {
+            return false;
+        }
+        if shard
+            .entries
+            .iter()
+            .any(|entry| entry.fingerprint == fingerprint && &entry.config == config)
+        {
+            return false;
+        }
+        shard.entries.push(Entry {
+            fingerprint,
+            config: config.clone(),
+            report: report.clone(),
+            last_used: self.next_tick(),
+        });
+        while shard.entries.len() > capacity {
+            let oldest = shard
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(index, _)| index)
+                .expect("non-empty shard");
+            shard.entries.swap_remove(oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Looks up a configuration, computing it through `compute` on a miss —
+    /// the single-flight entry point everything above the cache uses.
+    ///
+    /// Concurrent callers with the same configuration block on one
+    /// computation: the first becomes the leader (counted as a miss), every
+    /// other caller waits on the leader's `Condvar` and is then served the
+    /// stored result (counted as a hit). If the leader's computation fails,
+    /// its error is returned to the leader and the waiters retake the lead
+    /// one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error (the cache never stores failures).
+    pub fn get_or_compute<F>(&self, config: &SimConfig, compute: F) -> Result<PlatformReport>
+    where
+        F: FnOnce() -> Result<PlatformReport>,
+    {
+        let fingerprint = Self::fingerprint(config);
+        let mut compute = Some(compute);
+        loop {
+            let flight = {
+                let mut shard = self
+                    .shard_for(fingerprint)
+                    .lock()
+                    .expect("cache shard lock");
+                if let Some(entry) = shard
+                    .entries
+                    .iter_mut()
+                    .find(|entry| entry.fingerprint == fingerprint && &entry.config == config)
+                {
+                    entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(entry.report.clone());
+                }
+                match shard.in_flight.get(&fingerprint) {
+                    Some(flight) => Arc::clone(flight),
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        shard.in_flight.insert(fingerprint, Arc::clone(&flight));
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        drop(shard);
+                        // Leader path: compute outside the shard lock. The
+                        // guard unregisters the flight and wakes waiters on
+                        // every exit — including a panicking compute.
+                        let _guard = FlightGuard {
+                            cache: self,
+                            fingerprint,
+                            flight,
+                        };
+                        let computation = compute
+                            .take()
+                            .expect("a caller leads at most one computation")(
+                        );
+                        if let Ok(report) = &computation {
+                            let mut shard = self
+                                .shard_for(fingerprint)
+                                .lock()
+                                .expect("cache shard lock");
+                            self.insert_locked(&mut shard, fingerprint, config, report);
+                        }
+                        // `_guard` drops here: waiters wake after the entry
+                        // is stored, so a successful leader turns them into
+                        // plain hits.
+                        return computation;
+                    }
+                }
+            };
+            // Waiter path: block until the leader finishes, then re-check —
+            // a hit if the leader stored the entry, otherwise this caller
+            // takes the lead itself (leader failed, or capacity is zero).
+            flight.wait();
+        }
+    }
+
+    /// Renders the whole cache as a versioned JSON snapshot. Entries are
+    /// sorted by their canonical configuration string, so equal cache
+    /// contents render byte-identically regardless of insertion order.
+    #[must_use]
+    pub fn snapshot_json(&self) -> String {
+        let mut rows: Vec<(String, JsonValue)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard lock");
+            for entry in &shard.entries {
+                let config_json = config_to_json(&entry.config);
+                rows.push((
+                    config_json.render(),
+                    JsonValue::Object(vec![
+                        ("config".to_string(), config_json),
+                        ("report".to_string(), report_to_json(&entry.report)),
+                    ]),
+                ));
+            }
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        JsonValue::Object(vec![
+            (
+                "schema_version".to_string(),
+                JsonValue::from_u64(CACHE_SCHEMA_VERSION),
+            ),
+            (
+                "entries".to_string(),
+                JsonValue::Array(rows.into_iter().map(|(_, row)| row).collect()),
+            ),
+        ])
+        .render()
+    }
+
+    /// Restores entries from a snapshot produced by
+    /// [`ReportCache::snapshot_json`], inserting them as most-recently-used
+    /// in snapshot order (capacity bounds still apply). Returns the number
+    /// of entries actually stored — rows the cache rejected (already
+    /// present, or storage disabled) are not counted, though under a bound
+    /// tighter than the snapshot a stored row may still evict an earlier
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] on malformed JSON or a
+    /// `schema_version` other than [`CACHE_SCHEMA_VERSION`] — a snapshot
+    /// from a different format generation is rejected, never reinterpreted.
+    pub fn load_snapshot(&self, snapshot: &str) -> Result<usize> {
+        let value = JsonValue::parse(snapshot)?;
+        let version = value.get("schema_version")?.as_u64()?;
+        if version != CACHE_SCHEMA_VERSION {
+            return Err(SimError::Persistence {
+                reason: format!(
+                    "cache snapshot schema version {version} does not match supported version {CACHE_SCHEMA_VERSION}"
+                ),
+            });
+        }
+        let entries = value.get("entries")?.as_array()?;
+        let mut loaded = 0;
+        for row in entries {
+            let config = config_from_json(row.get("config")?)?;
+            let report = report_from_json(row.get("report")?)?;
+            let fingerprint = Self::fingerprint(&config);
+            let mut shard = self
+                .shard_for(fingerprint)
+                .lock()
+                .expect("cache shard lock");
+            if self.insert_locked(&mut shard, fingerprint, &config, &report) {
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Writes the snapshot to a file (atomically enough for the workloads
+    /// here: full rewrite, no partial append). Returns the number of
+    /// persisted entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] on I/O failure.
+    pub fn save_to_path(&self, path: &Path) -> Result<usize> {
+        let entries = self.len();
+        std::fs::write(path, self.snapshot_json()).map_err(|io| SimError::Persistence {
+            reason: format!("writing cache snapshot {}: {io}", path.display()),
+        })?;
+        Ok(entries)
+    }
+
+    /// Loads a snapshot file saved by [`ReportCache::save_to_path`]. Returns
+    /// the number of entries loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] on I/O failure, malformed JSON or a
+    /// mismatched schema version.
+    pub fn load_from_path(&self, path: &Path) -> Result<usize> {
+        let snapshot = std::fs::read_to_string(path).map_err(|io| SimError::Persistence {
+            reason: format!("reading cache snapshot {}: {io}", path.display()),
+        })?;
+        self.load_snapshot(&snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::SimulationPlatform;
+    use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+    fn config(length: usize) -> SimConfig {
+        let code = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, length).unwrap();
+        SimConfig::paper_defaults(code).unwrap()
+    }
+
+    fn evaluate(config: &SimConfig) -> Result<PlatformReport> {
+        SimulationPlatform::new(config.clone()).evaluate()
+    }
+
+    #[test]
+    fn hit_miss_counters_and_lru_touch() {
+        let cache = ReportCache::new(CacheConfig::unsharded(8));
+        let a = config(6);
+        let first = cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+        let second = cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprints_differ_across_disturbance_kinds() {
+        let gaussian = config(8);
+        let laplace = config(8).with_disturbance(crate::DisturbanceKind::Laplace);
+        assert_ne!(
+            ReportCache::fingerprint(&gaussian),
+            ReportCache::fingerprint(&laplace)
+        );
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = ReportCache::new(CacheConfig::unsharded(8));
+        let a = config(6);
+        let failure = cache.get_or_compute(&a, || {
+            Err(SimError::InvalidConfig {
+                reason: "boom".to_string(),
+            })
+        });
+        assert!(failure.is_err());
+        assert!(cache.is_empty());
+        // The next caller computes fresh and succeeds.
+        assert!(cache.get_or_compute(&a, || evaluate(&a)).is_ok());
+        assert_eq!(cache.len(), 1);
+    }
+}

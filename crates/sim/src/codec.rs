@@ -1,0 +1,1006 @@
+//! Std-only JSON codec for the types that cross process boundaries: the
+//! serve layer's wire format and the report cache's warm-cache persistence.
+//!
+//! The vendored `serde` stand-in is marker-traits only (no data model, no
+//! serializers — crates.io is unreachable in this build environment), so this
+//! module hand-rolls the small amount of JSON the workspace needs:
+//!
+//! * a minimal [`JsonValue`] tree with a recursive-descent parser and a
+//!   deterministic writer (object keys keep insertion order, so a value
+//!   rendered twice is byte-identical);
+//! * explicit encode/decode functions for [`SimConfig`], [`PlatformReport`]
+//!   and [`DisturbanceKind`] — every decoded configuration passes through the
+//!   same validating constructors as a hand-built one.
+//!
+//! # Float round-tripping
+//!
+//! Finite `f64`s are written with Rust's shortest-roundtrip `Display`
+//! formatting and parsed back with `str::parse::<f64>`, which restores the
+//! **bit-identical** value. That is what lets a warm cache loaded from disk
+//! serve byte-for-byte the same [`PlatformReport`]s the original process
+//! computed. Non-finite floats are not representable in JSON; the encoder
+//! maps them to `null` and the decoder rejects `null` where a number is
+//! required, so corruption fails loudly instead of silently.
+
+use nanowire_codes::{
+    ArrangedHotBudget, BalanceBudget, CodeBudgets, CodeKind, CodeSpec, LogicLevel, SearchBudget,
+};
+
+use crossbar_array::LayoutRules;
+use device_physics::{Nanometers, ThresholdModel, Volts};
+
+use crate::config::SimConfig;
+use crate::disturbance::DisturbanceKind;
+use crate::error::{Result, SimError};
+use crate::platform::PlatformReport;
+
+/// A parsed JSON document: the minimal value tree the serve and persistence
+/// codecs build on. Numbers keep their literal text so integers up to `u64`
+/// and shortest-roundtrip floats survive unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its literal token.
+    Number(String),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; keys keep insertion order so rendering is deterministic.
+    Object(Vec<(String, JsonValue)>),
+}
+
+fn err(reason: impl Into<String>) -> SimError {
+    SimError::Persistence {
+        reason: reason.into(),
+    }
+}
+
+impl JsonValue {
+    /// Encodes a finite `f64` as a number with shortest-roundtrip formatting
+    /// (`null` for non-finite values, which JSON cannot represent).
+    #[must_use]
+    pub fn from_f64(value: f64) -> JsonValue {
+        if value.is_finite() {
+            JsonValue::Number(format!("{value}"))
+        } else {
+            JsonValue::Null
+        }
+    }
+
+    /// Encodes a `u64` exactly.
+    #[must_use]
+    pub fn from_u64(value: u64) -> JsonValue {
+        JsonValue::Number(value.to_string())
+    }
+
+    /// Encodes a `usize` exactly.
+    #[must_use]
+    pub fn from_usize(value: usize) -> JsonValue {
+        JsonValue::Number(value.to_string())
+    }
+
+    /// The value as a finite `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] when the value is not a number (in
+    /// particular the `null` the encoder emits for non-finite floats).
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            JsonValue::Number(literal) => literal
+                .parse::<f64>()
+                .ok()
+                .filter(|value| value.is_finite())
+                .ok_or_else(|| err(format!("number literal {literal:?} is not a finite f64"))),
+            other => Err(err(format!("expected a number, got {}", other.kind_name()))),
+        }
+    }
+
+    /// The value as a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] when the value is not an unsigned
+    /// integer literal.
+    pub fn as_u64(&self) -> Result<u64> {
+        match self {
+            JsonValue::Number(literal) => literal
+                .parse::<u64>()
+                .map_err(|_| err(format!("number literal {literal:?} is not a u64"))),
+            other => Err(err(format!("expected a number, got {}", other.kind_name()))),
+        }
+    }
+
+    /// The value as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] when the value is not an unsigned
+    /// integer literal that fits a `usize`.
+    pub fn as_usize(&self) -> Result<usize> {
+        usize::try_from(self.as_u64()?).map_err(|_| err("integer does not fit a usize"))
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] when the value is not a string.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            JsonValue::String(text) => Ok(text),
+            other => Err(err(format!("expected a string, got {}", other.kind_name()))),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] when the value is not an array.
+    pub fn as_array(&self) -> Result<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            other => Err(err(format!("expected an array, got {}", other.kind_name()))),
+        }
+    }
+
+    /// Looks up a key of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] when the value is not an object or
+    /// the key is absent.
+    pub fn get(&self, key: &str) -> Result<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value)
+                .ok_or_else(|| err(format!("missing object key {key:?}"))),
+            other => Err(err(format!(
+                "expected an object with key {key:?}, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    fn kind_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "a bool",
+            JsonValue::Number(_) => "a number",
+            JsonValue::String(_) => "a string",
+            JsonValue::Array(_) => "an array",
+            JsonValue::Object(_) => "an object",
+        }
+    }
+
+    /// Renders the value as compact JSON. Deterministic: object keys are
+    /// written in insertion order, numbers keep their literals.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Number(literal) => out.push_str(literal),
+            JsonValue::String(text) => render_string(text, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (index, item) in items.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (index, (key, value)) in fields.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document, requiring it to span the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] on any syntax error, with the byte
+    /// offset in the reason.
+    pub fn parse(input: &str) -> Result<JsonValue> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            position: 0,
+            depth: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.position != parser.bytes.len() {
+            return Err(err(format!(
+                "trailing characters after JSON document at byte {}",
+                parser.position
+            )));
+        }
+        Ok(value)
+    }
+}
+
+fn render_string(text: &str, out: &mut String) {
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ch if (ch as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", ch as u32));
+            }
+            ch => out.push(ch),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container-nesting depth the parser accepts. The recursive-descent
+/// parser recurses once per nesting level, so without a bound a hostile wire
+/// request of repeated `[`s would overflow the stack and abort the serving
+/// process; every legitimate document in this workspace nests a handful of
+/// levels.
+const MAX_JSON_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    position: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_JSON_DEPTH {
+            return Err(err(format!(
+                "JSON nesting exceeds the supported depth of {MAX_JSON_DEPTH}"
+            )));
+        }
+        Ok(())
+    }
+    fn skip_whitespace(&mut self) {
+        while let Some(&byte) = self.bytes.get(self.position) {
+            if matches!(byte, b' ' | b'\t' | b'\n' | b'\r') {
+                self.position += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.position).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.position += 1;
+            Ok(())
+        } else {
+            Err(err(format!(
+                "expected {:?} at byte {}",
+                byte as char, self.position
+            )))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.position..].starts_with(literal.as_bytes()) {
+            self.position += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') if self.consume_literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.consume_literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.consume_literal("null") => Ok(JsonValue::Null),
+            Some(byte) if byte == b'-' || byte.is_ascii_digit() => self.parse_number(),
+            _ => Err(err(format!(
+                "unexpected character at byte {}",
+                self.position
+            ))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue> {
+        self.descend()?;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.position += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.position += 1,
+                Some(b'}') => {
+                    self.position += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => {
+                    return Err(err(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.position
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue> {
+        self.descend()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.position += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.position += 1,
+                Some(b']') => {
+                    self.position += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => {
+                    return Err(err(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.position
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut text = String::new();
+        loop {
+            let start = self.position;
+            // Advance over the longest plain (unescaped, non-quote) run so
+            // multi-byte UTF-8 passes through untouched.
+            while let Some(&byte) = self.bytes.get(self.position) {
+                if byte == b'"' || byte == b'\\' || byte < 0x20 {
+                    break;
+                }
+                self.position += 1;
+            }
+            if self.position > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.position])
+                    .map_err(|_| err("invalid UTF-8 inside string"))?;
+                text.push_str(run);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.position += 1;
+                    return Ok(text);
+                }
+                Some(b'\\') => {
+                    self.position += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| err("unterminated escape sequence"))?;
+                    self.position += 1;
+                    match escape {
+                        b'"' => text.push('"'),
+                        b'\\' => text.push('\\'),
+                        b'/' => text.push('/'),
+                        b'b' => text.push('\u{0008}'),
+                        b'f' => text.push('\u{000c}'),
+                        b'n' => text.push('\n'),
+                        b'r' => text.push('\r'),
+                        b't' => text.push('\t'),
+                        b'u' => {
+                            let unit = self.parse_hex_unit()?;
+                            let code = match unit {
+                                // High surrogate: JSON escapes non-BMP
+                                // characters as a \uD8xx\uDCxx pair; combine
+                                // the two units into one scalar value.
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(err("unpaired high surrogate escape"));
+                                    }
+                                    self.position += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(err("unpaired high surrogate escape"));
+                                    }
+                                    self.position += 1;
+                                    let low = self.parse_hex_unit()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(err(
+                                            "high surrogate escape not followed by a low surrogate",
+                                        ));
+                                    }
+                                    0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(err("unpaired low surrogate escape"));
+                                }
+                                code => code,
+                            };
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| err("\\u escape is not a scalar value"))?;
+                            text.push(ch);
+                        }
+                        other => {
+                            return Err(err(format!("unknown escape '\\{}'", other as char)));
+                        }
+                    }
+                }
+                _ => return Err(err("unterminated string")),
+            }
+        }
+    }
+
+    /// Reads the four hex digits of one `\u` escape code unit (the `\u` is
+    /// already consumed) and advances past them.
+    fn parse_hex_unit(&mut self) -> Result<u32> {
+        let end = self.position + 4;
+        let digits = self
+            .bytes
+            .get(self.position..end)
+            .and_then(|hex| std::str::from_utf8(hex).ok())
+            .ok_or_else(|| err("truncated \\u escape"))?;
+        let unit = u32::from_str_radix(digits, 16).map_err(|_| err("invalid \\u escape digits"))?;
+        self.position = end;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue> {
+        let start = self.position;
+        if self.peek() == Some(b'-') {
+            self.position += 1;
+        }
+        while let Some(byte) = self.peek() {
+            if byte.is_ascii_digit() || matches!(byte, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.position += 1;
+            } else {
+                break;
+            }
+        }
+        let literal = std::str::from_utf8(&self.bytes[start..self.position])
+            .expect("number tokens are ASCII");
+        if literal.parse::<f64>().is_err() {
+            return Err(err(format!("invalid number literal {literal:?}")));
+        }
+        Ok(JsonValue::Number(literal.to_string()))
+    }
+}
+
+fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(key, value)| (key.to_string(), value))
+            .collect(),
+    )
+}
+
+fn volts_field(value: Volts) -> JsonValue {
+    JsonValue::from_f64(value.value())
+}
+
+fn volts_from(value: &JsonValue) -> Result<Volts> {
+    Ok(Volts::new(value.as_f64()?))
+}
+
+fn code_kind_name(kind: CodeKind) -> &'static str {
+    match kind {
+        CodeKind::Tree => "tree",
+        CodeKind::Gray => "gray",
+        CodeKind::BalancedGray => "balanced_gray",
+        CodeKind::Hot => "hot",
+        CodeKind::ArrangedHot => "arranged_hot",
+    }
+}
+
+fn code_kind_from(name: &str) -> Result<CodeKind> {
+    CodeKind::ALL
+        .into_iter()
+        .find(|&kind| code_kind_name(kind) == name)
+        .ok_or_else(|| err(format!("unknown code kind {name:?}")))
+}
+
+/// Encodes a [`CodeSpec`] as `{"kind","radix","length"}`.
+#[must_use]
+pub fn code_spec_to_json(code: CodeSpec) -> JsonValue {
+    object(vec![
+        (
+            "kind",
+            JsonValue::String(code_kind_name(code.kind()).into()),
+        ),
+        (
+            "radix",
+            JsonValue::from_u64(u64::from(code.radix().radix())),
+        ),
+        ("length", JsonValue::from_usize(code.code_length())),
+    ])
+}
+
+/// Decodes a [`CodeSpec`], re-validating length against the family.
+///
+/// # Errors
+///
+/// Returns [`SimError::Persistence`] on malformed JSON, or propagates the
+/// code layer's validation errors.
+pub fn code_spec_from_json(value: &JsonValue) -> Result<CodeSpec> {
+    let kind = code_kind_from(value.get("kind")?.as_str()?)?;
+    let radix =
+        u8::try_from(value.get("radix")?.as_u64()?).map_err(|_| err("radix does not fit a u8"))?;
+    let radix = LogicLevel::new(radix)?;
+    Ok(CodeSpec::new(
+        kind,
+        radix,
+        value.get("length")?.as_usize()?,
+    )?)
+}
+
+/// Encodes a [`DisturbanceKind`] as a tagged object (`{"kind":"gaussian"}`,
+/// `{"kind":"correlated","shared_fraction":0.5}`, ...).
+#[must_use]
+pub fn disturbance_to_json(kind: DisturbanceKind) -> JsonValue {
+    match kind {
+        DisturbanceKind::Gaussian => object(vec![("kind", JsonValue::String("gaussian".into()))]),
+        DisturbanceKind::Laplace => object(vec![("kind", JsonValue::String("laplace".into()))]),
+        DisturbanceKind::Correlated { shared_fraction } => object(vec![
+            ("kind", JsonValue::String("correlated".into())),
+            ("shared_fraction", JsonValue::from_f64(shared_fraction)),
+        ]),
+    }
+}
+
+/// Decodes a [`DisturbanceKind`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Persistence`] on malformed JSON or an unknown kind.
+pub fn disturbance_from_json(value: &JsonValue) -> Result<DisturbanceKind> {
+    match value.get("kind")?.as_str()? {
+        "gaussian" => Ok(DisturbanceKind::Gaussian),
+        "laplace" => Ok(DisturbanceKind::Laplace),
+        "correlated" => Ok(DisturbanceKind::Correlated {
+            shared_fraction: value.get("shared_fraction")?.as_f64()?,
+        }),
+        other => Err(err(format!("unknown disturbance kind {other:?}"))),
+    }
+}
+
+/// Encodes a full [`SimConfig`] — every field, including the disturbance
+/// kind, so two configurations differing only in their disturbance never
+/// serialize (or cache-key) identically.
+#[must_use]
+pub fn config_to_json(config: &SimConfig) -> JsonValue {
+    let layout = config.layout();
+    let threshold = config.threshold_model();
+    let budgets = config.code_budgets();
+    let (supply_low, supply_high) = config.supply_range();
+    object(vec![
+        ("code", code_spec_to_json(config.code())),
+        (
+            "nanowires_per_half_cave",
+            JsonValue::from_usize(config.nanowires_per_half_cave()),
+        ),
+        ("raw_bits", JsonValue::from_u64(config.raw_bits())),
+        (
+            "layout",
+            object(vec![
+                (
+                    "litho_pitch_nm",
+                    JsonValue::from_f64(layout.litho_pitch().value()),
+                ),
+                (
+                    "nanowire_pitch_nm",
+                    JsonValue::from_f64(layout.nanowire_pitch().value()),
+                ),
+                (
+                    "min_contact_width_factor",
+                    JsonValue::from_f64(layout.min_contact_width_factor()),
+                ),
+                (
+                    "contact_alignment_tolerance_nm",
+                    JsonValue::from_f64(layout.contact_alignment_tolerance().value()),
+                ),
+            ]),
+        ),
+        (
+            "threshold_model",
+            object(vec![
+                (
+                    "oxide_thickness_nm",
+                    JsonValue::from_f64(threshold.oxide_thickness().value()),
+                ),
+                (
+                    "flat_band_voltage_v",
+                    volts_field(threshold.flat_band_voltage()),
+                ),
+            ]),
+        ),
+        ("sigma_per_dose_v", volts_field(config.sigma_per_dose())),
+        (
+            "supply_range_v",
+            JsonValue::Array(vec![volts_field(supply_low), volts_field(supply_high)]),
+        ),
+        (
+            "window_override_v",
+            config
+                .window_override()
+                .map_or(JsonValue::Null, volts_field),
+        ),
+        (
+            "code_budgets",
+            object(vec![
+                (
+                    "balance",
+                    object(vec![
+                        (
+                            "max_nodes_per_limit",
+                            JsonValue::from_u64(budgets.balance.max_nodes_per_limit),
+                        ),
+                        (
+                            "max_limit_slack",
+                            JsonValue::from_usize(budgets.balance.max_limit_slack),
+                        ),
+                    ]),
+                ),
+                (
+                    "arranged_hot",
+                    object(vec![
+                        (
+                            "max_nodes",
+                            JsonValue::from_u64(budgets.arranged_hot.max_nodes),
+                        ),
+                        (
+                            "fallback",
+                            object(vec![
+                                (
+                                    "max_nodes",
+                                    JsonValue::from_u64(budgets.arranged_hot.fallback.max_nodes),
+                                ),
+                                (
+                                    "max_two_opt_sweeps",
+                                    JsonValue::from_u64(u64::from(
+                                        budgets.arranged_hot.fallback.max_two_opt_sweeps,
+                                    )),
+                                ),
+                            ]),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+        ("disturbance", disturbance_to_json(config.disturbance())),
+    ])
+}
+
+/// Decodes a [`SimConfig`], passing every field through the same validating
+/// constructors a hand-built configuration uses.
+///
+/// # Errors
+///
+/// Returns [`SimError::Persistence`] on malformed JSON, or propagates the
+/// validation errors of the reconstructed layers.
+pub fn config_from_json(value: &JsonValue) -> Result<SimConfig> {
+    let code = code_spec_from_json(value.get("code")?)?;
+    let layout_value = value.get("layout")?;
+    let layout = LayoutRules::new(
+        Nanometers::new(layout_value.get("litho_pitch_nm")?.as_f64()?),
+        Nanometers::new(layout_value.get("nanowire_pitch_nm")?.as_f64()?),
+        layout_value.get("min_contact_width_factor")?.as_f64()?,
+        Nanometers::new(
+            layout_value
+                .get("contact_alignment_tolerance_nm")?
+                .as_f64()?,
+        ),
+    )?;
+    let threshold_value = value.get("threshold_model")?;
+    let threshold = ThresholdModel::new(
+        Nanometers::new(threshold_value.get("oxide_thickness_nm")?.as_f64()?),
+        volts_from(threshold_value.get("flat_band_voltage_v")?)?,
+    )?;
+    let supply = value.get("supply_range_v")?.as_array()?;
+    if supply.len() != 2 {
+        return Err(err("supply_range_v must have exactly two entries"));
+    }
+    let budgets_value = value.get("code_budgets")?;
+    let balance_value = budgets_value.get("balance")?;
+    let arranged_value = budgets_value.get("arranged_hot")?;
+    let fallback_value = arranged_value.get("fallback")?;
+    let budgets = CodeBudgets {
+        balance: BalanceBudget {
+            max_nodes_per_limit: balance_value.get("max_nodes_per_limit")?.as_u64()?,
+            max_limit_slack: balance_value.get("max_limit_slack")?.as_usize()?,
+        },
+        arranged_hot: ArrangedHotBudget {
+            max_nodes: arranged_value.get("max_nodes")?.as_u64()?,
+            fallback: SearchBudget {
+                max_nodes: fallback_value.get("max_nodes")?.as_u64()?,
+                max_two_opt_sweeps: u32::try_from(
+                    fallback_value.get("max_two_opt_sweeps")?.as_u64()?,
+                )
+                .map_err(|_| err("max_two_opt_sweeps does not fit a u32"))?,
+            },
+        },
+    };
+    let mut config = SimConfig::new(
+        code,
+        value.get("nanowires_per_half_cave")?.as_usize()?,
+        value.get("raw_bits")?.as_u64()?,
+        layout,
+        threshold,
+        volts_from(value.get("sigma_per_dose_v")?)?,
+        (volts_from(&supply[0])?, volts_from(&supply[1])?),
+    )?
+    .with_code_budgets(budgets)
+    .with_disturbance(disturbance_from_json(value.get("disturbance")?)?);
+    if !matches!(value.get("window_override_v")?, JsonValue::Null) {
+        config = config.with_window(volts_from(value.get("window_override_v")?)?);
+    }
+    Ok(config)
+}
+
+/// Encodes a [`PlatformReport`].
+#[must_use]
+pub fn report_to_json(report: &PlatformReport) -> JsonValue {
+    object(vec![
+        ("code", code_spec_to_json(report.code)),
+        (
+            "nanowires_per_half_cave",
+            JsonValue::from_usize(report.nanowires_per_half_cave),
+        ),
+        (
+            "fabrication_steps",
+            JsonValue::from_usize(report.fabrication_steps),
+        ),
+        (
+            "mean_variability",
+            JsonValue::from_f64(report.mean_variability),
+        ),
+        (
+            "max_normalized_sigma",
+            JsonValue::from_f64(report.max_normalized_sigma),
+        ),
+        ("cave_yield", JsonValue::from_f64(report.cave_yield)),
+        ("crossbar_yield", JsonValue::from_f64(report.crossbar_yield)),
+        ("effective_bits", JsonValue::from_f64(report.effective_bits)),
+        ("raw_bit_area", JsonValue::from_f64(report.raw_bit_area)),
+        (
+            "effective_bit_area",
+            JsonValue::from_f64(report.effective_bit_area),
+        ),
+        (
+            "contact_groups",
+            JsonValue::from_usize(report.contact_groups),
+        ),
+    ])
+}
+
+/// Decodes a [`PlatformReport`] bit-identically (floats round-trip exactly).
+///
+/// # Errors
+///
+/// Returns [`SimError::Persistence`] on malformed JSON.
+pub fn report_from_json(value: &JsonValue) -> Result<PlatformReport> {
+    Ok(PlatformReport {
+        code: code_spec_from_json(value.get("code")?)?,
+        nanowires_per_half_cave: value.get("nanowires_per_half_cave")?.as_usize()?,
+        fabrication_steps: value.get("fabrication_steps")?.as_usize()?,
+        mean_variability: value.get("mean_variability")?.as_f64()?,
+        max_normalized_sigma: value.get("max_normalized_sigma")?.as_f64()?,
+        cave_yield: value.get("cave_yield")?.as_f64()?,
+        crossbar_yield: value.get("crossbar_yield")?.as_f64()?,
+        effective_bits: value.get("effective_bits")?.as_f64()?,
+        raw_bit_area: value.get("raw_bit_area")?.as_f64()?,
+        effective_bit_area: value.get("effective_bit_area")?.as_f64()?,
+        contact_groups: value.get("contact_groups")?.as_usize()?,
+    })
+}
+
+/// The canonical serialized form of a configuration: the deterministic
+/// rendering of [`config_to_json`]. Equal configurations produce identical
+/// strings; configurations differing in **any** field — including the
+/// disturbance kind — produce different strings. The report cache
+/// fingerprints this string, which is what guarantees a Gaussian and a
+/// Laplace run with the same platform parameters never alias.
+#[must_use]
+pub fn canonical_config_string(config: &SimConfig) -> String {
+    config_to_json(config).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::SimulationPlatform;
+
+    fn base_config() -> SimConfig {
+        let code = CodeSpec::new(CodeKind::BalancedGray, LogicLevel::BINARY, 10).unwrap();
+        SimConfig::paper_defaults(code).unwrap()
+    }
+
+    #[test]
+    fn json_value_parses_and_renders_round_trip() {
+        let text = r#"{"a":[1,2.5,-3e2],"b":"q\"\\\né","c":null,"d":true,"e":false}"#;
+        let value = JsonValue::parse(text).unwrap();
+        assert_eq!(value.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(value.get("b").unwrap().as_str().unwrap(), "q\"\\\né");
+        assert_eq!(value.get("d").unwrap(), &JsonValue::Bool(true));
+        // Render → parse is the identity.
+        assert_eq!(JsonValue::parse(&value.render()).unwrap(), value);
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "1e",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode_and_lone_surrogates_fail() {
+        // Standards-compliant encoders escape non-BMP characters as a
+        // surrogate pair; U+1F600 (😀) is the pair D83D + DE00.
+        let value = JsonValue::parse(r#""\ud83d\ude00!""#).unwrap();
+        assert_eq!(value.as_str().unwrap(), "\u{1F600}!");
+        // Unescaped non-BMP UTF-8 passes through too.
+        assert_eq!(
+            JsonValue::parse("\"\u{1F600}\"").unwrap().as_str().unwrap(),
+            "\u{1F600}"
+        );
+        // Lone or malformed halves are rejected, not mangled.
+        for bad in [
+            r#""\ud83d""#,
+            r#""\ud83d\n""#,
+            r#""\ud83dx""#,
+            r#""\ud83dA""#,
+            r#""\ude00""#,
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_depth_is_rejected_not_a_stack_overflow() {
+        // A remote client can send arbitrarily nested JSON; the parser must
+        // reject it with an error instead of recursing off the stack.
+        let bomb = "[".repeat(1_000_000);
+        let error = JsonValue::parse(&bomb).unwrap_err();
+        assert!(error.to_string().contains("depth"));
+        let object_bomb = "{\"k\":".repeat(500_000);
+        assert!(JsonValue::parse(&object_bomb).is_err());
+        // Reasonable nesting still parses.
+        let fine = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(JsonValue::parse(&fine).is_ok());
+    }
+
+    #[test]
+    fn floats_round_trip_bit_identically() {
+        for value in [0.0, -0.0, 1.0 / 3.0, 0.1 + 0.2, f64::MIN_POSITIVE, 1e300] {
+            let encoded = JsonValue::from_f64(value);
+            let decoded = encoded.as_f64().unwrap();
+            assert_eq!(decoded.to_bits(), value.to_bits(), "value {value}");
+        }
+        // Non-finite floats encode to null and fail loudly on decode.
+        assert_eq!(JsonValue::from_f64(f64::NAN), JsonValue::Null);
+        assert!(JsonValue::from_f64(f64::INFINITY).as_f64().is_err());
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let config = base_config();
+        let decoded = config_from_json(&config_to_json(&config)).unwrap();
+        assert_eq!(decoded, config);
+
+        // Every override survives, including a window override and a
+        // non-default disturbance.
+        let tuned = base_config()
+            .with_window(Volts::new(0.21))
+            .with_disturbance(DisturbanceKind::Correlated {
+                shared_fraction: 0.25,
+            });
+        let decoded = config_from_json(&config_to_json(&tuned)).unwrap();
+        assert_eq!(decoded, tuned);
+    }
+
+    #[test]
+    fn report_round_trips_bit_identically() {
+        let report = SimulationPlatform::new(base_config()).evaluate().unwrap();
+        let decoded = report_from_json(&report_to_json(&report)).unwrap();
+        assert_eq!(decoded, report);
+        assert_eq!(
+            decoded.crossbar_yield.to_bits(),
+            report.crossbar_yield.to_bits()
+        );
+    }
+
+    #[test]
+    fn canonical_strings_separate_disturbance_kinds() {
+        let gaussian = base_config();
+        let laplace = base_config().with_disturbance(DisturbanceKind::Laplace);
+        assert_ne!(
+            canonical_config_string(&gaussian),
+            canonical_config_string(&laplace)
+        );
+        // And equal configurations render identically (determinism).
+        assert_eq!(
+            canonical_config_string(&gaussian),
+            canonical_config_string(&base_config())
+        );
+    }
+
+    #[test]
+    fn unknown_enum_tags_are_rejected() {
+        let mut value = config_to_json(&base_config());
+        if let JsonValue::Object(fields) = &mut value {
+            for (key, field) in fields.iter_mut() {
+                if key == "disturbance" {
+                    *field = JsonValue::Object(vec![(
+                        "kind".to_string(),
+                        JsonValue::String("cauchy".to_string()),
+                    )]);
+                }
+            }
+        }
+        assert!(config_from_json(&value).is_err());
+        assert!(code_kind_from("mystery").is_err());
+    }
+}

@@ -170,6 +170,15 @@ impl SimConfig {
         self
     }
 
+    /// Overrides the search budgets used when generating arranged codes
+    /// (defaults to [`CodeBudgets::default`]) — the serve layer's
+    /// deserializer uses this to rebuild a configuration faithfully.
+    #[must_use]
+    pub fn with_code_budgets(mut self, budgets: CodeBudgets) -> Self {
+        self.code_budgets = budgets;
+        self
+    }
+
     /// Selects the dose-disturbance distribution the Monte-Carlo path
     /// samples under (defaults to [`DisturbanceKind::Gaussian`], the only
     /// distribution the analytic path can integrate in closed form).
@@ -268,6 +277,14 @@ impl SimConfig {
             self.code.radix().radix_usize(),
             self.supply_range,
         )?)
+    }
+
+    /// The explicit decision-window override, when one was set with
+    /// [`SimConfig::with_window`] (the serializer needs the raw option to
+    /// round-trip a configuration without forcing the derived default).
+    #[must_use]
+    pub fn window_override(&self) -> Option<Volts> {
+        self.window_override
     }
 
     /// The addressability decision window: the explicit override if set,

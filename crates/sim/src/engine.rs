@@ -17,12 +17,17 @@
 //!
 //! # Memoization
 //!
-//! The engine carries a per-[`SimConfig`] cache of [`PlatformReport`]s:
-//! repeated (kind, radix, length) points across `yield_sweep`,
-//! `bit_area_sweep` and `full_sweep` calls on the same engine are evaluated
-//! once and served from the cache afterwards.
+//! The engine carries a sharded, bounded, single-flight LRU
+//! [`ReportCache`] of [`PlatformReport`]s: repeated (kind, radix, length)
+//! points across `yield_sweep`, `bit_area_sweep` and `full_sweep` calls on
+//! the same engine are evaluated once and served from the cache afterwards,
+//! and concurrent identical requests (the serve layer's workload) block on
+//! one in-flight evaluation instead of duplicating it. The cache persists to
+//! a versioned JSON snapshot ([`ExecutionEngine::save_cache`] /
+//! [`ExecutionEngine::load_cache`]) so repeated runs restart warm.
 
 use std::num::NonZeroUsize;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -34,6 +39,7 @@ use device_physics::{VariabilityModel, Volts};
 use mspt_fabrication::VariabilityMatrix;
 use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 
+use crate::cache::{CacheConfig, CacheStats, ReportCache};
 use crate::config::SimConfig;
 use crate::disturbance::{DisturbanceModel, GaussianDisturbance};
 use crate::error::{Result, SimError};
@@ -131,7 +137,7 @@ fn default_thread_count() -> usize {
 #[derive(Debug)]
 pub struct ExecutionEngine {
     config: EngineConfig,
-    report_cache: Mutex<Vec<(SimConfig, PlatformReport)>>,
+    cache: ReportCache,
 }
 
 impl Default for ExecutionEngine {
@@ -141,16 +147,26 @@ impl Default for ExecutionEngine {
 }
 
 impl ExecutionEngine {
-    /// Creates an engine. Zero `threads` or `chunk_size` are clamped to one
-    /// so every configuration is runnable.
+    /// Creates an engine with the default report cache
+    /// ([`CacheConfig::default`]: `MSPT_CACHE_CAPACITY` or 4096 entries,
+    /// 8 shards). Zero `threads` or `chunk_size` are clamped to one so every
+    /// configuration is runnable.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
+        ExecutionEngine::with_cache(config, CacheConfig::default())
+    }
+
+    /// Creates an engine with an explicit report-cache configuration — the
+    /// constructor behind cache-bound experiments and the serve layer's
+    /// capacity knob.
+    #[must_use]
+    pub fn with_cache(config: EngineConfig, cache: CacheConfig) -> Self {
         ExecutionEngine {
             config: EngineConfig {
                 threads: config.threads.max(1),
                 chunk_size: config.chunk_size.max(1),
             },
-            report_cache: Mutex::new(Vec::new()),
+            cache: ReportCache::new(cache),
         }
     }
 
@@ -170,7 +186,55 @@ impl ExecutionEngine {
     /// Number of distinct [`SimConfig`]s whose reports are memoized.
     #[must_use]
     pub fn cached_report_count(&self) -> usize {
-        self.report_cache.lock().expect("report cache lock").len()
+        self.cache.len()
+    }
+
+    /// The cache's hit/miss/eviction counters — what the serve stress gate
+    /// asserts its hit rates on.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The (clamped) configuration of the report cache.
+    #[must_use]
+    pub fn cache_config(&self) -> &CacheConfig {
+        self.cache.config()
+    }
+
+    /// Evaluates one configuration through the report cache: a repeated
+    /// configuration is a cache hit, concurrent identical requests
+    /// single-flight onto one evaluation. This is the serve layer's
+    /// per-request entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (never cached).
+    pub fn report_for(&self, config: &SimConfig) -> Result<PlatformReport> {
+        self.cache.get_or_compute(config, || {
+            SimulationPlatform::new(config.clone()).evaluate()
+        })
+    }
+
+    /// Persists the warm report cache to a versioned JSON snapshot file.
+    /// Returns the number of persisted entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] on I/O failure.
+    pub fn save_cache(&self, path: &Path) -> Result<usize> {
+        self.cache.save_to_path(path)
+    }
+
+    /// Restores a warm report cache saved by [`ExecutionEngine::save_cache`].
+    /// Returns the number of entries loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] on I/O failure, malformed JSON or a
+    /// mismatched snapshot schema version.
+    pub fn load_cache(&self, path: &Path) -> Result<usize> {
+        self.cache.load_from_path(path)
     }
 
     /// Runs `count` independent jobs across the engine's threads and returns
@@ -343,46 +407,29 @@ impl ExecutionEngine {
         )?)
     }
 
-    /// Evaluates every configuration, serving repeats from the memoized
-    /// report cache and computing each distinct miss exactly once across the
-    /// engine's threads. Results come back in input order.
+    /// Evaluates every configuration through the report cache, fanning the
+    /// batch across the engine's threads. In-batch duplicates are deduped
+    /// *before* the fan-out so they never occupy a worker just to block on
+    /// another worker's single-flight (and are evaluated once even with a
+    /// disabled cache); the single-flight cache still dedups against
+    /// concurrent batches and serve-layer requests. Results come back in
+    /// input order.
     fn evaluate_batch(&self, configs: &[SimConfig]) -> Result<Vec<PlatformReport>> {
-        enum Slot {
-            Cached(PlatformReport),
-            Fresh(usize),
-        }
-        let mut pending: Vec<SimConfig> = Vec::new();
+        let mut unique: Vec<&SimConfig> = Vec::new();
         let mut slots = Vec::with_capacity(configs.len());
-        {
-            let cache = self.report_cache.lock().expect("report cache lock");
-            for config in configs {
-                if let Some((_, report)) = cache.iter().find(|(cached, _)| cached == config) {
-                    slots.push(Slot::Cached(report.clone()));
-                } else if let Some(position) = pending.iter().position(|queued| queued == config) {
-                    slots.push(Slot::Fresh(position));
-                } else {
-                    pending.push(config.clone());
-                    slots.push(Slot::Fresh(pending.len() - 1));
+        for config in configs {
+            match unique.iter().position(|&queued| queued == config) {
+                Some(position) => slots.push(position),
+                None => {
+                    unique.push(config);
+                    slots.push(unique.len() - 1);
                 }
             }
         }
-        let fresh = self.run_indexed(pending.len(), |index| {
-            SimulationPlatform::new(pending[index].clone()).evaluate()
-        })?;
-        {
-            let mut cache = self.report_cache.lock().expect("report cache lock");
-            for (config, report) in pending.iter().zip(&fresh) {
-                if !cache.iter().any(|(cached, _)| cached == config) {
-                    cache.push((config.clone(), report.clone()));
-                }
-            }
-        }
+        let reports = self.run_indexed(unique.len(), |index| self.report_for(unique[index]))?;
         Ok(slots
             .into_iter()
-            .map(|slot| match slot {
-                Slot::Cached(report) => report,
-                Slot::Fresh(index) => fresh[index].clone(),
-            })
+            .map(|index| reports[index].clone())
             .collect())
     }
 

@@ -19,6 +19,12 @@ pub enum SimError {
     },
     /// A sweep was requested over an empty parameter set.
     EmptySweep,
+    /// Serialization, deserialization or disk I/O of a persisted artefact
+    /// (warm report caches, serve-layer wire messages) failed.
+    Persistence {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
     /// An error bubbled up from the code layer.
     Code(CodeError),
     /// An error bubbled up from the device-physics layer.
@@ -36,6 +42,9 @@ impl fmt::Display for SimError {
                 write!(f, "invalid simulation configuration: {reason}")
             }
             SimError::EmptySweep => write!(f, "sweep requested over an empty parameter set"),
+            SimError::Persistence { reason } => {
+                write!(f, "persistence error: {reason}")
+            }
             SimError::Code(err) => write!(f, "code error: {err}"),
             SimError::Physics(err) => write!(f, "device-physics error: {err}"),
             SimError::Fabrication(err) => write!(f, "fabrication error: {err}"),

@@ -17,6 +17,11 @@
 //! contract. The serial free functions are thin wrappers over a
 //! single-threaded engine.
 //!
+//! Repeated evaluations are served from the engine's sharded, bounded,
+//! single-flight [`ReportCache`], which persists to a versioned JSON
+//! snapshot through the std-only [`codec`] module — the substrate of the
+//! `mspt-serve` concurrent serving layer.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,6 +43,8 @@
 #![warn(missing_debug_implementations)]
 
 mod ablation;
+mod cache;
+pub mod codec;
 mod config;
 mod disturbance;
 mod engine;
@@ -50,6 +57,10 @@ mod sweep;
 pub use ablation::{
     alignment_sensitivity, half_cave_sensitivity, sigma_sensitivity, window_sensitivity,
     SensitivityPoint, SensitivitySweep,
+};
+pub use cache::{
+    CacheConfig, CacheStats, ReportCache, CACHE_CAPACITY_ENV, CACHE_PATH_ENV, CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS,
 };
 pub use config::SimConfig;
 pub use disturbance::{

@@ -1,0 +1,260 @@
+//! Edge-case coverage for the sharded, bounded, single-flight report cache:
+//! degenerate capacities, LRU eviction order under interleaved hits,
+//! single-flight under contention, persistence round-trips and schema
+//! versioning, and disturbance-kind keying.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::thread;
+use std::time::Duration;
+
+use decoder_sim::{
+    CacheConfig, DisturbanceKind, ReportCache, SimConfig, SimulationPlatform, CACHE_SCHEMA_VERSION,
+};
+use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+fn config(kind: CodeKind, length: usize) -> SimConfig {
+    let code = CodeSpec::new(kind, LogicLevel::BINARY, length).unwrap();
+    SimConfig::paper_defaults(code).unwrap()
+}
+
+fn evaluate(config: &SimConfig) -> decoder_sim::Result<decoder_sim::PlatformReport> {
+    SimulationPlatform::new(config.clone()).evaluate()
+}
+
+#[test]
+fn capacity_zero_disables_storage_but_stays_correct() {
+    let cache = ReportCache::new(CacheConfig::unsharded(0));
+    let a = config(CodeKind::Tree, 8);
+    let first = cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+    let second = cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+    assert_eq!(first, second);
+    assert!(cache.is_empty());
+    assert!(!cache.contains(&a));
+    let stats = cache.stats();
+    // Nothing is ever stored, so every lookup recomputes.
+    assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 0));
+}
+
+#[test]
+fn capacity_one_keeps_only_the_most_recent_config() {
+    let cache = ReportCache::new(CacheConfig::unsharded(1));
+    let a = config(CodeKind::Tree, 6);
+    let b = config(CodeKind::Tree, 8);
+    cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+    assert!(cache.contains(&a));
+    cache.get_or_compute(&b, || evaluate(&b)).unwrap();
+    assert!(cache.contains(&b) && !cache.contains(&a));
+    assert_eq!(cache.len(), 1);
+    // Ping-ponging two configurations through a 1-entry cache evicts on
+    // every switch and never hits.
+    cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, 3);
+    assert_eq!(stats.evictions, 2);
+}
+
+#[test]
+fn lru_eviction_order_respects_interleaved_hits() {
+    let cache = ReportCache::new(CacheConfig::unsharded(3));
+    let a = config(CodeKind::Tree, 6);
+    let b = config(CodeKind::Tree, 8);
+    let c = config(CodeKind::Tree, 10);
+    let d = config(CodeKind::Gray, 8);
+    for entry in [&a, &b, &c] {
+        cache.get_or_compute(entry, || evaluate(entry)).unwrap();
+    }
+    // Touch A (a hit): B becomes the least recently used entry.
+    cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+    // Inserting D must now evict B — not A (recently touched) and not C.
+    cache.get_or_compute(&d, || evaluate(&d)).unwrap();
+    assert!(cache.contains(&a), "recently hit entry was evicted");
+    assert!(!cache.contains(&b), "LRU entry survived");
+    assert!(cache.contains(&c));
+    assert!(cache.contains(&d));
+    assert_eq!(cache.stats().evictions, 1);
+
+    // Recency is now A < C < D; touching C makes it A < D < C, so a fifth
+    // configuration must evict A.
+    cache.get_or_compute(&c, || evaluate(&c)).unwrap();
+    let e = config(CodeKind::Gray, 10);
+    cache.get_or_compute(&e, || evaluate(&e)).unwrap();
+    assert!(!cache.contains(&a), "expected A to be the LRU victim");
+    assert!(cache.contains(&d) && cache.contains(&c) && cache.contains(&e));
+}
+
+#[test]
+fn single_flight_runs_one_computation_under_contention() {
+    let cache = ReportCache::new(CacheConfig::unsharded(8));
+    let shared = config(CodeKind::BalancedGray, 10);
+    let evaluations = AtomicUsize::new(0);
+    let threads = 12;
+    let barrier = Barrier::new(threads);
+    let reports: Vec<_> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cache = &cache;
+                let shared = &shared;
+                let evaluations = &evaluations;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    cache
+                        .get_or_compute(shared, || {
+                            evaluations.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough that every
+                            // other thread arrives while it is in flight.
+                            thread::sleep(Duration::from_millis(50));
+                            evaluate(shared)
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(
+        evaluations.load(Ordering::SeqCst),
+        1,
+        "contended lookups did not single-flight"
+    );
+    assert!(reports.windows(2).all(|pair| pair[0] == pair[1]));
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, threads as u64 - 1);
+}
+
+#[test]
+fn a_panicking_leader_never_wedges_the_fingerprint() {
+    let cache = ReportCache::new(CacheConfig::unsharded(8));
+    let shared = config(CodeKind::Tree, 8);
+    let barrier = Barrier::new(2);
+    thread::scope(|scope| {
+        let leader = scope.spawn(|| {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cache.get_or_compute(&shared, || {
+                    barrier.wait();
+                    // Let the waiter join the flight before unwinding.
+                    thread::sleep(Duration::from_millis(50));
+                    panic!("evaluation bug");
+                })
+            }));
+            assert!(result.is_err(), "leader must propagate its panic");
+        });
+        let waiter = scope.spawn(|| {
+            barrier.wait();
+            // Joins the in-flight computation; when the leader panics the
+            // guard must wake this thread, which then retakes the lead and
+            // succeeds. Without the guard this blocks forever.
+            cache.get_or_compute(&shared, || evaluate(&shared)).unwrap()
+        });
+        leader.join().unwrap();
+        waiter.join().unwrap();
+    });
+    assert!(cache.contains(&shared));
+    // And a fresh request is an ordinary hit.
+    cache
+        .get_or_compute(&shared, || unreachable!("warm"))
+        .unwrap();
+}
+
+#[test]
+fn persistence_round_trips_bit_identically() {
+    let cache = ReportCache::new(CacheConfig::default());
+    let gaussian = config(CodeKind::Tree, 8);
+    let laplace = config(CodeKind::Tree, 8).with_disturbance(DisturbanceKind::Laplace);
+    let gray = config(CodeKind::Gray, 10);
+    for entry in [&gaussian, &laplace, &gray] {
+        cache.get_or_compute(entry, || evaluate(entry)).unwrap();
+    }
+    let snapshot = cache.snapshot_json();
+
+    let restored = ReportCache::new(CacheConfig::default());
+    assert_eq!(restored.load_snapshot(&snapshot).unwrap(), 3);
+    // Same-config/different-disturbance entries never alias: all three
+    // survive the round trip as distinct entries.
+    assert_eq!(restored.len(), 3);
+    for entry in [&gaussian, &laplace, &gray] {
+        assert!(restored.contains(entry));
+        let original = cache
+            .get_or_compute(entry, || unreachable!("warm"))
+            .unwrap();
+        let reloaded = restored
+            .get_or_compute(entry, || unreachable!("warm"))
+            .unwrap();
+        assert_eq!(reloaded, original);
+        assert_eq!(
+            reloaded.crossbar_yield.to_bits(),
+            original.crossbar_yield.to_bits()
+        );
+    }
+    // Snapshots are canonical: re-rendering the restored cache is
+    // byte-identical.
+    assert_eq!(restored.snapshot_json(), snapshot);
+}
+
+#[test]
+fn mismatched_snapshot_schema_versions_are_rejected() {
+    let cache = ReportCache::new(CacheConfig::default());
+    let a = config(CodeKind::Tree, 8);
+    cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+    let snapshot = cache.snapshot_json();
+    let future = snapshot.replacen(
+        &format!("\"schema_version\":{CACHE_SCHEMA_VERSION}"),
+        "\"schema_version\":999",
+        1,
+    );
+    assert_ne!(future, snapshot, "version marker not found in snapshot");
+
+    let fresh = ReportCache::new(CacheConfig::default());
+    let error = fresh.load_snapshot(&future).unwrap_err();
+    assert!(error.to_string().contains("schema version"));
+    assert!(fresh.is_empty(), "a rejected snapshot must load nothing");
+    // Garbage is rejected too.
+    assert!(fresh.load_snapshot("not json at all").is_err());
+}
+
+#[test]
+fn tiny_capacities_clamp_the_shard_count_to_an_exact_bound() {
+    // With the default 8 shards a capacity of 1 would otherwise retain one
+    // entry *per shard*; the constructor clamps shards to the capacity so
+    // the configured bound is exact.
+    let cache = ReportCache::new(CacheConfig {
+        capacity: 1,
+        shards: 8,
+    });
+    assert_eq!(cache.config().shards, 1);
+    for entry in [
+        &config(CodeKind::Tree, 6),
+        &config(CodeKind::Tree, 8),
+        &config(CodeKind::Tree, 10),
+    ] {
+        cache.get_or_compute(entry, || evaluate(entry)).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+    assert_eq!(cache.stats().evictions, 2);
+}
+
+#[test]
+fn loading_respects_the_capacity_bound() {
+    let cache = ReportCache::new(CacheConfig::default());
+    for entry in [
+        &config(CodeKind::Tree, 6),
+        &config(CodeKind::Tree, 8),
+        &config(CodeKind::Tree, 10),
+        &config(CodeKind::Gray, 8),
+    ] {
+        cache.get_or_compute(entry, || evaluate(entry)).unwrap();
+    }
+    let snapshot = cache.snapshot_json();
+    let bounded = ReportCache::new(CacheConfig::unsharded(2));
+    // Every row is stored (then the tight bound evicts earlier ones).
+    assert_eq!(bounded.load_snapshot(&snapshot).unwrap(), 4);
+    assert_eq!(bounded.len(), 2, "load must not exceed the capacity bound");
+    assert_eq!(bounded.stats().evictions, 2);
+    // A disabled cache stores nothing and reports exactly that.
+    let disabled = ReportCache::new(CacheConfig::unsharded(0));
+    assert_eq!(disabled.load_snapshot(&snapshot).unwrap(), 0);
+    assert!(disabled.is_empty());
+}

@@ -15,6 +15,8 @@
 //! * [`sim`] — the paper's Section 6 simulation platform, parameter sweeps,
 //!   pluggable disturbance distributions and the work-sharded parallel
 //!   execution engine
+//! * [`serve`] — the concurrent request/response serving layer over the
+//!   engine's shared, bounded, single-flight report cache
 //! * [`decoder`] — the top-level decoder design and optimisation API
 //!
 //! # Quickstart
@@ -39,6 +41,7 @@ pub use decoder_sim as sim;
 pub use device_physics as physics;
 pub use mspt_decoder as decoder;
 pub use mspt_fabrication as fabrication;
+pub use mspt_serve as serve;
 pub use nanowire_codes as codes;
 
 /// Convenience prelude importing the most commonly used types.
@@ -51,8 +54,9 @@ pub mod prelude {
         FabricationCost, PatternMatrix, StepDopingMatrix, VariabilityMatrix,
     };
     pub use crate::physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
+    pub use crate::serve::{ReportRequest, ReportServer};
     pub use crate::sim::{
-        DisturbanceKind, DisturbanceModel, EngineConfig, ExecutionEngine, SimConfig,
-        SimulationPlatform,
+        CacheConfig, CacheStats, DisturbanceKind, DisturbanceModel, EngineConfig, ExecutionEngine,
+        ReportCache, SimConfig, SimulationPlatform,
     };
 }

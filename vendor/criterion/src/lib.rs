@@ -11,14 +11,78 @@
 //! point is that `cargo bench` (and the CI `cargo bench --no-run` smoke job)
 //! compiles and runs every harness. Swapping in real criterion later needs
 //! no source changes in the bench files.
+//!
+//! Two environment knobs support the CI `bench-run` job (the stand-in has
+//! no CLI parsing, so `--measurement-time`-style flags arrive as env vars):
+//!
+//! * [`SAMPLE_SIZE_ENV`] (`MSPT_BENCH_SAMPLE_SIZE`) overrides every
+//!   benchmark's sample count — quick mode for CI;
+//! * [`JSON_RESULTS_ENV`] (`MSPT_BENCH_JSON`) names a JSON-lines file each
+//!   benchmark appends its `{id, samples, min_ns, mean_ns, max_ns}` row to,
+//!   which CI aggregates into the uploaded `BENCH_results.json` artifact.
 
 #![forbid(unsafe_code)]
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Environment variable overriding every benchmark's sample count (CI quick
+/// mode). Ignored unless it parses to a positive integer.
+pub const SAMPLE_SIZE_ENV: &str = "MSPT_BENCH_SAMPLE_SIZE";
+
+/// Environment variable naming a JSON-lines results file. When set and
+/// non-empty, every benchmark appends one line
+/// `{"id":...,"samples":N,"min_ns":...,"mean_ns":...,"max_ns":...}`.
+pub const JSON_RESULTS_ENV: &str = "MSPT_BENCH_JSON";
+
+fn effective_sample_size(requested: usize) -> usize {
+    std::env::var(SAMPLE_SIZE_ENV)
+        .ok()
+        .and_then(|value| value.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(requested)
+}
+
+fn append_json_result(
+    id: &str,
+    samples: &[Duration],
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+) {
+    let Ok(path) = std::env::var(JSON_RESULTS_ENV) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = id
+        .chars()
+        .flat_map(|ch| match ch {
+            '"' | '\\' => vec!['\\', ch],
+            ch => vec![ch],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}\n",
+        samples.len(),
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos(),
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("  (could not append bench result to {path}: {error})");
+    }
+}
 
 /// Stand-in for `criterion::Criterion`, the top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -109,7 +173,7 @@ where
 {
     let mut bencher = Bencher {
         samples: Vec::new(),
-        sample_size,
+        sample_size: effective_sample_size(sample_size),
     };
     f(&mut bencher);
     let samples = &bencher.samples;
@@ -117,16 +181,17 @@ where
         eprintln!("  {id}: no samples recorded");
         return;
     }
-    let min = samples.iter().min().expect("non-empty");
-    let max = samples.iter().max().expect("non-empty");
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
     eprintln!(
         "  {id}: [{} {} {}] ({} samples)",
-        format_duration(*min),
+        format_duration(min),
         format_duration(mean),
-        format_duration(*max),
+        format_duration(max),
         samples.len(),
     );
+    append_json_result(id, samples, min, mean, max);
 }
 
 fn format_duration(d: Duration) -> String {
@@ -168,9 +233,15 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises the tests that read or write the process-global
+    /// environment knobs.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn group_records_requested_sample_count() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("smoke");
         group.sample_size(3);
@@ -186,7 +257,38 @@ mod tests {
     }
 
     #[test]
+    fn env_knobs_override_sample_size_and_write_json_lines() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let json_path = std::env::temp_dir().join(format!(
+            "criterion-standin-results-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&json_path).ok();
+        std::env::set_var(SAMPLE_SIZE_ENV, "2");
+        std::env::set_var(JSON_RESULTS_ENV, &json_path);
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("quick \"mode\"", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        std::env::remove_var(SAMPLE_SIZE_ENV);
+        std::env::remove_var(JSON_RESULTS_ENV);
+        // 1 warm-up pass + 2 overridden samples (default would be 10).
+        assert_eq!(runs, 3);
+        let line = std::fs::read_to_string(&json_path).unwrap();
+        std::fs::remove_file(&json_path).ok();
+        assert!(line.starts_with("{\"id\":\"quick \\\"mode\\\"\","));
+        assert!(line.contains("\"samples\":2"));
+        assert!(line.trim_end().ends_with('}'));
+    }
+
+    #[test]
     fn bench_function_without_group_runs() {
+        // bench_function reads the env knobs too — serialise with the test
+        // that sets them, or this one flakes under parallel test threads.
+        let _guard = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         let mut ran = false;
         c.bench_function("standalone", |b| {
