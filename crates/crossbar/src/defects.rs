@@ -364,6 +364,21 @@ impl DefectMap {
             .count();
         usable as f64 / (self.rows * self.columns) as f64
     }
+
+    /// Composes this sampled instance with the decoder yield: the sampled
+    /// counterpart of [`DefectModel::compose_with`], using the instance's
+    /// [`usable_fraction`](DefectMap::usable_fraction) instead of the
+    /// expected survival — what one concrete fabricated crossbar would
+    /// deliver rather than the ensemble average.
+    #[must_use]
+    pub fn compose_with(&self, decoder_yield: &CaveYield) -> CompositeYield {
+        let defect_survival = self.usable_fraction();
+        CompositeYield {
+            decoder_yield: decoder_yield.crossbar_yield(),
+            defect_survival,
+            crossbar_yield: decoder_yield.crossbar_yield() * defect_survival,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -425,6 +440,25 @@ mod tests {
         // Determinism: the same seed gives the same map.
         assert_eq!(map, model.sample_map(200, 200, 42).unwrap());
         assert_ne!(map, model.sample_map(200, 200, 43).unwrap());
+    }
+
+    #[test]
+    fn sampled_maps_compose_with_the_decoder_yield() {
+        let decoder = decoder_yield();
+        let model = DefectModel::new(0.1, 0.05).unwrap();
+        let map = model.sample_map(100, 100, 42).unwrap();
+        let composite = map.compose_with(&decoder);
+        assert_eq!(composite.defect_survival, map.usable_fraction());
+        assert_eq!(composite.decoder_yield, decoder.crossbar_yield());
+        assert!(
+            (composite.crossbar_yield - decoder.crossbar_yield() * map.usable_fraction()).abs()
+                < 1e-15
+        );
+        // An ideal map composes to exactly the decoder yield.
+        let ideal = DefectModel::ideal().sample_map(10, 10, 1).unwrap();
+        let unchanged = ideal.compose_with(&decoder);
+        assert_eq!(unchanged.defect_survival, 1.0);
+        assert_eq!(unchanged.crossbar_yield, decoder.crossbar_yield());
     }
 
     #[test]

@@ -36,6 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     print!("{}", mspt_experiments::fig7_report_with(&engine)?);
     println!();
+    print!(
+        "{}",
+        mspt_experiments::fig7_defects_report_with(&engine, mspt_experiments::FIG7_DEFECT_SEED)?
+    );
+    println!();
     print!("{}", mspt_experiments::fig8_report_with(&engine)?);
     println!();
     print!("{}", mspt_experiments::headline_numbers_with(&engine)?);

@@ -11,6 +11,7 @@
 //! | FIG5 | Fig. 5 — fabrication complexity vs code & logic type | [`fig5_report`] |
 //! | FIG6 | Fig. 6 — variability maps | [`fig6_report`] |
 //! | FIG7 | Fig. 7 — crossbar yield vs code length | [`fig7_report`] |
+//! | FIG7D | Beyond the paper — Fig. 7 defect axis (yield vs defect rate) | [`fig7_defects_report`] |
 //! | FIG8 | Fig. 8 — bit area vs code type & length | [`fig8_report`] |
 //! | HEAD | Abstract / Section 7 headline claims | [`headline_numbers`] |
 //! | DIST | Beyond the paper — Monte-Carlo addressability under non-Gaussian disturbances | [`disturbance_report`] |
@@ -24,8 +25,8 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use decoder_sim::{
-    variability_map, DisturbanceKind, EngineConfig, ExecutionEngine, Fig5Report, Fig6Report,
-    Fig7Report, Fig8Report, MonteCarloConfig, Result, SimConfig, SimulationPlatform,
+    variability_map, DefectKind, DisturbanceKind, EngineConfig, ExecutionEngine, Fig5Report,
+    Fig6Report, Fig7Report, Fig8Report, MonteCarloConfig, Result, SimConfig, SimulationPlatform,
 };
 use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 
@@ -149,7 +150,82 @@ pub fn fig7_report_with(engine: &ExecutionEngine) -> Result<Fig7Report> {
             engine.yield_sweep(&base, kind, LogicLevel::BINARY, &HOT_FAMILY_LENGTHS)?,
         ));
     }
-    Ok(Fig7Report { series })
+    Ok(Fig7Report {
+        series,
+        defect_series: vec![],
+    })
+}
+
+/// Nanowire-breakage rates swept by the `fig7_defects` experiment (the
+/// stuck-crosspoint rate rides along at half the breakage rate — switching
+/// layers fail less often than high-aspect-ratio spacers break).
+pub const DEFECT_RATE_AXIS: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.1];
+
+/// Default defect-map seed of the `fig7_defects` experiment (override with
+/// the `MSPT_DEFECT_SEED` environment variable in the binary).
+pub const FIG7_DEFECT_SEED: u64 = 2_009;
+
+/// The (family, length) pairs the defect axis is swept for: the paper's
+/// best-yielding configuration per optimised family, plus the tree-code
+/// baseline.
+pub const FIG7_DEFECT_CODES: [(CodeKind, usize); 3] = [
+    (CodeKind::Tree, 10),
+    (CodeKind::BalancedGray, 10),
+    (CodeKind::ArrangedHot, 8),
+];
+
+/// The defect selections of one `fig7_defects` sweep: [`DefectKind::None`]
+/// as the paper baseline, then one sampled selection per
+/// [`DEFECT_RATE_AXIS`] rate (breakage = rate, stuck crosspoints = rate/2),
+/// all drawing their maps from `seed`.
+///
+/// # Errors
+///
+/// Never fails for the built-in axis; propagates rate-validation errors.
+pub fn defect_axis(seed: u64) -> Result<Vec<DefectKind>> {
+    let mut axis = Vec::with_capacity(DEFECT_RATE_AXIS.len());
+    for &rate in &DEFECT_RATE_AXIS {
+        axis.push(if rate == 0.0 {
+            DefectKind::None
+        } else {
+            DefectKind::sampled(rate, rate / 2.0, seed)?
+        });
+    }
+    Ok(axis)
+}
+
+/// Beyond the paper — Fig. 7's defect axis: composite crossbar yield against
+/// the fabrication-defect rate for the best code of each family, with
+/// deterministic seed-sampled defect maps composed onto the decoder yield.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn fig7_defects_report() -> Result<Fig7Report> {
+    fig7_defects_report_with(&paper_engine(), FIG7_DEFECT_SEED)
+}
+
+/// [`fig7_defects_report`] on an explicit engine and defect-map seed, so
+/// callers can share one engine (and its report cache) across several
+/// figures and pin or vary the sampled maps.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn fig7_defects_report_with(engine: &ExecutionEngine, seed: u64) -> Result<Fig7Report> {
+    let base = paper_base_config()?;
+    let axis = defect_axis(seed)?;
+    let mut defect_series = Vec::with_capacity(FIG7_DEFECT_CODES.len());
+    for (kind, code_length) in FIG7_DEFECT_CODES {
+        defect_series.push((
+            kind,
+            engine.defect_yield_sweep(&base, kind, LogicLevel::BINARY, code_length, &axis)?,
+        ));
+    }
+    Ok(Fig7Report {
+        series: vec![],
+        defect_series,
+    })
 }
 
 /// Regenerates Fig. 8: effective bit area for every code family at lengths
@@ -328,10 +404,11 @@ pub fn disturbance_report_with(engine: &ExecutionEngine) -> Result<DisturbanceRe
 
 /// The serving-layer stress mix: every Fig. 7/8 sweep configuration (the
 /// four code families at their valid lengths) plus one Laplace-disturbance
-/// variant, so a stress run also exercises disturbance-kind cache keying.
-/// This is the repeated-`SimConfig` workload the shared warm cache is built
-/// for — the request population of the `serve_stress` binary and the CI
-/// serving gate.
+/// variant and one sampled-defect variant, so a stress run also exercises
+/// disturbance-kind and defect-kind cache keying (including the engine's
+/// sharded defect-map sampling under concurrent load). This is the
+/// repeated-`SimConfig` workload the shared warm cache is built for — the
+/// request population of the `serve_stress` binary and the CI serving gate.
 ///
 /// # Errors
 ///
@@ -354,8 +431,12 @@ pub fn stress_mix() -> Result<Vec<mspt_serve::ReportRequest>> {
     }
     let code = CodeSpec::new(CodeKind::BalancedGray, LogicLevel::BINARY, 10)?;
     mix.push(ReportRequest::with_disturbance(
-        base.with_code(code),
+        base.clone().with_code(code),
         DisturbanceKind::Laplace,
+    ));
+    mix.push(ReportRequest::with_defects(
+        base.with_code(code),
+        DefectKind::sampled(0.02, 0.01, FIG7_DEFECT_SEED)?,
     ));
     Ok(mix)
 }
@@ -651,6 +732,46 @@ mod tests {
         for (_, points) in &report.series {
             assert_eq!(points.len(), 3);
         }
+    }
+
+    #[test]
+    fn fig7_defects_covers_the_rate_axis_and_degrades_monotonically() {
+        let report = fig7_defects_report().unwrap();
+        assert!(report.series.is_empty());
+        assert_eq!(report.defect_series.len(), FIG7_DEFECT_CODES.len());
+        for (kind, points) in &report.defect_series {
+            assert_eq!(points.len(), DEFECT_RATE_AXIS.len());
+            // The rate-0 baseline is the paper's defect-free yield...
+            assert_eq!(points[0].defects, DefectKind::None);
+            assert_eq!(points[0].defect_survival, 1.0);
+            assert_eq!(points[0].composite_yield, points[0].decoder_yield);
+            // ...and the composite yield falls as the defect rate grows
+            // (sampled maps, but the axis steps are far above the sampling
+            // noise of a 363×363 map).
+            for pair in points.windows(2) {
+                assert!(
+                    pair[1].composite_yield < pair[0].composite_yield,
+                    "{kind:?}: composite yield did not fall from {:?} to {:?}",
+                    pair[0].defects,
+                    pair[1].defects
+                );
+            }
+            // The decoder yield is the same defect-free quantity at every
+            // point of a series.
+            for point in points {
+                assert_eq!(point.decoder_yield, points[0].decoder_yield);
+            }
+        }
+        let text = report.to_string();
+        assert!(text.contains("defect axis"));
+        assert!(text.contains("BGC"));
+    }
+
+    #[test]
+    fn stress_mix_exercises_disturbance_and_defect_keying() {
+        let mix = stress_mix().unwrap();
+        assert!(mix.iter().any(|request| request.disturbance.is_some()));
+        assert!(mix.iter().any(|request| request.defects.is_some()));
     }
 
     #[test]

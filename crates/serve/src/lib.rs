@@ -3,8 +3,9 @@
 //! The concurrent serving layer over the execution engine's shared report
 //! cache — the first step toward the workspace's heavy-traffic north star.
 //!
-//! A **request** is a serialized [`SimConfig`] (plus an optional
-//! [`DisturbanceKind`] override), a **response** is a [`PlatformReport`];
+//! A **request** is a serialized [`SimConfig`] (plus optional
+//! [`DisturbanceKind`] and [`DefectKind`] overrides), a **response** is a
+//! [`PlatformReport`];
 //! both travel as JSON through the std-only codec in `decoder_sim::codec`
 //! (the vendored serde stand-in has no serializers, and crates.io is
 //! unreachable in this build environment). Every server clone shares one
@@ -69,12 +70,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use decoder_sim::codec::{
-    config_from_json, config_to_json, disturbance_from_json, disturbance_to_json, report_from_json,
-    report_to_json, JsonValue,
+    config_from_json, config_to_json, defect_from_json, defect_to_json, disturbance_from_json,
+    disturbance_to_json, report_from_json, report_to_json, JsonValue,
 };
 use decoder_sim::{
-    chunk_seed, CacheStats, DisturbanceKind, ExecutionEngine, PlatformReport, Result, SimConfig,
-    SimError, SimulationPlatform,
+    chunk_seed, CacheStats, DefectKind, DisturbanceKind, ExecutionEngine, PlatformReport, Result,
+    SimConfig, SimError, SimulationPlatform,
 };
 
 /// Schema version of the wire format. Requests and responses carry it;
@@ -93,20 +94,23 @@ fn wire_err(reason: impl Into<String>) -> SimError {
     }
 }
 
-/// One serving request: a full simulation configuration plus an optional
-/// disturbance override.
+/// One serving request: a full simulation configuration plus optional
+/// disturbance and defect overrides.
 ///
-/// The override exists for clients that sweep disturbance models over one
-/// platform configuration; it is applied onto the configuration **before**
-/// the engine sees the request, so the cache key always carries the
-/// effective disturbance kind — a Gaussian and a Laplace request with the
-/// same platform parameters never alias in the cache or on disk.
+/// The overrides exist for clients that sweep disturbance models or defect
+/// rates over one platform configuration; they are applied onto the
+/// configuration **before** the engine sees the request, so the cache key
+/// always carries the effective disturbance and defect kinds — a Gaussian
+/// and a Laplace request (or a defect-free and a defective request) with
+/// the same platform parameters never alias in the cache or on disk.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReportRequest {
     /// The configuration to evaluate.
     pub config: SimConfig,
     /// When set, replaces the configuration's disturbance kind.
     pub disturbance: Option<DisturbanceKind>,
+    /// When set, replaces the configuration's fabrication-defect selection.
+    pub defects: Option<DefectKind>,
 }
 
 impl ReportRequest {
@@ -116,6 +120,7 @@ impl ReportRequest {
         ReportRequest {
             config,
             disturbance: None,
+            defects: None,
         }
     }
 
@@ -123,19 +128,34 @@ impl ReportRequest {
     #[must_use]
     pub fn with_disturbance(config: SimConfig, disturbance: DisturbanceKind) -> Self {
         ReportRequest {
-            config,
             disturbance: Some(disturbance),
+            ..ReportRequest::new(config)
+        }
+    }
+
+    /// A request overriding the configuration's fabrication-defect
+    /// selection.
+    #[must_use]
+    pub fn with_defects(config: SimConfig, defects: DefectKind) -> Self {
+        ReportRequest {
+            defects: Some(defects),
+            ..ReportRequest::new(config)
         }
     }
 
     /// The configuration the engine actually evaluates: the request's
-    /// configuration with the disturbance override (if any) applied.
+    /// configuration with the disturbance and defect overrides (if any)
+    /// applied.
     #[must_use]
     pub fn effective_config(&self) -> SimConfig {
-        match self.disturbance {
-            Some(kind) => self.config.clone().with_disturbance(kind),
-            None => self.config.clone(),
+        let mut config = self.config.clone();
+        if let Some(kind) = self.disturbance {
+            config = config.with_disturbance(kind);
         }
+        if let Some(defects) = self.defects {
+            config = config.with_defects(defects);
+        }
+        config
     }
 
     /// Encodes the request as a wire JSON document.
@@ -152,11 +172,17 @@ impl ReportRequest {
                 self.disturbance
                     .map_or(JsonValue::Null, disturbance_to_json),
             ),
+            (
+                "defects".to_string(),
+                self.defects.map_or(JsonValue::Null, defect_to_json),
+            ),
         ])
         .render()
     }
 
-    /// Decodes a wire JSON request.
+    /// Decodes a wire JSON request. The `defects` override is optional on
+    /// the wire (absent and `null` both mean "no override"), so requests
+    /// from clients built before the defect dimension existed still parse.
     ///
     /// # Errors
     ///
@@ -175,9 +201,14 @@ impl ReportRequest {
             JsonValue::Null => None,
             kind => Some(disturbance_from_json(kind)?),
         };
+        let defects = match value.get_opt("defects")? {
+            None | Some(JsonValue::Null) => None,
+            Some(kind) => Some(defect_from_json(kind)?),
+        };
         Ok(ReportRequest {
             config,
             disturbance,
+            defects,
         })
     }
 }
@@ -488,6 +519,30 @@ mod tests {
             decoded.effective_config().disturbance(),
             DisturbanceKind::Laplace
         );
+
+        let defective = ReportRequest::with_defects(
+            request(CodeKind::Gray, 8).config,
+            DefectKind::sampled(0.02, 0.01, 7).unwrap(),
+        );
+        let decoded = ReportRequest::from_json_str(&defective.to_json_string()).unwrap();
+        assert_eq!(decoded, defective);
+        assert_eq!(
+            decoded.effective_config().defects().nanowire_breakage(),
+            0.02
+        );
+    }
+
+    #[test]
+    fn requests_without_a_defects_field_still_parse() {
+        // A wire request from a client built before the defect dimension
+        // existed has no "defects" key at all; it must decode as "no
+        // override", not be rejected.
+        let wire = request(CodeKind::Tree, 8).to_json_string();
+        let legacy = wire.replacen(",\"defects\":null", "", 1);
+        assert_ne!(legacy, wire, "defects field not found on the wire");
+        let decoded = ReportRequest::from_json_str(&legacy).unwrap();
+        assert_eq!(decoded.defects, None);
+        assert_eq!(decoded, ReportRequest::from_json_str(&wire).unwrap());
     }
 
     #[test]
@@ -523,6 +578,25 @@ mod tests {
         // Two distinct cache entries: the disturbance kind is part of the key.
         assert_eq!(server.engine().cached_report_count(), 2);
         assert_eq!(server.stats().misses, 2);
+    }
+
+    #[test]
+    fn defect_override_never_aliases_in_the_cache() {
+        let server = server(2);
+        let base = request(CodeKind::BalancedGray, 10);
+        let defective = ReportRequest::with_defects(
+            base.config.clone(),
+            DefectKind::sampled(0.05, 0.02, 2_009).unwrap(),
+        );
+        let clean = server.serve(&base).unwrap();
+        let composed = server.serve(&defective).unwrap();
+        // Two distinct cache entries: the defect selection is part of the key.
+        assert_eq!(server.engine().cached_report_count(), 2);
+        assert_eq!(server.stats().misses, 2);
+        // And the defective response genuinely composes the defect map.
+        assert_eq!(clean.defect_survival, 1.0);
+        assert!(composed.defect_survival < 1.0);
+        assert!(composed.composite_yield < clean.composite_yield);
     }
 
     #[test]

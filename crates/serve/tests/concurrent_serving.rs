@@ -10,13 +10,17 @@
 
 use std::sync::Arc;
 
-use decoder_sim::{CacheConfig, DisturbanceKind, EngineConfig, ExecutionEngine, SimConfig};
+use decoder_sim::{
+    CacheConfig, DefectKind, DisturbanceKind, EngineConfig, ExecutionEngine, SimConfig,
+};
 use mspt_serve::{run_stress, ReportRequest, ReportServer, StressConfig};
 use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 
 fn paper_mix() -> Vec<ReportRequest> {
     // The Fig. 7/8 sweep points: four families at their valid lengths, plus
-    // one non-Gaussian variant so the mix exercises disturbance keying.
+    // one non-Gaussian variant and one sampled-defect variant so the mix
+    // exercises disturbance and defect keying (and the engine's sharded
+    // defect-map sampling) under concurrent load.
     let mut mix = Vec::new();
     for (kind, lengths) in [
         (CodeKind::Tree, &[6usize, 8, 10][..]),
@@ -33,6 +37,11 @@ fn paper_mix() -> Vec<ReportRequest> {
     mix.push(ReportRequest::with_disturbance(
         SimConfig::paper_defaults(laplace_code).unwrap(),
         DisturbanceKind::Laplace,
+    ));
+    let defect_code = CodeSpec::new(CodeKind::BalancedGray, LogicLevel::BINARY, 10).unwrap();
+    mix.push(ReportRequest::with_defects(
+        SimConfig::paper_defaults(defect_code).unwrap(),
+        DefectKind::sampled(0.02, 0.01, 2_009).unwrap(),
     ));
     mix
 }

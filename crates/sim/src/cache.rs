@@ -25,15 +25,19 @@
 //! * **Persistence.** [`ReportCache::save_to_path`] writes a versioned JSON
 //!   snapshot (`schema_version` [`CACHE_SCHEMA_VERSION`]) that
 //!   [`ReportCache::load_from_path`] restores bit-identically; a mismatched
-//!   schema version is rejected, never reinterpreted.
+//!   schema version is rejected, never reinterpreted. Snapshots are bounded
+//!   to the configured capacity on save (over-retained shard overflow is
+//!   dropped, most-recently-used entries win), so the persisted file cannot
+//!   grow without bound across warm restarts.
 //!
 //! # Cache-key identity
 //!
 //! Keys fingerprint the **canonical serialized configuration** — every field
 //! of [`SimConfig`], including its [`DisturbanceKind`](crate::DisturbanceKind)
-//! — mixed with a cache-domain tag through the workspace-wide
-//! [`chunk_seed`] stream-splitting primitive. A Gaussian and a Laplace run
-//! with the same platform parameters therefore never alias, in memory or on
+//! and its [`DefectKind`](crate::DefectKind) — mixed with a cache-domain tag
+//! through the workspace-wide [`chunk_seed`] stream-splitting primitive. A
+//! Gaussian and a Laplace run (or a defect-free and a defective run) with
+//! the same platform parameters therefore never alias, in memory or on
 //! disk; equality of the full `SimConfig` is re-checked on every lookup, so a
 //! fingerprint collision can cost a duplicate evaluation but never serve the
 //! wrong report.
@@ -463,17 +467,32 @@ impl ReportCache {
         }
     }
 
-    /// Renders the whole cache as a versioned JSON snapshot. Entries are
-    /// sorted by their canonical configuration string, so equal cache
-    /// contents render byte-identically regardless of insertion order.
+    /// Renders the cache as a versioned JSON snapshot, **bounded to the
+    /// configured capacity**: the per-shard LRU bound can over-retain up to
+    /// `shards − 1` entries beyond `capacity` when the shard count does not
+    /// divide it, so the snapshot keeps only the `capacity` most recently
+    /// used entries — the persisted file can never grow past the configured
+    /// bound across warm restarts. Which entries survive therefore follows
+    /// access recency; the surviving set itself is sorted by canonical
+    /// configuration string, so two caches persisting the same surviving
+    /// entries render byte-identical files regardless of insertion order.
     #[must_use]
     pub fn snapshot_json(&self) -> String {
-        let mut rows: Vec<(String, JsonValue)> = Vec::new();
+        self.snapshot_with_count().0
+    }
+
+    /// [`ReportCache::snapshot_json`] plus the number of persisted rows,
+    /// counted from the snapshot itself — the shards are re-locked here, so
+    /// only this count is guaranteed to match the rendered document under
+    /// concurrent inserts.
+    fn snapshot_with_count(&self) -> (String, usize) {
+        let mut rows: Vec<(u64, String, JsonValue)> = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().expect("cache shard lock");
             for entry in &shard.entries {
                 let config_json = config_to_json(&entry.config);
                 rows.push((
+                    entry.last_used,
                     config_json.render(),
                     JsonValue::Object(vec![
                         ("config".to_string(), config_json),
@@ -482,18 +501,23 @@ impl ReportCache {
                 ));
             }
         }
-        rows.sort_by(|a, b| a.0.cmp(&b.0));
-        JsonValue::Object(vec![
+        // Most recently used first, then truncate to the capacity bound.
+        rows.sort_by_key(|row| std::cmp::Reverse(row.0));
+        rows.truncate(self.config.capacity);
+        rows.sort_by(|a, b| a.1.cmp(&b.1));
+        let count = rows.len();
+        let snapshot = JsonValue::Object(vec![
             (
                 "schema_version".to_string(),
                 JsonValue::from_u64(CACHE_SCHEMA_VERSION),
             ),
             (
                 "entries".to_string(),
-                JsonValue::Array(rows.into_iter().map(|(_, row)| row).collect()),
+                JsonValue::Array(rows.into_iter().map(|(_, _, row)| row).collect()),
             ),
         ])
-        .render()
+        .render();
+        (snapshot, count)
     }
 
     /// Restores entries from a snapshot produced by
@@ -538,14 +562,16 @@ impl ReportCache {
 
     /// Writes the snapshot to a file (atomically enough for the workloads
     /// here: full rewrite, no partial append). Returns the number of
-    /// persisted entries.
+    /// persisted entries — counted from the written snapshot itself, and at
+    /// most the configured capacity, because [`ReportCache::snapshot_json`]
+    /// drops over-retained overflow entries.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Persistence`] on I/O failure.
     pub fn save_to_path(&self, path: &Path) -> Result<usize> {
-        let entries = self.len();
-        std::fs::write(path, self.snapshot_json()).map_err(|io| SimError::Persistence {
+        let (snapshot, entries) = self.snapshot_with_count();
+        std::fs::write(path, snapshot).map_err(|io| SimError::Persistence {
             reason: format!("writing cache snapshot {}: {io}", path.display()),
         })?;
         Ok(entries)
@@ -600,6 +626,23 @@ mod tests {
         assert_ne!(
             ReportCache::fingerprint(&gaussian),
             ReportCache::fingerprint(&laplace)
+        );
+    }
+
+    #[test]
+    fn fingerprints_differ_across_defect_kinds() {
+        let clean = config(8);
+        let defective =
+            config(8).with_defects(crate::DefectKind::sampled(0.02, 0.01, 2_009).unwrap());
+        let reseeded =
+            config(8).with_defects(crate::DefectKind::sampled(0.02, 0.01, 2_010).unwrap());
+        assert_ne!(
+            ReportCache::fingerprint(&clean),
+            ReportCache::fingerprint(&defective)
+        );
+        assert_ne!(
+            ReportCache::fingerprint(&defective),
+            ReportCache::fingerprint(&reseeded)
         );
     }
 

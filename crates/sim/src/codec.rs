@@ -8,9 +8,18 @@
 //! * a minimal [`JsonValue`] tree with a recursive-descent parser and a
 //!   deterministic writer (object keys keep insertion order, so a value
 //!   rendered twice is byte-identical);
-//! * explicit encode/decode functions for [`SimConfig`], [`PlatformReport`]
-//!   and [`DisturbanceKind`] — every decoded configuration passes through the
-//!   same validating constructors as a hand-built one.
+//! * explicit encode/decode functions for [`SimConfig`], [`PlatformReport`],
+//!   [`DisturbanceKind`] and [`DefectKind`] — every decoded configuration
+//!   passes through the same validating constructors as a hand-built one.
+//!
+//! # Versioning discipline
+//!
+//! Fields added after a format shipped (the defect selection and the
+//! composite report quantities) are encoded unconditionally but decoded
+//! through [`JsonValue::get_opt`] with the pre-field behaviour as the
+//! default, so snapshots and wire messages written before the field existed
+//! keep loading; unknown *values* (an unrecognised kind tag) are still
+//! rejected loudly.
 //!
 //! # Float round-tripping
 //!
@@ -30,6 +39,7 @@ use crossbar_array::LayoutRules;
 use device_physics::{Nanometers, ThresholdModel, Volts};
 
 use crate::config::SimConfig;
+use crate::defect::{DefectConfig, DefectKind};
 use crate::disturbance::DisturbanceKind;
 use crate::error::{Result, SimError};
 use crate::platform::PlatformReport;
@@ -156,12 +166,23 @@ impl JsonValue {
     /// Returns [`SimError::Persistence`] when the value is not an object or
     /// the key is absent.
     pub fn get(&self, key: &str) -> Result<&JsonValue> {
+        self.get_opt(key)?
+            .ok_or_else(|| err(format!("missing object key {key:?}")))
+    }
+
+    /// Looks up a key of an object, `None` when absent — the accessor
+    /// behind fields added after a format shipped, so documents written
+    /// before the field existed still decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] when the value is not an object.
+    pub fn get_opt(&self, key: &str) -> Result<Option<&JsonValue>> {
         match self {
-            JsonValue::Object(fields) => fields
+            JsonValue::Object(fields) => Ok(fields
                 .iter()
                 .find(|(name, _)| name == key)
-                .map(|(_, value)| value)
-                .ok_or_else(|| err(format!("missing object key {key:?}"))),
+                .map(|(_, value)| value)),
             other => Err(err(format!(
                 "expected an object with key {key:?}, got {}",
                 other.kind_name()
@@ -617,9 +638,49 @@ pub fn disturbance_from_json(value: &JsonValue) -> Result<DisturbanceKind> {
     }
 }
 
+/// Encodes a [`DefectKind`] as a tagged object (`{"kind":"none"}` or
+/// `{"kind":"sampled","nanowire_breakage":…,"crosspoint_defect":…,"seed":…}`).
+#[must_use]
+pub fn defect_to_json(kind: DefectKind) -> JsonValue {
+    match kind {
+        DefectKind::None => object(vec![("kind", JsonValue::String("none".into()))]),
+        DefectKind::Sampled(config) => object(vec![
+            ("kind", JsonValue::String("sampled".into())),
+            (
+                "nanowire_breakage",
+                JsonValue::from_f64(config.nanowire_breakage()),
+            ),
+            (
+                "crosspoint_defect",
+                JsonValue::from_f64(config.crosspoint_defect()),
+            ),
+            ("seed", JsonValue::from_u64(config.seed())),
+        ]),
+    }
+}
+
+/// Decodes a [`DefectKind`], re-validating the rates through
+/// [`DefectConfig::new`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Persistence`] on malformed JSON or an unknown kind,
+/// or propagates the defect layer's rate-validation errors.
+pub fn defect_from_json(value: &JsonValue) -> Result<DefectKind> {
+    match value.get("kind")?.as_str()? {
+        "none" => Ok(DefectKind::None),
+        "sampled" => Ok(DefectKind::Sampled(DefectConfig::new(
+            value.get("nanowire_breakage")?.as_f64()?,
+            value.get("crosspoint_defect")?.as_f64()?,
+            value.get("seed")?.as_u64()?,
+        )?)),
+        other => Err(err(format!("unknown defect kind {other:?}"))),
+    }
+}
+
 /// Encodes a full [`SimConfig`] — every field, including the disturbance
-/// kind, so two configurations differing only in their disturbance never
-/// serialize (or cache-key) identically.
+/// kind and the defect selection, so two configurations differing only in
+/// either never serialize (or cache-key) identically.
 #[must_use]
 pub fn config_to_json(config: &SimConfig) -> JsonValue {
     let layout = config.layout();
@@ -721,6 +782,7 @@ pub fn config_to_json(config: &SimConfig) -> JsonValue {
             ]),
         ),
         ("disturbance", disturbance_to_json(config.disturbance())),
+        ("defects", defect_to_json(config.defects())),
     ])
 }
 
@@ -784,6 +846,11 @@ pub fn config_from_json(value: &JsonValue) -> Result<SimConfig> {
     )?
     .with_code_budgets(budgets)
     .with_disturbance(disturbance_from_json(value.get("disturbance")?)?);
+    // Absent in documents written before the defect dimension existed; the
+    // default (defect-free) is exactly the pre-field behaviour.
+    if let Some(defects) = value.get_opt("defects")? {
+        config = config.with_defects(defect_from_json(defects)?);
+    }
     if !matches!(value.get("window_override_v")?, JsonValue::Null) {
         config = config.with_window(volts_from(value.get("window_override_v")?)?);
     }
@@ -823,15 +890,52 @@ pub fn report_to_json(report: &PlatformReport) -> JsonValue {
             "contact_groups",
             JsonValue::from_usize(report.contact_groups),
         ),
+        ("defects", defect_to_json(report.defects)),
+        (
+            "defect_survival",
+            JsonValue::from_f64(report.defect_survival),
+        ),
+        (
+            "composite_yield",
+            JsonValue::from_f64(report.composite_yield),
+        ),
+        (
+            "composite_effective_bits",
+            JsonValue::from_f64(report.composite_effective_bits),
+        ),
     ])
 }
 
 /// Decodes a [`PlatformReport`] bit-identically (floats round-trip exactly).
 ///
+/// Reports written before the defect dimension existed decode with the
+/// defect-free defaults — [`DefectKind::None`], survival `1`, composite
+/// quantities equal to the decoder quantities — which is exactly what a
+/// fresh evaluation of their (necessarily defect-free) configuration
+/// produces.
+///
 /// # Errors
 ///
 /// Returns [`SimError::Persistence`] on malformed JSON.
 pub fn report_from_json(value: &JsonValue) -> Result<PlatformReport> {
+    let crossbar_yield = value.get("crossbar_yield")?.as_f64()?;
+    let effective_bits = value.get("effective_bits")?.as_f64()?;
+    let defects = match value.get_opt("defects")? {
+        Some(kind) => defect_from_json(kind)?,
+        None => DefectKind::None,
+    };
+    let defect_survival = match value.get_opt("defect_survival")? {
+        Some(survival) => survival.as_f64()?,
+        None => 1.0,
+    };
+    let composite_yield = match value.get_opt("composite_yield")? {
+        Some(composite) => composite.as_f64()?,
+        None => crossbar_yield,
+    };
+    let composite_effective_bits = match value.get_opt("composite_effective_bits")? {
+        Some(bits) => bits.as_f64()?,
+        None => effective_bits,
+    };
     Ok(PlatformReport {
         code: code_spec_from_json(value.get("code")?)?,
         nanowires_per_half_cave: value.get("nanowires_per_half_cave")?.as_usize()?,
@@ -839,20 +943,25 @@ pub fn report_from_json(value: &JsonValue) -> Result<PlatformReport> {
         mean_variability: value.get("mean_variability")?.as_f64()?,
         max_normalized_sigma: value.get("max_normalized_sigma")?.as_f64()?,
         cave_yield: value.get("cave_yield")?.as_f64()?,
-        crossbar_yield: value.get("crossbar_yield")?.as_f64()?,
-        effective_bits: value.get("effective_bits")?.as_f64()?,
+        crossbar_yield,
+        effective_bits,
         raw_bit_area: value.get("raw_bit_area")?.as_f64()?,
         effective_bit_area: value.get("effective_bit_area")?.as_f64()?,
         contact_groups: value.get("contact_groups")?.as_usize()?,
+        defects,
+        defect_survival,
+        composite_yield,
+        composite_effective_bits,
     })
 }
 
 /// The canonical serialized form of a configuration: the deterministic
 /// rendering of [`config_to_json`]. Equal configurations produce identical
 /// strings; configurations differing in **any** field — including the
-/// disturbance kind — produce different strings. The report cache
-/// fingerprints this string, which is what guarantees a Gaussian and a
-/// Laplace run with the same platform parameters never alias.
+/// disturbance kind and the defect selection — produce different strings.
+/// The report cache fingerprints this string, which is what guarantees a
+/// Gaussian and a Laplace run (or a defect-free and a defective run) with
+/// the same platform parameters never alias.
 #[must_use]
 pub fn canonical_config_string(config: &SimConfig) -> String {
     config_to_json(config).render()
@@ -950,13 +1059,14 @@ mod tests {
         let decoded = config_from_json(&config_to_json(&config)).unwrap();
         assert_eq!(decoded, config);
 
-        // Every override survives, including a window override and a
-        // non-default disturbance.
+        // Every override survives, including a window override, a
+        // non-default disturbance and a defect selection.
         let tuned = base_config()
             .with_window(Volts::new(0.21))
             .with_disturbance(DisturbanceKind::Correlated {
                 shared_fraction: 0.25,
-            });
+            })
+            .with_defects(DefectKind::sampled(0.02, 0.01, 77).unwrap());
         let decoded = config_from_json(&config_to_json(&tuned)).unwrap();
         assert_eq!(decoded, tuned);
     }
@@ -969,6 +1079,42 @@ mod tests {
         assert_eq!(
             decoded.crossbar_yield.to_bits(),
             report.crossbar_yield.to_bits()
+        );
+    }
+
+    #[test]
+    fn defect_kinds_round_trip_and_reject_bad_rates() {
+        for kind in [
+            DefectKind::None,
+            DefectKind::sampled(0.0, 0.0, 0).unwrap(),
+            DefectKind::sampled(0.05, 0.02, u64::MAX).unwrap(),
+        ] {
+            assert_eq!(defect_from_json(&defect_to_json(kind)).unwrap(), kind);
+        }
+        // Out-of-range rates in a hostile document are rejected by the same
+        // validating constructor a hand-built configuration uses.
+        let hostile = JsonValue::parse(
+            r#"{"kind":"sampled","nanowire_breakage":1.5,"crosspoint_defect":0.0,"seed":1}"#,
+        )
+        .unwrap();
+        assert!(defect_from_json(&hostile).is_err());
+        let unknown = JsonValue::parse(r#"{"kind":"clustered"}"#).unwrap();
+        assert!(defect_from_json(&unknown).is_err());
+    }
+
+    #[test]
+    fn canonical_strings_separate_defect_kinds() {
+        let clean = base_config();
+        let defective = base_config().with_defects(DefectKind::sampled(0.02, 0.01, 1).unwrap());
+        assert_ne!(
+            canonical_config_string(&clean),
+            canonical_config_string(&defective)
+        );
+        // Same rates, different seed: still distinct identities.
+        let reseeded = base_config().with_defects(DefectKind::sampled(0.02, 0.01, 2).unwrap());
+        assert_ne!(
+            canonical_config_string(&defective),
+            canonical_config_string(&reseeded)
         );
     }
 

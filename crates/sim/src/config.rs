@@ -7,6 +7,7 @@ use crossbar_array::{CrossbarSpec, LayoutRules, PAPER_RAW_BITS};
 use device_physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
 use nanowire_codes::{CodeBudgets, CodeSpec};
 
+use crate::defect::DefectKind;
 use crate::disturbance::DisturbanceKind;
 use crate::error::{Result, SimError};
 
@@ -41,6 +42,10 @@ pub struct SimConfig {
     // still deserialize (Gaussian is exactly the pre-field behaviour).
     #[serde(default)]
     disturbance: DisturbanceKind,
+    // Defaulted for the same reason: None is exactly the pre-field
+    // (defect-free) behaviour.
+    #[serde(default)]
+    defects: DefectKind,
 }
 
 impl SimConfig {
@@ -121,6 +126,7 @@ impl SimConfig {
             window_override: None,
             code_budgets: CodeBudgets::default(),
             disturbance: DisturbanceKind::default(),
+            defects: DefectKind::default(),
         })
     }
 
@@ -188,6 +194,17 @@ impl SimConfig {
         self
     }
 
+    /// Selects the fabrication-defect model the evaluation composes with
+    /// the decoder yield (defaults to [`DefectKind::None`], the paper's
+    /// defect-free assumption). Like the disturbance kind, the selection is
+    /// part of the configuration's identity: defect-free and defective runs
+    /// never alias in the report cache or on disk.
+    #[must_use]
+    pub fn with_defects(mut self, defects: DefectKind) -> Self {
+        self.defects = defects;
+        self
+    }
+
     /// The code specification under evaluation.
     #[must_use]
     pub fn code(&self) -> CodeSpec {
@@ -240,6 +257,12 @@ impl SimConfig {
     #[must_use]
     pub fn disturbance(&self) -> DisturbanceKind {
         self.disturbance
+    }
+
+    /// The fabrication-defect selection of the evaluation.
+    #[must_use]
+    pub fn defects(&self) -> DefectKind {
+        self.defects
     }
 
     /// The crossbar specification implied by this configuration.
@@ -389,6 +412,19 @@ mod tests {
             heavy,
             heavy.clone().with_disturbance(DisturbanceKind::Gaussian)
         );
+    }
+
+    #[test]
+    fn defects_default_to_none_and_are_part_of_the_identity() {
+        let config = SimConfig::paper_defaults(code()).unwrap();
+        assert_eq!(config.defects(), DefectKind::None);
+        let defective = config
+            .clone()
+            .with_defects(DefectKind::sampled(0.02, 0.01, 2_009).unwrap());
+        assert_eq!(defective.defects().nanowire_breakage(), 0.02);
+        // The defect selection is part of the configuration's identity (the
+        // engine's report cache keys on SimConfig equality).
+        assert_ne!(config, defective);
     }
 
     #[test]

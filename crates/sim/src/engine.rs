@@ -41,6 +41,7 @@ use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 
 use crate::cache::{CacheConfig, CacheStats, ReportCache};
 use crate::config::SimConfig;
+use crate::defect::DefectKind;
 use crate::disturbance::{DisturbanceModel, GaussianDisturbance};
 use crate::error::{Result, SimError};
 use crate::monte_carlo::{
@@ -207,12 +208,22 @@ impl ExecutionEngine {
     /// single-flight onto one evaluation. This is the serve layer's
     /// per-request entry point.
     ///
+    /// A defect-configured evaluation samples its [`DefectMap`] through the
+    /// engine's sharded [`ExecutionEngine::sample_defect_map`] and composes
+    /// it with the decoder yield on the platform — bit-identical to the
+    /// serial [`SimulationPlatform::evaluate`] at any thread count, because
+    /// both assemble the same independently seeded chunks.
+    ///
     /// # Errors
     ///
     /// Propagates evaluation errors (never cached).
     pub fn report_for(&self, config: &SimConfig) -> Result<PlatformReport> {
         self.cache.get_or_compute(config, || {
-            SimulationPlatform::new(config.clone()).evaluate()
+            let platform = SimulationPlatform::new(config.clone());
+            let map = platform.sample_defect_map_with(|model, rows, columns, seed| {
+                self.sample_defect_map(model, rows, columns, seed)
+            })?;
+            platform.evaluate_with_defect_map(map.as_ref())
         })
     }
 
@@ -507,6 +518,48 @@ impl ExecutionEngine {
             .collect())
     }
 
+    /// Parallel [`crate::sweep::defect_yield_sweep`] (the defect axis of the
+    /// Fig. 7 extension): evaluates one code under every fabrication-defect
+    /// selection through the report cache, element-identical to the serial
+    /// path. Defect maps are engine-sharded via
+    /// [`ExecutionEngine::report_for`], so points stay bit-identical for any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySweep`] for an empty defect set, or
+    /// propagates code and evaluation errors.
+    pub fn defect_yield_sweep(
+        &self,
+        base: &SimConfig,
+        kind: CodeKind,
+        radix: LogicLevel,
+        code_length: usize,
+        defects: &[DefectKind],
+    ) -> Result<Vec<crate::sweep::DefectYieldPoint>> {
+        if defects.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        let code = CodeSpec::new(kind, radix, code_length)?;
+        let configs: Vec<SimConfig> = defects
+            .iter()
+            .map(|&defect| base.clone().with_code(code).with_defects(defect))
+            .collect();
+        let reports = self.evaluate_batch(&configs)?;
+        Ok(defects
+            .iter()
+            .zip(reports)
+            .map(|(&defect, report)| crate::sweep::DefectYieldPoint {
+                kind,
+                code_length,
+                defects: defect,
+                decoder_yield: report.crossbar_yield,
+                defect_survival: report.defect_survival,
+                composite_yield: report.composite_yield,
+            })
+            .collect())
+    }
+
     /// Parallel [`crate::sweep::bit_area_sweep`] (Fig. 8): element-identical
     /// to the serial path; invalid lengths for the family are skipped.
     ///
@@ -679,6 +732,17 @@ mod tests {
                 .unwrap(),
             sweep::full_sweep(&base, &kinds, LogicLevel::BINARY, &[6, 8]).unwrap()
         );
+        let defects = [
+            DefectKind::None,
+            DefectKind::sampled(0.05, 0.02, 42).unwrap(),
+        ];
+        assert_eq!(
+            engine
+                .defect_yield_sweep(&base, CodeKind::Tree, LogicLevel::BINARY, 8, &defects)
+                .unwrap(),
+            sweep::defect_yield_sweep(&base, CodeKind::Tree, LogicLevel::BINARY, 8, &defects)
+                .unwrap()
+        );
     }
 
     #[test]
@@ -737,6 +801,10 @@ mod tests {
         ));
         assert!(matches!(
             engine.full_sweep(&base(), &[], LogicLevel::BINARY, &[8]),
+            Err(SimError::EmptySweep)
+        ));
+        assert!(matches!(
+            engine.defect_yield_sweep(&base(), CodeKind::Tree, LogicLevel::BINARY, 8, &[]),
             Err(SimError::EmptySweep)
         ));
     }

@@ -14,8 +14,10 @@
 //! parallel [`ExecutionEngine`] whose results are bit-identical for any
 //! thread count; the engine also shards crossbar defect-map generation
 //! ([`ExecutionEngine::sample_defect_map`]) under the same per-chunk seeding
-//! contract. The serial free functions are thin wrappers over a
-//! single-threaded engine.
+//! contract, and composes sampled defect maps into every report when a
+//! configuration selects them ([`SimConfig::with_defects`] /
+//! [`DefectKind`]) — the defect axis of the Fig. 7 extension. The serial
+//! free functions are thin wrappers over a single-threaded engine.
 //!
 //! Repeated evaluations are served from the engine's sharded, bounded,
 //! single-flight [`ReportCache`], which persists to a versioned JSON
@@ -46,6 +48,7 @@ mod ablation;
 mod cache;
 pub mod codec;
 mod config;
+mod defect;
 mod disturbance;
 mod engine;
 mod error;
@@ -63,6 +66,7 @@ pub use cache::{
     DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS,
 };
 pub use config::SimConfig;
+pub use defect::{DefectConfig, DefectKind};
 pub use disturbance::{
     CorrelatedDisturbance, DisturbanceKind, DisturbanceModel, GaussianDisturbance,
     LaplaceDisturbance,
@@ -82,8 +86,8 @@ pub use crossbar_array::chunk_seed;
 pub use platform::{PlatformReport, SimulationPlatform};
 pub use report::{Fig5Report, Fig6Report, Fig7Report, Fig8Report};
 pub use sweep::{
-    bit_area_sweep, complexity_sweep, full_sweep, variability_map, yield_sweep, BitAreaPoint,
-    ComplexityPoint, VariabilityMap, YieldPoint,
+    bit_area_sweep, complexity_sweep, defect_yield_sweep, full_sweep, variability_map, yield_sweep,
+    BitAreaPoint, ComplexityPoint, DefectYieldPoint, VariabilityMap, YieldPoint,
 };
 
 #[cfg(test)]

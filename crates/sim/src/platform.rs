@@ -5,13 +5,14 @@
 use serde::{Deserialize, Serialize};
 
 use crossbar_array::{
-    AddressabilityProfile, CaveYield, ContactGroupLayout, CrossbarArea, HalfCave,
+    AddressabilityProfile, CaveYield, ContactGroupLayout, CrossbarArea, DefectMap, HalfCave,
 };
 use mspt_fabrication::{FabricationCost, PatternMatrix, VariabilityMatrix};
 use nanowire_codes::{CodeSequence, CodeSpec};
 
 use crate::config::SimConfig;
-use crate::error::Result;
+use crate::defect::DefectKind;
+use crate::error::{Result, SimError};
 
 /// The outcome of evaluating one decoder design on the platform.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,6 +39,17 @@ pub struct PlatformReport {
     pub effective_bit_area: f64,
     /// Number of contact groups per half cave.
     pub contact_groups: usize,
+    /// The fabrication-defect selection the report was evaluated under.
+    pub defects: DefectKind,
+    /// Fraction of crosspoints surviving the sampled defect map — `1` for a
+    /// defect-free ([`DefectKind::None`]) evaluation.
+    pub defect_survival: f64,
+    /// Composite crossbar yield: decoder yield `Y²` × defect survival.
+    /// Equals [`crossbar_yield`](PlatformReport::crossbar_yield) exactly for
+    /// a defect-free evaluation.
+    pub composite_yield: f64,
+    /// Composite effective density `D_RAW · Y² · survival` in bits.
+    pub composite_effective_bits: f64,
 }
 
 /// The Section 6.1 simulation platform.
@@ -181,12 +193,69 @@ impl SimulationPlatform {
         )?)
     }
 
-    /// Runs the full evaluation and collects every reported quantity.
+    /// Samples the defect map of the configured [`DefectKind`] serially —
+    /// `None` for a defect-free configuration. Bit-identical to the
+    /// engine-sharded
+    /// [`ExecutionEngine::sample_defect_map`](crate::ExecutionEngine::sample_defect_map)
+    /// of the same model and seed, because both assemble the same
+    /// independently seeded chunks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar-specification errors.
+    pub fn sample_defect_map(&self) -> Result<Option<DefectMap>> {
+        self.sample_defect_map_with(|model, rows, columns, seed| {
+            Ok(model.sample_map(rows, columns, seed)?)
+        })
+    }
+
+    /// [`SimulationPlatform::sample_defect_map`] with an explicit map
+    /// sampler — the single place that decides *whether* a map is drawn and
+    /// *which* dimensions and seed it gets, so the serial path and the
+    /// engine-sharded path (which passes
+    /// [`ExecutionEngine::sample_defect_map`](crate::ExecutionEngine::sample_defect_map)
+    /// here) can never diverge in dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar-specification and sampler errors.
+    pub fn sample_defect_map_with<F>(&self, sampler: F) -> Result<Option<DefectMap>>
+    where
+        F: FnOnce(&crossbar_array::DefectModel, usize, usize, u64) -> Result<DefectMap>,
+    {
+        match self.config.defects() {
+            DefectKind::None => Ok(None),
+            DefectKind::Sampled(defects) => {
+                let edge = self.config.crossbar_spec()?.nanowires_per_layer();
+                Ok(Some(sampler(&defects.model(), edge, edge, defects.seed())?))
+            }
+        }
+    }
+
+    /// Runs the full evaluation and collects every reported quantity,
+    /// sampling the configured defect map serially.
     ///
     /// # Errors
     ///
     /// Propagates errors from every stage of the pipeline.
     pub fn evaluate(&self) -> Result<PlatformReport> {
+        self.evaluate_with_defect_map(self.sample_defect_map()?.as_ref())
+    }
+
+    /// [`SimulationPlatform::evaluate`] with an externally sampled defect
+    /// map — the entry point the execution engine uses to shard map
+    /// generation across its threads while keeping the composition here.
+    ///
+    /// The map must correspond to the configured [`DefectKind`]: `Some` of
+    /// the right dimensions for [`DefectKind::Sampled`], `None` for
+    /// [`DefectKind::None`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the map's presence or
+    /// dimensions do not match the configuration, or propagates pipeline
+    /// errors.
+    pub fn evaluate_with_defect_map(&self, map: Option<&DefectMap>) -> Result<PlatformReport> {
         let code = self.config.code();
         let variability = self.variability()?;
         let cost = self.fabrication_cost()?;
@@ -200,6 +269,44 @@ impl SimulationPlatform {
         let spec = self.config.crossbar_spec()?;
         let area = CrossbarArea::compute(&spec, code.code_length(), &layout)?;
         let effective_bit_area = area.effective_bit_area(&spec, &yield_)?;
+        let effective_bits = yield_.effective_bits(spec.raw_crosspoints());
+
+        let (defect_survival, composite_yield, composite_effective_bits) =
+            match (self.config.defects(), map) {
+                // Defect-free: the composite quantities *are* the decoder
+                // quantities, bit-for-bit (no multiplication by 1.0 that
+                // could perturb them).
+                (DefectKind::None, None) => (1.0, yield_.crossbar_yield(), effective_bits),
+                (DefectKind::Sampled(_), Some(map)) => {
+                    let edge = spec.nanowires_per_layer();
+                    if map.rows() != edge || map.columns() != edge {
+                        return Err(SimError::InvalidConfig {
+                            reason: format!(
+                                "defect map is {}x{} but the crossbar is {edge}x{edge}",
+                                map.rows(),
+                                map.columns()
+                            ),
+                        });
+                    }
+                    let composite = map.compose_with(&yield_);
+                    (
+                        composite.defect_survival,
+                        composite.crossbar_yield,
+                        composite.effective_bits(spec.raw_crosspoints()),
+                    )
+                }
+                (DefectKind::None, Some(_)) => {
+                    return Err(SimError::InvalidConfig {
+                        reason: "defect map supplied for a defect-free configuration".to_string(),
+                    })
+                }
+                (DefectKind::Sampled(_), None) => {
+                    return Err(SimError::InvalidConfig {
+                        reason: "defect-configured evaluation needs a sampled defect map"
+                            .to_string(),
+                    })
+                }
+            };
 
         Ok(PlatformReport {
             code,
@@ -209,10 +316,14 @@ impl SimulationPlatform {
             max_normalized_sigma: variability.normalized_map().max(),
             cave_yield: yield_.nanowire_yield(),
             crossbar_yield: yield_.crossbar_yield(),
-            effective_bits: yield_.effective_bits(spec.raw_crosspoints()),
+            effective_bits,
             raw_bit_area: area.raw_bit_area(&spec).value(),
             effective_bit_area: effective_bit_area.value(),
             contact_groups: layout.group_count(),
+            defects: self.config.defects(),
+            defect_survival,
+            composite_yield,
+            composite_effective_bits,
         })
     }
 }
@@ -238,6 +349,68 @@ mod tests {
         assert!(report.mean_variability >= 1.0);
         assert!(report.max_normalized_sigma >= 1.0);
         assert!(report.contact_groups >= 1);
+    }
+
+    #[test]
+    fn defect_free_reports_keep_composite_equal_to_decoder_quantities() {
+        let report = platform(CodeKind::Tree, 8).evaluate().unwrap();
+        assert_eq!(report.defects, DefectKind::None);
+        assert_eq!(report.defect_survival, 1.0);
+        assert_eq!(
+            report.composite_yield.to_bits(),
+            report.crossbar_yield.to_bits()
+        );
+        assert_eq!(
+            report.composite_effective_bits.to_bits(),
+            report.effective_bits.to_bits()
+        );
+    }
+
+    #[test]
+    fn defect_composition_reduces_yield_and_bits() {
+        let code = CodeSpec::new(CodeKind::BalancedGray, LogicLevel::BINARY, 10).unwrap();
+        let defects = DefectKind::sampled(0.05, 0.02, 2_009).unwrap();
+        let config = SimConfig::paper_defaults(code)
+            .unwrap()
+            .with_defects(defects);
+        let report = SimulationPlatform::new(config).evaluate().unwrap();
+        assert_eq!(report.defects, defects);
+        assert!(report.defect_survival > 0.0 && report.defect_survival < 1.0);
+        assert!(
+            (report.composite_yield - report.crossbar_yield * report.defect_survival).abs() < 1e-15
+        );
+        assert!(report.composite_yield < report.crossbar_yield);
+        assert!(report.composite_effective_bits < report.effective_bits);
+        // The survival lands near the analytic expectation for these rates
+        // (a single sampled instance; broken wires kill whole rows, so the
+        // variance is dominated by the 363-wire breakage draw).
+        let expected = 0.95 * 0.95 * 0.98;
+        assert!(
+            (report.defect_survival - expected).abs() < 0.05,
+            "survival {} vs expected {expected}",
+            report.defect_survival
+        );
+    }
+
+    #[test]
+    fn mismatched_defect_maps_are_rejected() {
+        let defective = platform(CodeKind::Tree, 8)
+            .config()
+            .clone()
+            .with_defects(DefectKind::sampled(0.05, 0.02, 1).unwrap());
+        let defective = SimulationPlatform::new(defective);
+        // A defect-configured evaluation without a map is an error...
+        assert!(defective.evaluate_with_defect_map(None).is_err());
+        // ...as is a map of the wrong dimensions...
+        let small = crossbar_array::DefectModel::new(0.05, 0.02)
+            .unwrap()
+            .sample_map(4, 4, 1)
+            .unwrap();
+        assert!(defective.evaluate_with_defect_map(Some(&small)).is_err());
+        // ...and a map supplied to a defect-free configuration.
+        let clean = platform(CodeKind::Tree, 8);
+        assert!(clean.evaluate_with_defect_map(Some(&small)).is_err());
+        assert!(clean.sample_defect_map().unwrap().is_none());
     }
 
     #[test]

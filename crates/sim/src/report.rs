@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use nanowire_codes::CodeKind;
 
-use crate::sweep::{BitAreaPoint, ComplexityPoint, VariabilityMap, YieldPoint};
+use crate::sweep::{BitAreaPoint, ComplexityPoint, DefectYieldPoint, VariabilityMap, YieldPoint};
 
 /// Fig. 5 — fabrication complexity per code type and logic radix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -78,11 +78,15 @@ impl fmt::Display for Fig6Report {
     }
 }
 
-/// Fig. 7 — crossbar yield per code type and length.
+/// Fig. 7 — crossbar yield per code type and length, plus the beyond-paper
+/// defect axis: composite yield under sampled fabrication defects.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig7Report {
-    /// One series per code family.
+    /// One series per code family (the paper's figure).
     pub series: Vec<(CodeKind, Vec<YieldPoint>)>,
+    /// One yield-vs-defect-rate series per code family (empty when the
+    /// defect axis was not swept — the paper assumes defect-free arrays).
+    pub defect_series: Vec<(CodeKind, Vec<DefectYieldPoint>)>,
 }
 
 impl fmt::Display for Fig7Report {
@@ -91,21 +95,49 @@ impl fmt::Display for Fig7Report {
             f,
             "Fig. 7 — crossbar yield (fraction of addressable crosspoints)"
         )?;
-        writeln!(
-            f,
-            "{:<6} {:>8} {:>12} {:>14}",
-            "code", "length", "cave yield", "crossbar yield"
-        )?;
-        for (kind, points) in &self.series {
-            for point in points {
-                writeln!(
-                    f,
-                    "{:<6} {:>8} {:>11.1}% {:>13.1}%",
-                    kind.label(),
-                    point.code_length,
-                    point.cave_yield * 100.0,
-                    point.crossbar_yield * 100.0
-                )?;
+        if !self.series.is_empty() {
+            writeln!(
+                f,
+                "{:<6} {:>8} {:>12} {:>14}",
+                "code", "length", "cave yield", "crossbar yield"
+            )?;
+            for (kind, points) in &self.series {
+                for point in points {
+                    writeln!(
+                        f,
+                        "{:<6} {:>8} {:>11.1}% {:>13.1}%",
+                        kind.label(),
+                        point.code_length,
+                        point.cave_yield * 100.0,
+                        point.crossbar_yield * 100.0
+                    )?;
+                }
+            }
+        }
+        if !self.defect_series.is_empty() {
+            writeln!(
+                f,
+                "defect axis — composite yield under sampled fabrication defects"
+            )?;
+            writeln!(
+                f,
+                "{:<6} {:>8} {:>8} {:>8} {:>10} {:>10} {:>11}",
+                "code", "length", "break", "stuck", "decoder", "survival", "composite"
+            )?;
+            for (kind, points) in &self.defect_series {
+                for point in points {
+                    writeln!(
+                        f,
+                        "{:<6} {:>8} {:>7.2}% {:>7.2}% {:>9.2}% {:>9.2}% {:>10.2}%",
+                        kind.label(),
+                        point.code_length,
+                        point.defects.nanowire_breakage() * 100.0,
+                        point.defects.crosspoint_defect() * 100.0,
+                        point.decoder_yield * 100.0,
+                        point.defect_survival * 100.0,
+                        point.composite_yield * 100.0
+                    )?;
+                }
             }
         }
         Ok(())
@@ -226,11 +258,41 @@ mod tests {
                 .unwrap(),
             ),
         ];
-        let report = Fig7Report { series };
+        let report = Fig7Report {
+            series,
+            defect_series: vec![],
+        };
         let text = report.to_string();
         assert!(text.contains("Fig. 7"));
         assert!(text.contains("BGC"));
         assert!(text.contains('%'));
+        assert!(!text.contains("defect axis"));
+    }
+
+    #[test]
+    fn fig7_report_renders_the_defect_axis() {
+        use crate::defect::DefectKind;
+        use crate::sweep::defect_yield_sweep;
+        let defects = [
+            DefectKind::None,
+            DefectKind::sampled(0.05, 0.02, 2_009).unwrap(),
+        ];
+        let points =
+            defect_yield_sweep(&base(), CodeKind::Tree, LogicLevel::BINARY, 8, &defects).unwrap();
+        let report = Fig7Report {
+            series: vec![],
+            defect_series: vec![(CodeKind::Tree, points)],
+        };
+        let text = report.to_string();
+        assert!(text.contains("defect axis"));
+        assert!(text.contains("survival"));
+        assert!(text.contains("composite"));
+        // The defect-free row keeps composite == decoder; the defective row
+        // loses yield.
+        let defective = &report.defect_series[0].1[1];
+        assert!(defective.composite_yield < defective.decoder_yield);
+        let clean = &report.defect_series[0].1[0];
+        assert_eq!(clean.composite_yield, clean.decoder_yield);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use mspt_fabrication::Matrix;
 use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 
 use crate::config::SimConfig;
+use crate::defect::DefectKind;
 use crate::engine::ExecutionEngine;
 use crate::error::Result;
 use crate::platform::{PlatformReport, SimulationPlatform};
@@ -55,6 +56,24 @@ pub struct YieldPoint {
     pub cave_yield: f64,
     /// Crossbar (crosspoint) yield `Y²`.
     pub crossbar_yield: f64,
+}
+
+/// One point of the defect-axis yield sweep (the Fig. 7 extension): the
+/// decoder yield of one code composed with one fabrication-defect selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DefectYieldPoint {
+    /// Code family.
+    pub kind: CodeKind,
+    /// Code length `M`.
+    pub code_length: usize,
+    /// The fabrication-defect selection of the point.
+    pub defects: DefectKind,
+    /// Decoder-limited crossbar yield `Y²` (defect-free).
+    pub decoder_yield: f64,
+    /// Fraction of crosspoints surviving the sampled defect map.
+    pub defect_survival: f64,
+    /// Composite crossbar yield: `Y²` × survival.
+    pub composite_yield: f64,
 }
 
 /// One point of the bit-area sweep (Fig. 8).
@@ -156,6 +175,26 @@ pub fn bit_area_sweep(
     code_lengths: &[usize],
 ) -> Result<Vec<BitAreaPoint>> {
     ExecutionEngine::serial().bit_area_sweep(base, kind, radix, code_lengths)
+}
+
+/// Sweeps the composite crossbar yield of one code over a set of
+/// fabrication-defect selections (the defect axis of the Fig. 7 extension).
+///
+/// Thin wrapper over a single-threaded [`ExecutionEngine`]; use the engine
+/// directly to batch and memoize the points across threads.
+///
+/// # Errors
+///
+/// Returns [`SimError::EmptySweep`](crate::SimError::EmptySweep) for an
+/// empty defect set, or propagates evaluation errors.
+pub fn defect_yield_sweep(
+    base: &SimConfig,
+    kind: CodeKind,
+    radix: LogicLevel,
+    code_length: usize,
+    defects: &[DefectKind],
+) -> Result<Vec<DefectYieldPoint>> {
+    ExecutionEngine::serial().defect_yield_sweep(base, kind, radix, code_length, defects)
 }
 
 /// Evaluates the full platform report for every (kind, length) pair —

@@ -1,0 +1,174 @@
+//! Forward-compatibility coverage for the defect dimension of the codec:
+//! documents written before `SimConfig` carried a `DefectKind` (and before
+//! `PlatformReport` carried composite quantities) must keep decoding with
+//! the defect-free defaults, and mixed-version round trips must stay
+//! bit-identical to a fresh evaluation.
+
+use decoder_sim::codec::{
+    config_from_json, config_to_json, report_from_json, report_to_json, JsonValue,
+};
+use decoder_sim::{
+    CacheConfig, DefectKind, ReportCache, SimConfig, SimulationPlatform, CACHE_SCHEMA_VERSION,
+};
+use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+fn config(kind: CodeKind, length: usize) -> SimConfig {
+    let code = CodeSpec::new(kind, LogicLevel::BINARY, length).unwrap();
+    SimConfig::paper_defaults(code).unwrap()
+}
+
+/// Strips top-level keys from an object — the shape of a document written
+/// by a build that predates those fields.
+fn without_keys(value: &JsonValue, keys: &[&str]) -> JsonValue {
+    match value {
+        JsonValue::Object(fields) => JsonValue::Object(
+            fields
+                .iter()
+                .filter(|(name, _)| !keys.contains(&name.as_str()))
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+const REPORT_DEFECT_KEYS: [&str; 4] = [
+    "defects",
+    "defect_survival",
+    "composite_yield",
+    "composite_effective_bits",
+];
+
+#[test]
+fn pre_defect_configs_decode_as_defect_free() {
+    let expected = config(CodeKind::BalancedGray, 10);
+    let legacy = without_keys(&config_to_json(&expected), &["defects"]);
+    assert!(legacy.get_opt("defects").unwrap().is_none());
+    let decoded = config_from_json(&legacy).unwrap();
+    assert_eq!(decoded.defects(), DefectKind::None);
+    // The decoded configuration is indistinguishable from a fresh one —
+    // same identity, same cache fingerprint.
+    assert_eq!(decoded, expected);
+    assert_eq!(
+        ReportCache::fingerprint(&decoded),
+        ReportCache::fingerprint(&expected)
+    );
+}
+
+#[test]
+fn pre_defect_reports_decode_with_defect_free_composites() {
+    let expected = SimulationPlatform::new(config(CodeKind::Tree, 8))
+        .evaluate()
+        .unwrap();
+    let legacy = without_keys(&report_to_json(&expected), &REPORT_DEFECT_KEYS);
+    let decoded = report_from_json(&legacy).unwrap();
+    assert_eq!(decoded, expected);
+    assert_eq!(decoded.defects, DefectKind::None);
+    assert_eq!(decoded.defect_survival, 1.0);
+    assert_eq!(
+        decoded.composite_yield.to_bits(),
+        expected.crossbar_yield.to_bits()
+    );
+    assert_eq!(
+        decoded.composite_effective_bits.to_bits(),
+        expected.effective_bits.to_bits()
+    );
+}
+
+#[test]
+fn mixed_version_round_trips_stay_bit_identical() {
+    // old JSON → decode → re-encode (new format) → decode: every value,
+    // float bits included, survives both generations.
+    let fresh = SimulationPlatform::new(config(CodeKind::Gray, 10))
+        .evaluate()
+        .unwrap();
+    let legacy = without_keys(&report_to_json(&fresh), &REPORT_DEFECT_KEYS);
+    let first = report_from_json(&legacy).unwrap();
+    let second = report_from_json(&report_to_json(&first)).unwrap();
+    assert_eq!(first, second);
+    assert_eq!(
+        first.crossbar_yield.to_bits(),
+        second.crossbar_yield.to_bits()
+    );
+    assert_eq!(
+        first.composite_yield.to_bits(),
+        second.composite_yield.to_bits()
+    );
+
+    // And the new format round-trips defect-composed reports exactly too.
+    let defective = SimulationPlatform::new(
+        config(CodeKind::Gray, 10).with_defects(DefectKind::sampled(0.05, 0.02, 2_009).unwrap()),
+    )
+    .evaluate()
+    .unwrap();
+    let decoded = report_from_json(&report_to_json(&defective)).unwrap();
+    assert_eq!(decoded, defective);
+    assert_eq!(
+        decoded.composite_yield.to_bits(),
+        defective.composite_yield.to_bits()
+    );
+    assert!(decoded.defect_survival < 1.0);
+}
+
+#[test]
+fn pr4_era_cache_snapshots_load_and_serve_bit_identically() {
+    // Build a snapshot, then strip the defect fields from every row — the
+    // exact byte shape a PR 4-era process would have persisted (same
+    // schema_version; the defect fields are additive, not a format bump).
+    let warm = ReportCache::new(CacheConfig::default());
+    let configs = [
+        config(CodeKind::Tree, 8),
+        config(CodeKind::BalancedGray, 10),
+    ];
+    for entry in &configs {
+        warm.get_or_compute(entry, || SimulationPlatform::new(entry.clone()).evaluate())
+            .unwrap();
+    }
+    let snapshot = JsonValue::parse(&warm.snapshot_json()).unwrap();
+    assert_eq!(
+        snapshot.get("schema_version").unwrap().as_u64().unwrap(),
+        CACHE_SCHEMA_VERSION
+    );
+    let legacy_rows: Vec<JsonValue> = snapshot
+        .get("entries")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|row| {
+            JsonValue::Object(vec![
+                (
+                    "config".to_string(),
+                    without_keys(row.get("config").unwrap(), &["defects"]),
+                ),
+                (
+                    "report".to_string(),
+                    without_keys(row.get("report").unwrap(), &REPORT_DEFECT_KEYS),
+                ),
+            ])
+        })
+        .collect();
+    let legacy_snapshot = JsonValue::Object(vec![
+        (
+            "schema_version".to_string(),
+            JsonValue::from_u64(CACHE_SCHEMA_VERSION),
+        ),
+        ("entries".to_string(), JsonValue::Array(legacy_rows)),
+    ])
+    .render();
+
+    let restored = ReportCache::new(CacheConfig::default());
+    assert_eq!(restored.load_snapshot(&legacy_snapshot).unwrap(), 2);
+    for entry in &configs {
+        assert!(restored.contains(entry), "legacy snapshot lost an entry");
+        let original = warm.get_or_compute(entry, || unreachable!("warm")).unwrap();
+        let reloaded = restored
+            .get_or_compute(entry, || unreachable!("warm"))
+            .unwrap();
+        assert_eq!(reloaded, original);
+        assert_eq!(
+            reloaded.composite_yield.to_bits(),
+            original.composite_yield.to_bits()
+        );
+    }
+}

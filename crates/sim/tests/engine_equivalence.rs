@@ -6,9 +6,9 @@
 
 use crossbar_array::DefectModel;
 use decoder_sim::{
-    full_sweep, monte_carlo_addressability, monte_carlo_with_disturbance, DisturbanceKind,
-    EngineConfig, ExecutionEngine, GaussianDisturbance, MonteCarloConfig, SimConfig,
-    DEFAULT_CHUNK_SIZE,
+    full_sweep, monte_carlo_addressability, monte_carlo_with_disturbance, DefectKind,
+    DisturbanceKind, EngineConfig, ExecutionEngine, GaussianDisturbance, MonteCarloConfig,
+    SimConfig, DEFAULT_CHUNK_SIZE,
 };
 use device_physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
 use mspt_fabrication::{PatternMatrix, VariabilityMatrix};
@@ -203,6 +203,54 @@ fn defect_maps_are_bit_identical_across_thread_counts() {
         assert_eq!(serial, sharded, "map diverged at {threads} engine threads");
     }
     assert!(engine(2).sample_defect_map(&model, 0, 4, seed).is_err());
+}
+
+/// The whole-report determinism gate for the defect pipeline: a
+/// defect-composed `PlatformReport` — engine-sharded map sampling composed
+/// with the decoder yield through the report cache — must be bit-identical
+/// to the serial platform evaluation at every thread count, and across the
+/// defect axis the decoder quantities must stay pinned to the defect-free
+/// run.
+#[test]
+fn defect_composed_reports_are_bit_identical_across_thread_counts() {
+    let code = CodeSpec::new(CodeKind::BalancedGray, LogicLevel::BINARY, 10).unwrap();
+    let base = SimConfig::paper_defaults(code).unwrap();
+    for defects in [
+        DefectKind::None,
+        DefectKind::sampled(0.05, 0.02, 2_009).unwrap(),
+        DefectKind::sampled(0.1, 0.05, 7).unwrap(),
+    ] {
+        let config = base.clone().with_defects(defects);
+        // Serial reference: platform evaluation, no engine, no cache.
+        let serial = decoder_sim::SimulationPlatform::new(config.clone())
+            .evaluate()
+            .unwrap();
+        for threads in [1usize, 2, 4] {
+            let report = engine(threads).report_for(&config).unwrap();
+            assert_eq!(
+                serial, report,
+                "defect-composed report diverged at {threads} engine threads ({defects:?})"
+            );
+            assert_eq!(
+                serial.composite_yield.to_bits(),
+                report.composite_yield.to_bits()
+            );
+        }
+    }
+    // The decoder quantities never depend on the defect selection.
+    let clean = engine(2).report_for(&base).unwrap();
+    let defective = engine(2)
+        .report_for(
+            &base
+                .clone()
+                .with_defects(DefectKind::sampled(0.05, 0.02, 2_009).unwrap()),
+        )
+        .unwrap();
+    assert_eq!(
+        clean.crossbar_yield.to_bits(),
+        defective.crossbar_yield.to_bits()
+    );
+    assert!(defective.composite_yield < clean.composite_yield);
 }
 
 /// Pins the content of a fixed-seed defect map, including positions. Any

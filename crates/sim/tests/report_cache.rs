@@ -237,6 +237,44 @@ fn tiny_capacities_clamp_the_shard_count_to_an_exact_bound() {
 }
 
 #[test]
+fn snapshots_are_bounded_to_the_cache_capacity() {
+    // Capacity 3 over 2 shards → per-shard bound ceil(3/2) = 2, so the
+    // in-memory cache may legitimately retain up to 4 entries. The persisted
+    // snapshot must still be bounded to the configured capacity (keeping the
+    // most recently used entries), so the warm-restart file cannot grow past
+    // the bound no matter how the shard arithmetic over-retains.
+    let cache = ReportCache::new(CacheConfig {
+        capacity: 3,
+        shards: 2,
+    });
+    let entries = [
+        config(CodeKind::Tree, 6),
+        config(CodeKind::Tree, 8),
+        config(CodeKind::Tree, 10),
+        config(CodeKind::Gray, 6),
+        config(CodeKind::Gray, 8),
+        config(CodeKind::Gray, 10),
+        config(CodeKind::BalancedGray, 8),
+    ];
+    for entry in &entries {
+        cache.get_or_compute(entry, || evaluate(entry)).unwrap();
+    }
+    let snapshot = cache.snapshot_json();
+    let parsed = decoder_sim::codec::JsonValue::parse(&snapshot).unwrap();
+    let rows = parsed.get("entries").unwrap().as_array().unwrap();
+    assert!(
+        rows.len() <= 3,
+        "snapshot persisted {} rows past the capacity bound of 3",
+        rows.len()
+    );
+    // The most recently used entry always survives the bound.
+    let restored = ReportCache::new(CacheConfig::default());
+    restored.load_snapshot(&snapshot).unwrap();
+    assert!(restored.contains(&entries[entries.len() - 1]));
+    assert!(restored.len() <= 3);
+}
+
+#[test]
 fn loading_respects_the_capacity_bound() {
     let cache = ReportCache::new(CacheConfig::default());
     for entry in [

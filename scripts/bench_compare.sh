@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Bench-trajectory comparison: warns (never fails) when a benchmark's median
+# moved beyond a noise threshold between two BENCH_results.json files.
+#
+# Usage: scripts/bench_compare.sh <previous.json> <current.json>
+#
+# Environment:
+#   BENCH_NOISE_RATIO  relative change treated as noise (default 0.5 = ±50%,
+#                      generous because CI runners are shared and the quick
+#                      mode only takes 3 samples per bench).
+#
+# Each BENCH_results.json has the shape
+#   {"schema_version":1,"commit":"…","benchmarks":[{"id":…,"median_ns":…},…]}
+# (rows from builds that predate median_ns fall back to mean_ns).
+#
+# Exit code is always 0: this is a trend signal, not a gate. Regressions
+# print GitHub warning annotations so they surface on the run summary.
+set -u
+
+prev="${1:?usage: bench_compare.sh <previous.json> <current.json>}"
+curr="${2:?usage: bench_compare.sh <previous.json> <current.json>}"
+ratio="${BENCH_NOISE_RATIO:-0.5}"
+
+if ! [ -r "$prev" ] || ! [ -r "$curr" ]; then
+  echo "bench_compare: nothing to compare (missing $prev or $curr)"
+  exit 0
+fi
+
+jq -r -n --slurpfile prev "$prev" --slurpfile curr "$curr" --argjson noise "$ratio" '
+  def metric: (.median_ns // .mean_ns);
+  ($prev[0].benchmarks | map({key: .id, value: metric}) | from_entries) as $before
+  | $curr[0].benchmarks[]
+  | . as $row
+  | ($before[$row.id] // null) as $old
+  | ($row | metric) as $new
+  | if $old == null or $old == 0 then
+      "::notice::bench \($row.id): no previous median to compare"
+    else
+      (($new - $old) / $old) as $delta
+      | if ($delta | fabs) > $noise then
+          if $delta > 0 then
+            "::warning::bench \($row.id): median regressed \($old) ns -> \($new) ns (+\(($delta * 100 * 10 | round) / 10)%)"
+          else
+            "::notice::bench \($row.id): median improved \($old) ns -> \($new) ns (\(($delta * 100 * 10 | round) / 10)%)"
+          end
+        else
+          "bench \($row.id): \($old) ns -> \($new) ns (within ±\(($noise * 100 | round))% noise)"
+        end
+    end
+' || echo "bench_compare: comparison failed (malformed results file?)"
+
+exit 0

@@ -56,7 +56,7 @@ pub mod prelude {
     pub use crate::physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
     pub use crate::serve::{ReportRequest, ReportServer};
     pub use crate::sim::{
-        CacheConfig, CacheStats, DisturbanceKind, DisturbanceModel, EngineConfig, ExecutionEngine,
-        ReportCache, SimConfig, SimulationPlatform,
+        CacheConfig, CacheStats, DefectConfig, DefectKind, DisturbanceKind, DisturbanceModel,
+        EngineConfig, ExecutionEngine, ReportCache, SimConfig, SimulationPlatform,
     };
 }

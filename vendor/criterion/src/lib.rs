@@ -18,8 +18,11 @@
 //! * [`SAMPLE_SIZE_ENV`] (`MSPT_BENCH_SAMPLE_SIZE`) overrides every
 //!   benchmark's sample count — quick mode for CI;
 //! * [`JSON_RESULTS_ENV`] (`MSPT_BENCH_JSON`) names a JSON-lines file each
-//!   benchmark appends its `{id, samples, min_ns, mean_ns, max_ns}` row to,
-//!   which CI aggregates into the uploaded `BENCH_results.json` artifact.
+//!   benchmark appends its `{id, samples, min_ns, mean_ns, median_ns,
+//!   max_ns}` row to, which CI aggregates into the uploaded
+//!   `BENCH_results.json` artifact (the bench-trajectory comparison keys on
+//!   the medians — robust against one slow outlier sample on a shared
+//!   runner).
 
 #![forbid(unsafe_code)]
 
@@ -36,7 +39,7 @@ pub const SAMPLE_SIZE_ENV: &str = "MSPT_BENCH_SAMPLE_SIZE";
 
 /// Environment variable naming a JSON-lines results file. When set and
 /// non-empty, every benchmark appends one line
-/// `{"id":...,"samples":N,"min_ns":...,"mean_ns":...,"max_ns":...}`.
+/// `{"id":...,"samples":N,"min_ns":...,"mean_ns":...,"median_ns":...,"max_ns":...}`.
 pub const JSON_RESULTS_ENV: &str = "MSPT_BENCH_JSON";
 
 fn effective_sample_size(requested: usize) -> usize {
@@ -67,11 +70,16 @@ fn append_json_result(
             ch => vec![ch],
         })
         .collect();
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    // Lower median for even counts: deterministic without averaging.
+    let median = sorted[(sorted.len() - 1) / 2];
     let line = format!(
-        "{{\"id\":\"{escaped}\",\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}\n",
+        "{{\"id\":\"{escaped}\",\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"max_ns\":{}}}\n",
         samples.len(),
         min.as_nanos(),
         mean.as_nanos(),
+        median.as_nanos(),
         max.as_nanos(),
     );
     let written = std::fs::OpenOptions::new()
