@@ -1,20 +1,35 @@
-//! Hammers the `mspt-serve` layer from N client threads with a Zipf-ish mix
-//! of Fig. 5–8 configurations and prints throughput and hit rate — then
-//! **gates** on the serving layer's contracts, so CI can run this binary
-//! as-is:
+//! Hammers the `mspt-serve` layer with a Zipf-ish mix of Fig. 5–8
+//! configurations and **gates** on the serving layer's contracts, so CI can
+//! run this binary as-is:
 //!
 //! * every response must be bit-identical to a serial evaluation of the
 //!   same configuration;
 //! * a second pass over the same mix must be served entirely from the warm
-//!   cache (100 % hit rate, zero misses).
+//!   cache (100 % hit rate, zero misses);
+//! * over TCP, a zero-shed configuration must produce **zero** sheds, and
+//!   the bounded dispatch queue must shed an over-quota connection with the
+//!   framed, typed `overloaded` error — never a hang or a silent drop.
+//!
+//! With `MSPT_STRESS_TRANSPORT=tcp` the harness drives N real loopback
+//! connections through the framed-TCP front end and reports sustained RPS
+//! plus p50/p99/p999 round-trip latency from an HDR-style histogram;
+//! `MSPT_STRESS_JSON=<path>` writes the numbers as a CI artifact whose
+//! `benchmarks` rows feed `scripts/bench_compare.sh`.
 //!
 //! Knobs (all environment variables):
 //!
 //! | Variable | Meaning | Default |
 //! |---|---|---|
-//! | `MSPT_STRESS_CLIENTS` | concurrent client threads | 8 |
+//! | `MSPT_STRESS_TRANSPORT` | `inproc` or `tcp` | inproc |
+//! | `MSPT_STRESS_CLIENTS` | concurrent client threads / connections | 8 |
 //! | `MSPT_STRESS_REQUESTS` | wire requests per client per pass | 64 |
 //! | `MSPT_STRESS_SEED` | run seed of the Zipf request streams | 2009 |
+//! | `MSPT_STRESS_JSON` | path of the JSON results artifact | unset |
+//! | `MSPT_NET_WORKERS` | TCP worker pool size | available parallelism |
+//! | `MSPT_NET_QUEUE` | TCP dispatch-queue bound | 64 |
+//! | `MSPT_NET_ADDR` | TCP bind address | 127.0.0.1:0 |
+//! | `MSPT_NET_SHED` | shed policy (`reply` / `close`) | reply |
+//! | `MSPT_NET_DRAIN_MS` | shutdown drain grace (ms) | 250 |
 //! | `MSPT_ENGINE_THREADS` | engine worker threads | available parallelism |
 //! | `MSPT_CACHE_CAPACITY` | report-cache bound | 4096 |
 //! | `MSPT_CACHE_PATH` | warm-cache snapshot to load/save | unset |
@@ -22,22 +37,155 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use decoder_sim::{EngineConfig, ExecutionEngine, CACHE_PATH_ENV};
-use mspt_serve::{run_stress, ReportServer, StressConfig};
+use decoder_sim::codec::JsonValue;
+use decoder_sim::{CacheStats, EngineConfig, ExecutionEngine, CACHE_PATH_ENV};
+use mspt_serve::{
+    probe_shed, run_net_stress, run_stress, NetServer, NetStressOutcome, ReportServer, ServeConfig,
+    StressConfig,
+};
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|value| value.trim().parse().ok())
-        .unwrap_or(default)
+/// Environment variable selecting the transport (`inproc` or `tcp`).
+const STRESS_TRANSPORT_ENV: &str = "MSPT_STRESS_TRANSPORT";
+/// Environment variable naming the JSON results artifact path.
+const STRESS_JSON_ENV: &str = "MSPT_STRESS_JSON";
+
+struct PassStats {
+    hits: u64,
+    misses: u64,
+}
+
+fn delta(before: &CacheStats, after: &CacheStats) -> PassStats {
+    PassStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+    }
+}
+
+fn benchmark_row(id: &str, median_ns: f64) -> JsonValue {
+    JsonValue::Object(vec![
+        ("id".to_string(), JsonValue::String(id.to_string())),
+        ("median_ns".to_string(), JsonValue::from_f64(median_ns)),
+    ])
+}
+
+/// Renders the loadgen results in the same `benchmarks` shape as
+/// `BENCH_results.json`, so `scripts/bench_compare.sh` can diff two runs'
+/// latency trajectories unchanged.
+fn results_json(transport: &str, outcome: &NetStressOutcome, sheds_exercised: bool) -> String {
+    let latency = &outcome.latency;
+    let prefix = format!("serve_{transport}");
+    let rps = outcome.throughput_rps();
+    let ns_per_req = if rps > 0.0 && rps.is_finite() {
+        1e9 / rps
+    } else {
+        0.0
+    };
+    JsonValue::Object(vec![
+        ("schema_version".to_string(), JsonValue::from_u64(1)),
+        (
+            "transport".to_string(),
+            JsonValue::String(transport.to_string()),
+        ),
+        (
+            "requests".to_string(),
+            JsonValue::from_u64(outcome.requests),
+        ),
+        (
+            "mismatches".to_string(),
+            JsonValue::from_u64(outcome.mismatches),
+        ),
+        ("sheds".to_string(), JsonValue::from_u64(outcome.sheds)),
+        (
+            "wire_failures".to_string(),
+            JsonValue::from_u64(outcome.wire_failures),
+        ),
+        (
+            "shed_path_exercised".to_string(),
+            JsonValue::Bool(sheds_exercised),
+        ),
+        ("rps".to_string(), JsonValue::from_f64(rps)),
+        (
+            "p50_ns".to_string(),
+            JsonValue::from_u64(latency.quantile(0.5)),
+        ),
+        (
+            "p99_ns".to_string(),
+            JsonValue::from_u64(latency.quantile(0.99)),
+        ),
+        (
+            "p999_ns".to_string(),
+            JsonValue::from_u64(latency.quantile(0.999)),
+        ),
+        ("max_ns".to_string(), JsonValue::from_u64(latency.max())),
+        ("mean_ns".to_string(), JsonValue::from_f64(latency.mean())),
+        (
+            "benchmarks".to_string(),
+            JsonValue::Array(vec![
+                benchmark_row(&format!("{prefix}/p50"), latency.quantile(0.5) as f64),
+                benchmark_row(&format!("{prefix}/p99"), latency.quantile(0.99) as f64),
+                benchmark_row(&format!("{prefix}/p999"), latency.quantile(0.999) as f64),
+                benchmark_row(&format!("{prefix}/mean"), latency.mean()),
+                benchmark_row(&format!("{prefix}/ns_per_req"), ns_per_req),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+fn print_pass(label: &str, outcome: &NetStressOutcome, pass: &PassStats) {
+    println!(
+        "{label}: {:8.0} req/s  p50 {:7.1}µs  p99 {:7.1}µs  p999 {:7.1}µs  hit rate {:5.1}%  ({} hits / {} misses, {} mismatches, {} sheds)",
+        outcome.throughput_rps(),
+        outcome.latency.quantile(0.5) as f64 / 1e3,
+        outcome.latency.quantile(0.99) as f64 / 1e3,
+        outcome.latency.quantile(0.999) as f64 / 1e3,
+        hit_rate(pass) * 100.0,
+        pass.hits,
+        pass.misses,
+        outcome.mismatches,
+        outcome.sheds,
+    );
+}
+
+fn hit_rate(pass: &PassStats) -> f64 {
+    let total = pass.hits + pass.misses;
+    if total == 0 {
+        0.0
+    } else {
+        pass.hits as f64 / total as f64
+    }
+}
+
+fn gate(outcome: &NetStressOutcome, label: &str) -> Result<(), String> {
+    if outcome.mismatches != 0 {
+        return Err(format!(
+            "{label}: served reports diverged from the serial reference ({} mismatches)",
+            outcome.mismatches
+        ));
+    }
+    if outcome.sheds != 0 {
+        return Err(format!(
+            "{label}: a zero-shed configuration shed {} request(s)",
+            outcome.sheds
+        ));
+    }
+    if outcome.wire_failures != 0 {
+        return Err(format!(
+            "{label}: {} non-overloaded wire error(s)",
+            outcome.wire_failures
+        ));
+    }
+    Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let stress = StressConfig {
-        clients: env_u64("MSPT_STRESS_CLIENTS", 8) as usize,
-        requests_per_client: env_u64("MSPT_STRESS_REQUESTS", 64) as usize,
-        seed: env_u64("MSPT_STRESS_SEED", 2_009),
-    };
+    // Every knob is read exactly once, here, through the typed configs.
+    let stress = StressConfig::from_env();
+    let transport = std::env::var(STRESS_TRANSPORT_ENV).unwrap_or_else(|_| "inproc".to_string());
+    let artifact = std::env::var(STRESS_JSON_ENV)
+        .ok()
+        .filter(|p| !p.is_empty());
+
     let engine = Arc::new(ExecutionEngine::new(EngineConfig::default()));
     let cache_path = std::env::var(CACHE_PATH_ENV).ok().filter(|p| !p.is_empty());
     if let Some(path) = &cache_path {
@@ -50,7 +198,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mix = mspt_experiments::stress_mix()?;
 
     println!("==========================================================");
-    println!(" serve_stress — concurrent serving over the shared cache");
+    println!(" serve_stress — {transport} serving over the shared cache");
     println!("==========================================================");
     println!(
         " engine: {} thread(s); cache capacity {} in {} shard(s)",
@@ -66,40 +214,105 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stress.seed
     );
 
-    let first = run_stress(&server, &mix, &stress)?;
-    println!(
-        "pass 1 (cold): {:8.0} req/s  hit rate {:5.1}%  ({} hits / {} misses, {} mismatches)",
-        first.throughput_rps(),
-        first.hit_rate() * 100.0,
-        first.hits,
-        first.misses,
-        first.mismatches
-    );
-    let second = run_stress(&server, &mix, &stress)?;
-    println!(
-        "pass 2 (warm): {:8.0} req/s  hit rate {:5.1}%  ({} hits / {} misses, {} mismatches)",
-        second.throughput_rps(),
-        second.hit_rate() * 100.0,
-        second.hits,
-        second.misses,
-        second.mismatches
-    );
+    let (first, second, shed_exercised) = match transport.trim() {
+        "tcp" => {
+            let serve_config = ServeConfig::from_env();
+            println!(
+                " tcp: {} worker(s), queue bound {}, shed {:?}, drain {:?}",
+                serve_config.workers,
+                serve_config.queue_bound,
+                serve_config.shed_policy,
+                serve_config.drain_grace,
+            );
+            let handle = NetServer::bind(serve_config, Arc::new(server.clone()))?;
+            println!(" tcp: listening on {}", handle.local_addr());
 
-    // The gates: bit-identical responses on both passes, fully warm second
-    // pass. CI runs this binary and relies on a non-zero exit here.
-    if first.mismatches != 0 || second.mismatches != 0 {
-        return Err(format!(
-            "served reports diverged from the serial reference ({} + {} mismatches)",
-            first.mismatches, second.mismatches
-        )
-        .into());
-    }
-    if second.misses != 0 {
-        return Err(format!(
-            "second pass was not served entirely from the warm cache ({} misses)",
-            second.misses
-        )
-        .into());
+            let before = engine.cache_stats();
+            let first = run_net_stress(handle.local_addr(), &mix, &stress)?;
+            let mid = engine.cache_stats();
+            print_pass("pass 1 (cold)", &first, &delta(&before, &mid));
+            let second = run_net_stress(handle.local_addr(), &mix, &stress)?;
+            let after = engine.cache_stats();
+            let warm = delta(&mid, &after);
+            print_pass("pass 2 (warm)", &second, &warm);
+            if warm.misses != 0 {
+                return Err(format!(
+                    "second pass was not served entirely from the warm cache ({} misses)",
+                    warm.misses
+                )
+                .into());
+            }
+
+            // Exercise the backpressure path against a deliberately tiny
+            // dedicated server: 1 worker, queue bound 1 — the third
+            // connection must receive the framed, typed overloaded error.
+            let tiny = NetServer::bind(
+                ServeConfig {
+                    workers: 1,
+                    queue_bound: 1,
+                    ..ServeConfig::default()
+                },
+                Arc::new(server.clone()),
+            )?;
+            let shed = probe_shed(&tiny, &mix[0].to_json_string())?;
+            println!("shed probe: over-quota connection refused with typed {shed}");
+            tiny.shutdown();
+
+            let served = handle.served();
+            handle.shutdown();
+            println!("tcp: {served} frame(s) served, graceful shutdown drained");
+            (first, second, true)
+        }
+        "inproc" => {
+            let first = run_stress(&server, &mix, &stress)?;
+            let second = run_stress(&server, &mix, &stress)?;
+            for (label, pass) in [("pass 1 (cold)", &first), ("pass 2 (warm)", &second)] {
+                println!(
+                    "{label}: {:8.0} req/s  hit rate {:5.1}%  ({} hits / {} misses, {} mismatches)",
+                    pass.throughput_rps(),
+                    pass.hit_rate() * 100.0,
+                    pass.hits,
+                    pass.misses,
+                    pass.mismatches
+                );
+            }
+            // Adapt to the common gate/report shape (no sheds in-process;
+            // per-request latency is not measured on this transport).
+            let adapt = |pass: &mspt_serve::StressOutcome| NetStressOutcome {
+                requests: pass.requests,
+                mismatches: pass.mismatches,
+                sheds: 0,
+                wire_failures: 0,
+                elapsed: pass.elapsed,
+                latency: mspt_serve::LatencyHistogram::new(),
+            };
+            if second.misses != 0 {
+                return Err(format!(
+                    "second pass was not served entirely from the warm cache ({} misses)",
+                    second.misses
+                )
+                .into());
+            }
+            (adapt(&first), adapt(&second), false)
+        }
+        other => {
+            return Err(format!(
+                "unknown {STRESS_TRANSPORT_ENV} value {other:?} (expected inproc or tcp)"
+            )
+            .into());
+        }
+    };
+
+    // The gates: bit-identical responses on both passes, zero unexpected
+    // sheds, fully warm second pass. CI runs this binary and relies on a
+    // non-zero exit here.
+    gate(&first, "pass 1").map_err(std::io::Error::other)?;
+    gate(&second, "pass 2").map_err(std::io::Error::other)?;
+
+    if let Some(path) = &artifact {
+        let rendered = results_json(transport.trim(), &second, shed_exercised);
+        std::fs::write(path, rendered.as_bytes())?;
+        println!("results artifact: wrote {path}");
     }
 
     if let Some(path) = &cache_path {

@@ -430,14 +430,16 @@ pub fn stress_mix() -> Result<Vec<mspt_serve::ReportRequest>> {
         }
     }
     let code = CodeSpec::new(CodeKind::BalancedGray, LogicLevel::BINARY, 10)?;
-    mix.push(ReportRequest::with_disturbance(
-        base.clone().with_code(code),
-        DisturbanceKind::Laplace,
-    ));
-    mix.push(ReportRequest::with_defects(
-        base.with_code(code),
-        DefectKind::sampled(0.02, 0.01, FIG7_DEFECT_SEED)?,
-    ));
+    mix.push(
+        ReportRequest::builder(base.clone().with_code(code))
+            .disturbance(DisturbanceKind::Laplace)
+            .build(),
+    );
+    mix.push(
+        ReportRequest::builder(base.with_code(code))
+            .defects(DefectKind::sampled(0.02, 0.01, FIG7_DEFECT_SEED)?)
+            .build(),
+    );
     Ok(mix)
 }
 

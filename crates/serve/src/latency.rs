@@ -1,0 +1,238 @@
+//! An HDR-style latency histogram: fixed memory, full `u64` nanosecond
+//! range, bounded relative error — the accumulator behind the TCP loadgen's
+//! p50/p99/p999 report.
+//!
+//! Values are bucketed by a power-of-two exponent with [`SUB_BUCKET_BITS`]
+//! linear sub-buckets per octave, the classic HdrHistogram layout: every
+//! recorded value lands in a bucket whose width is at most
+//! `value / 2^SUB_BUCKET_BITS`, so any reported quantile is within ~3 % of
+//! the true value while the whole histogram is one flat `Vec<u64>` — cheap
+//! enough to keep one per loadgen connection and merge after the run.
+
+use std::time::Duration;
+
+/// Linear sub-bucket resolution bits per power-of-two octave. 5 bits = 32
+/// sub-buckets, bounding the relative quantile error at `2^-5` ≈ 3.1 %.
+pub const SUB_BUCKET_BITS: u32 = 5;
+
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+/// Buckets needed to cover the full `u64` range: `SUB_BUCKETS` values with
+/// an exact bucket each, then one octave of `SUB_BUCKETS` sub-buckets per
+/// remaining exponent.
+const BUCKETS: usize = ((64 - SUB_BUCKET_BITS as usize) + 1) << SUB_BUCKET_BITS;
+
+/// A fixed-size log-linear histogram of `u64` samples (nanoseconds, by
+/// convention — [`LatencyHistogram::record_duration`] does the conversion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let exponent = 63 - value.leading_zeros(); // value ∈ [2^exponent, 2^(exponent+1))
+    let shift = exponent - SUB_BUCKET_BITS;
+    let sub = (value >> shift) & (SUB_BUCKETS - 1);
+    ((u64::from(exponent - SUB_BUCKET_BITS + 1) << SUB_BUCKET_BITS) + sub) as usize
+}
+
+/// The largest value mapping to `index` — quantiles report this upper edge,
+/// so they never understate a latency.
+fn bucket_upper_edge(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let octave = (index >> SUB_BUCKET_BITS) - 1;
+    let sub = index & (SUB_BUCKETS - 1);
+    let shift = octave as u32;
+    ((SUB_BUCKETS + sub) << shift) + ((1u64 << shift) - 1)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += u128::from(value);
+    }
+
+    /// Records one duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&mut self, duration: Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (exact — the running sum is 128-bit).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` (0.0 ≤ q ≤ 1.0): an upper bound within the
+    /// histogram's ~3 % resolution, never an understatement. `quantile(0.5)`
+    /// is p50, `quantile(0.999)` is p999. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The rank of the sample that dominates quantile q, 1-based.
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                // Never report beyond the true maximum (the top bucket's
+                // upper edge can overshoot it).
+                return bucket_upper_edge(index).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut hist = LatencyHistogram::new();
+        for value in 0..SUB_BUCKETS {
+            hist.record(value);
+        }
+        assert_eq!(hist.count(), SUB_BUCKETS);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), SUB_BUCKETS - 1);
+        assert_eq!(hist.quantile(0.0), 0);
+        assert_eq!(hist.quantile(1.0), SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_within_the_advertised_relative_error() {
+        let mut hist = LatencyHistogram::new();
+        let mut samples = Vec::with_capacity(10_000);
+        // A deterministic spread over five decades of "nanoseconds".
+        let mut value = 17u64;
+        for _ in 0..10_000 {
+            let sample = value % 10_000_000;
+            hist.record(sample);
+            samples.push(sample);
+            value = value
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let reported = hist.quantile(q);
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+            let exact = samples[rank - 1];
+            // Never understated, never more than the bucket resolution
+            // (2^-SUB_BUCKET_BITS, doubled for margin) above the exact
+            // sample, and never beyond the recorded maximum.
+            assert!(reported >= exact, "q={q}: {reported} < exact {exact}");
+            assert!(
+                reported <= exact + exact / 16 + 1,
+                "q={q}: {reported} overshoots exact {exact}"
+            );
+            assert!(reported <= hist.max());
+        }
+    }
+
+    #[test]
+    fn bucket_edges_are_monotone_and_cover_u64() {
+        let mut previous = 0u64;
+        for index in 1..BUCKETS {
+            let edge = bucket_upper_edge(index);
+            assert!(edge > previous, "bucket {index} not monotone");
+            previous = edge;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for value in [0, 1, 31, 32, 63, 64, 1_000, u64::MAX / 2, u64::MAX] {
+            let index = bucket_index(value);
+            assert!(bucket_upper_edge(index) >= value);
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for value in [3u64, 70, 900, 1_000_000, 42] {
+            if value % 2 == 0 {
+                left.record(value);
+            } else {
+                right.record(value);
+            }
+            all.record(value);
+        }
+        left.merge(&right);
+        assert_eq!(left, all);
+        assert_eq!(left.mean(), all.mean());
+    }
+}

@@ -20,10 +20,29 @@
 //! * reports served from the cache are **bit-identical** to a serial
 //!   evaluation of the same configuration — determinism survives the cache.
 //!
-//! [`run_stress`] is the load harness behind the `serve_stress` experiment
-//! binary and the CI serving gate: N client threads hammer one server with a
-//! Zipf-ish mix of figure configurations and every response is checked
-//! bit-for-bit against an independently computed serial reference.
+//! # Layering
+//!
+//! The serve surface is split into transport-agnostic layers:
+//!
+//! * [`Handler`] — the typed core contract:
+//!   `serve(&ReportRequest) -> Result<PlatformReport>`. [`ReportServer`]
+//!   (engine + shared cache) is the canonical implementation; tests stub it
+//!   freely.
+//! * [`handle_json`] — the JSON front end: any `Handler` becomes a
+//!   string-in/string-out endpoint with **typed** error responses
+//!   ([`wire`]: `bad_request` / `overloaded` / `internal`).
+//!   [`ReportServer::handle`] is this adapter applied to itself.
+//! * [`net`] — the framed-TCP front end: a [`NetServer`] worker pool with a
+//!   bounded accept queue, explicit `overloaded` load-shed responses and
+//!   graceful draining shutdown, speaking 4-byte-length-prefixed frames of
+//!   the same JSON wire.
+//!
+//! [`run_stress`] is the in-process load harness behind the `serve_stress`
+//! experiment binary and the CI serving gate: N client threads hammer one
+//! server with a Zipf-ish mix of figure configurations and every response is
+//! checked bit-for-bit against an independently computed serial reference.
+//! [`loadgen`] is the same harness over real sockets, with an HDR-style
+//! p50/p99/p999 latency histogram ([`latency`]).
 //!
 //! # Examples
 //!
@@ -71,16 +90,29 @@ use rand::{Rng, SeedableRng};
 
 use decoder_sim::codec::{
     config_from_json, config_to_json, defect_from_json, defect_to_json, disturbance_from_json,
-    disturbance_to_json, report_from_json, report_to_json, JsonValue,
+    disturbance_to_json, JsonValue,
 };
 use decoder_sim::{
     chunk_seed, CacheStats, DefectKind, DisturbanceKind, ExecutionEngine, PlatformReport, Result,
-    SimConfig, SimError, SimulationPlatform,
+    SimConfig, SimulationPlatform, WireErrorKind,
 };
 
-/// Schema version of the wire format. Requests and responses carry it;
-/// mismatched versions are rejected, never reinterpreted.
-pub const WIRE_SCHEMA_VERSION: u64 = 1;
+pub mod latency;
+pub mod loadgen;
+pub mod net;
+pub mod wire;
+
+pub use latency::LatencyHistogram;
+pub use loadgen::{probe_shed, run_net_stress, NetStressOutcome};
+pub use net::{
+    read_frame, write_frame, NetClient, NetServer, NetServerHandle, ServeConfig, ShedPolicy,
+};
+pub use wire::{
+    error_response, ok_response, parse_reply, parse_response, WireError, WireReply,
+    WIRE_SCHEMA_VERSION,
+};
+
+use wire::wire_err;
 
 /// Domain-separation tag mixed into the stress harness's per-client seeds
 /// (through the workspace-wide [`chunk_seed`] primitive), so a load test
@@ -88,10 +120,25 @@ pub const WIRE_SCHEMA_VERSION: u64 = 1;
 /// decorrelated stream instead of replaying theirs.
 pub const STRESS_SEED_DOMAIN: u64 = 0x5e12_7e57_ae5d_0004;
 
-fn wire_err(reason: impl Into<String>) -> SimError {
-    SimError::Persistence {
-        reason: reason.into(),
-    }
+/// Environment variable naming the stress harness's client-thread count.
+pub const STRESS_CLIENTS_ENV: &str = "MSPT_STRESS_CLIENTS";
+/// Environment variable naming the per-client request count per pass.
+pub const STRESS_REQUESTS_ENV: &str = "MSPT_STRESS_REQUESTS";
+/// Environment variable naming the stress harness's run seed.
+pub const STRESS_SEED_ENV: &str = "MSPT_STRESS_SEED";
+
+pub(crate) fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|value| value.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+pub(crate) fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|value| value.trim().parse().ok())
+        .unwrap_or(default)
 }
 
 /// One serving request: a full simulation configuration plus optional
@@ -114,33 +161,52 @@ pub struct ReportRequest {
 }
 
 impl ReportRequest {
-    /// A request for a configuration as-is.
+    /// Starts building a request for a configuration. The builder is the
+    /// canonical constructor; [`ReportRequest::new`] and the
+    /// `with_*` constructors are thin shims over it.
+    ///
+    /// ```
+    /// use decoder_sim::{DisturbanceKind, SimConfig};
+    /// use mspt_serve::ReportRequest;
+    /// use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let code = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, 8)?;
+    /// let request = ReportRequest::builder(SimConfig::paper_defaults(code)?)
+    ///     .disturbance(DisturbanceKind::Laplace)
+    ///     .build();
+    /// assert_eq!(request.disturbance, Some(DisturbanceKind::Laplace));
+    /// # Ok(())
+    /// # }
+    /// ```
     #[must_use]
-    pub fn new(config: SimConfig) -> Self {
-        ReportRequest {
+    pub fn builder(config: SimConfig) -> ReportRequestBuilder {
+        ReportRequestBuilder {
             config,
             disturbance: None,
             defects: None,
         }
     }
 
+    /// A request for a configuration as-is.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        ReportRequest::builder(config).build()
+    }
+
     /// A request overriding the configuration's disturbance kind.
     #[must_use]
     pub fn with_disturbance(config: SimConfig, disturbance: DisturbanceKind) -> Self {
-        ReportRequest {
-            disturbance: Some(disturbance),
-            ..ReportRequest::new(config)
-        }
+        ReportRequest::builder(config)
+            .disturbance(disturbance)
+            .build()
     }
 
     /// A request overriding the configuration's fabrication-defect
     /// selection.
     #[must_use]
     pub fn with_defects(config: SimConfig, defects: DefectKind) -> Self {
-        ReportRequest {
-            defects: Some(defects),
-            ..ReportRequest::new(config)
-        }
+        ReportRequest::builder(config).defects(defects).build()
     }
 
     /// The configuration the engine actually evaluates: the request's
@@ -186,7 +252,7 @@ impl ReportRequest {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Persistence`] on malformed JSON or a mismatched
+    /// Returns [`decoder_sim::SimError::Persistence`] on malformed JSON or a mismatched
     /// `schema_version`, or propagates configuration validation errors.
     pub fn from_json_str(request_json: &str) -> Result<Self> {
         let value = JsonValue::parse(request_json)?;
@@ -213,29 +279,73 @@ impl ReportRequest {
     }
 }
 
-/// Parses a wire response produced by [`ReportServer::handle`] back into a
-/// report — the client half of the wire protocol.
-///
-/// # Errors
-///
-/// Returns [`SimError::Persistence`] on malformed JSON, a mismatched
-/// `schema_version`, or an error response (the server-side reason is quoted
-/// in the error).
-pub fn parse_response(response_json: &str) -> Result<PlatformReport> {
-    let value = JsonValue::parse(response_json)?;
-    let version = value.get("schema_version")?.as_u64()?;
-    if version != WIRE_SCHEMA_VERSION {
-        return Err(wire_err(format!(
-            "response schema version {version} does not match supported version {WIRE_SCHEMA_VERSION}"
-        )));
+/// Builder for [`ReportRequest`]: configuration first, overrides fluently.
+#[derive(Debug, Clone)]
+pub struct ReportRequestBuilder {
+    config: SimConfig,
+    disturbance: Option<DisturbanceKind>,
+    defects: Option<DefectKind>,
+}
+
+impl ReportRequestBuilder {
+    /// Overrides the configuration's disturbance kind.
+    #[must_use]
+    pub fn disturbance(mut self, kind: DisturbanceKind) -> Self {
+        self.disturbance = Some(kind);
+        self
     }
-    match value.get("status")?.as_str()? {
-        "ok" => report_from_json(value.get("report")?),
-        "error" => Err(wire_err(format!(
-            "server error: {}",
-            value.get("reason")?.as_str()?
-        ))),
-        other => Err(wire_err(format!("unknown response status {other:?}"))),
+
+    /// Overrides the configuration's fabrication-defect selection.
+    #[must_use]
+    pub fn defects(mut self, kind: DefectKind) -> Self {
+        self.defects = Some(kind);
+        self
+    }
+
+    /// Finishes the request.
+    #[must_use]
+    pub fn build(self) -> ReportRequest {
+        ReportRequest {
+            config: self.config,
+            disturbance: self.disturbance,
+            defects: self.defects,
+        }
+    }
+}
+
+/// The transport-agnostic serving contract: one typed request in, one report
+/// (or error) out. [`ReportServer`] is the canonical implementation; the
+/// JSON ([`handle_json`]) and framed-TCP ([`net::NetServer`]) front ends are
+/// thin adapters over any `Handler`, so alternative backends (a stub, a
+/// remote proxy, a recording middleware) drop in without touching a
+/// transport.
+pub trait Handler: Send + Sync {
+    /// Serves one typed request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures; transports encode them as typed
+    /// `internal` wire errors.
+    fn serve(&self, request: &ReportRequest) -> Result<PlatformReport>;
+}
+
+/// The JSON front end over any [`Handler`]: JSON in, JSON out. Never panics
+/// and never returns `Err` — malformed requests become typed `bad_request`
+/// responses and evaluation failures become typed `internal` responses, so
+/// one bad client cannot take a server down.
+#[must_use]
+pub fn handle_json(handler: &dyn Handler, request_json: &str) -> String {
+    match ReportRequest::from_json_str(request_json) {
+        Err(error) => error_response(&WireError::new(
+            WireErrorKind::BadRequest,
+            error.to_string(),
+        )),
+        Ok(request) => match handler.serve(&request) {
+            Ok(report) => ok_response(&report),
+            Err(error) => {
+                error_response(&WireError::new(WireErrorKind::Internal, error.to_string()))
+            }
+        },
     }
 }
 
@@ -288,33 +398,20 @@ impl ReportServer {
         self.engine.report_for(&request.effective_config())
     }
 
-    /// Serves a wire request: JSON in, JSON out. Never panics and never
-    /// returns `Err` — malformed requests and evaluation failures become
-    /// `{"status":"error",...}` responses, so one bad client cannot take the
-    /// server down.
+    /// Serves a wire request: JSON in, JSON out — the [`handle_json`]
+    /// adapter applied to this server. Never panics and never returns `Err`
+    /// — malformed requests become typed `bad_request` responses and
+    /// evaluation failures become typed `internal` responses, so one bad
+    /// client cannot take the server down.
     #[must_use]
     pub fn handle(&self, request_json: &str) -> String {
-        let outcome =
-            ReportRequest::from_json_str(request_json).and_then(|request| self.serve(&request));
-        let fields = match outcome {
-            Ok(report) => vec![
-                (
-                    "schema_version".to_string(),
-                    JsonValue::from_u64(WIRE_SCHEMA_VERSION),
-                ),
-                ("status".to_string(), JsonValue::String("ok".to_string())),
-                ("report".to_string(), report_to_json(&report)),
-            ],
-            Err(error) => vec![
-                (
-                    "schema_version".to_string(),
-                    JsonValue::from_u64(WIRE_SCHEMA_VERSION),
-                ),
-                ("status".to_string(), JsonValue::String("error".to_string())),
-                ("reason".to_string(), JsonValue::String(error.to_string())),
-            ],
-        };
-        JsonValue::Object(fields).render()
+        handle_json(self, request_json)
+    }
+}
+
+impl Handler for ReportServer {
+    fn serve(&self, request: &ReportRequest) -> Result<PlatformReport> {
+        ReportServer::serve(self, request)
     }
 }
 
@@ -338,6 +435,22 @@ impl Default for StressConfig {
             clients: 8,
             requests_per_client: 64,
             seed: 2_009,
+        }
+    }
+}
+
+impl StressConfig {
+    /// Reads the harness knobs from the environment once —
+    /// [`STRESS_CLIENTS_ENV`], [`STRESS_REQUESTS_ENV`], [`STRESS_SEED_ENV`]
+    /// — falling back to the defaults for unset or unparsable values, so
+    /// binaries stop scattering ad-hoc `std::env::var` reads.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let default = StressConfig::default();
+        StressConfig {
+            clients: env_usize(STRESS_CLIENTS_ENV, default.clients),
+            requests_per_client: env_usize(STRESS_REQUESTS_ENV, default.requests_per_client),
+            seed: env_u64(STRESS_SEED_ENV, default.seed),
         }
     }
 }
@@ -386,7 +499,17 @@ impl StressOutcome {
 /// Draws one mix index from a Zipf-ish popularity law: request `mix[i]` with
 /// probability proportional to `1 / (i + 1)` — a few hot configurations and
 /// a long cold tail, the shape a shared warm cache is built for.
-fn zipf_index(rng: &mut StdRng, cumulative: &[f64]) -> usize {
+pub(crate) fn zipf_cumulative(len: usize) -> Vec<f64> {
+    let mut cumulative = Vec::with_capacity(len);
+    let mut total = 0.0;
+    for rank in 0..len {
+        total += 1.0 / (rank as f64 + 1.0);
+        cumulative.push(total);
+    }
+    cumulative
+}
+
+pub(crate) fn zipf_index(rng: &mut StdRng, cumulative: &[f64]) -> usize {
     let total = *cumulative.last().expect("non-empty mix");
     let draw = rng.gen::<f64>() * total;
     cumulative
@@ -435,12 +558,7 @@ pub fn run_stress(
         .collect::<Result<_>>()?;
     let encoded: Vec<String> = mix.iter().map(ReportRequest::to_json_string).collect();
 
-    let mut cumulative = Vec::with_capacity(mix.len());
-    let mut total = 0.0;
-    for rank in 0..mix.len() {
-        total += 1.0 / (rank as f64 + 1.0);
-        cumulative.push(total);
-    }
+    let cumulative = zipf_cumulative(mix.len());
 
     let before = server.stats();
     let start = Instant::now();

@@ -1,0 +1,163 @@
+//! The TCP transport's acceptance gates, as loopback tests:
+//!
+//! * N concurrent client connections receive reports **bit-identical** to
+//!   the serial path, and a second pass over the same mix is served
+//!   entirely from the warm cache;
+//! * a full bounded dispatch queue sheds with the framed, typed
+//!   `overloaded` error — never a hang, never a silent drop;
+//! * a graceful shutdown drains in-flight requests: everything a client
+//!   sent before shutdown gets a response before its connection closes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use decoder_sim::{
+    DisturbanceKind, EngineConfig, ExecutionEngine, SimConfig, SimulationPlatform, WireErrorKind,
+};
+use mspt_serve::{
+    parse_reply, probe_shed, run_net_stress, NetClient, NetServer, ReportRequest, ReportServer,
+    ServeConfig, ShedPolicy, StressConfig, WireReply,
+};
+use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
+
+fn mix() -> Vec<ReportRequest> {
+    // Small but representative: two code families plus a disturbance
+    // override, so the socket path also exercises cache keying.
+    let tree = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, 6).unwrap();
+    let hot = CodeSpec::new(CodeKind::Hot, LogicLevel::BINARY, 4).unwrap();
+    vec![
+        ReportRequest::new(SimConfig::paper_defaults(tree).unwrap()),
+        ReportRequest::new(SimConfig::paper_defaults(hot).unwrap()),
+        ReportRequest::builder(SimConfig::paper_defaults(tree).unwrap())
+            .disturbance(DisturbanceKind::Laplace)
+            .build(),
+    ]
+}
+
+fn report_server(threads: usize) -> ReportServer {
+    ReportServer::new(Arc::new(ExecutionEngine::new(EngineConfig {
+        threads,
+        chunk_size: 256,
+    })))
+}
+
+fn config(workers: usize, queue_bound: usize) -> ServeConfig {
+    ServeConfig {
+        bind_addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_bound,
+        shed_policy: ShedPolicy::Reply,
+        drain_grace: Duration::from_millis(150),
+    }
+}
+
+#[test]
+fn loopback_clients_get_bit_identical_reports_and_a_warm_second_pass() {
+    let server = report_server(2);
+    let handle = NetServer::bind(config(4, 8), Arc::new(server.clone())).unwrap();
+    let mix = mix();
+    let stress = StressConfig {
+        clients: 4,
+        requests_per_client: 16,
+        seed: 2_009,
+    };
+
+    let before = server.stats();
+    let first = run_net_stress(handle.local_addr(), &mix, &stress).unwrap();
+    assert_eq!(first.requests, 4 * 16);
+    assert_eq!(
+        first.mismatches, 0,
+        "TCP responses diverged from the serial reference"
+    );
+    assert_eq!(first.sheds, 0, "a zero-shed configuration shed");
+    assert_eq!(first.wire_failures, 0);
+    assert_eq!(first.latency.count(), first.requests);
+    assert!(first.latency.quantile(0.5) <= first.latency.quantile(0.999));
+
+    // Same seed ⇒ same request multiset ⇒ the whole second pass is warm.
+    let after_first = server.stats();
+    assert!(after_first.misses - before.misses <= mix.len() as u64);
+    let second = run_net_stress(handle.local_addr(), &mix, &stress).unwrap();
+    assert_eq!(second.mismatches, 0);
+    assert_eq!(second.sheds, 0);
+    let after_second = server.stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "second TCP pass was not served entirely from the warm cache"
+    );
+
+    assert_eq!(handle.served(), 2 * 4 * 16);
+    handle.shutdown();
+}
+
+#[test]
+fn a_full_dispatch_queue_sheds_with_the_typed_overloaded_error() {
+    let server = report_server(1);
+    // One worker, queue bound 1: the third connection must shed.
+    let handle = NetServer::bind(config(1, 1), Arc::new(server)).unwrap();
+    let request = mix().remove(0).to_json_string();
+
+    let shed = probe_shed(&handle, &request).unwrap();
+    assert_eq!(shed.kind, WireErrorKind::Overloaded);
+    assert!(shed.is_retryable());
+    assert_eq!(handle.shed(), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let server = report_server(2);
+    // Two workers, so with three clients one connection is still queued
+    // (never picked up by a worker) when shutdown starts — the drain must
+    // answer it anyway.
+    let handle = NetServer::bind(config(2, 4), Arc::new(server)).unwrap();
+    let addr = handle.local_addr();
+    let request = mix().remove(0).to_json_string();
+    let reference = SimulationPlatform::new(
+        ReportRequest::from_json_str(&request)
+            .unwrap()
+            .effective_config(),
+    )
+    .evaluate()
+    .unwrap();
+
+    // Every client writes its request *before* shutdown is called…
+    let mut clients: Vec<NetClient> = (0..3).map(|_| NetClient::connect(addr).unwrap()).collect();
+    for client in &mut clients {
+        client.send(&request).unwrap();
+    }
+    // …and is known to the acceptor (queued or already at a worker).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.accepted() < 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "acceptor never saw all three connections"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Readers must drain concurrently with the blocking shutdown call.
+    let readers: Vec<_> = clients
+        .into_iter()
+        .map(|mut client| {
+            std::thread::spawn(move || {
+                let response = client
+                    .recv()
+                    .unwrap()
+                    .expect("drained request got no response");
+                let eof = client.recv().unwrap();
+                (response, eof)
+            })
+        })
+        .collect();
+    handle.shutdown();
+
+    for reader in readers {
+        let (response, eof) = reader.join().unwrap();
+        match parse_reply(&response).unwrap() {
+            WireReply::Report(report) => assert_eq!(report, reference),
+            WireReply::Error(error) => panic!("in-flight request failed during drain: {error}"),
+        }
+        assert_eq!(eof, None, "connection did not close cleanly after drain");
+    }
+}

@@ -955,6 +955,70 @@ pub fn report_from_json(value: &JsonValue) -> Result<PlatformReport> {
     })
 }
 
+/// The class of a wire-level failure, shared by every transport front end
+/// (in-process JSON and framed TCP alike) so clients can react to the
+/// *category* — retry an `overloaded`, fix a `bad_request`, report an
+/// `internal` — without parsing free-form reason strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireErrorKind {
+    /// The request never reached evaluation: malformed JSON, a mismatched
+    /// schema version, or a configuration that failed validation.
+    BadRequest,
+    /// The server shed the request because its bounded accept/dispatch
+    /// queue was full. The request was *not* evaluated; retrying later is
+    /// safe and expected.
+    Overloaded,
+    /// The request was well-formed but evaluation failed on the server.
+    Internal,
+}
+
+impl WireErrorKind {
+    /// Every kind, in wire-tag order.
+    pub const ALL: [WireErrorKind; 3] = [
+        WireErrorKind::BadRequest,
+        WireErrorKind::Overloaded,
+        WireErrorKind::Internal,
+    ];
+
+    /// The stable wire tag (`"bad_request"` / `"overloaded"` /
+    /// `"internal"`).
+    #[must_use]
+    pub fn as_wire_str(self) -> &'static str {
+        match self {
+            WireErrorKind::BadRequest => "bad_request",
+            WireErrorKind::Overloaded => "overloaded",
+            WireErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire tag back into a kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] on an unknown tag.
+    pub fn from_wire_str(tag: &str) -> Result<WireErrorKind> {
+        WireErrorKind::ALL
+            .into_iter()
+            .find(|kind| kind.as_wire_str() == tag)
+            .ok_or_else(|| err(format!("unknown wire error kind {tag:?}")))
+    }
+}
+
+/// Encodes a [`WireErrorKind`] as its JSON wire tag.
+#[must_use]
+pub fn wire_error_kind_to_json(kind: WireErrorKind) -> JsonValue {
+    JsonValue::String(kind.as_wire_str().to_string())
+}
+
+/// Decodes a [`WireErrorKind`] from its JSON wire tag.
+///
+/// # Errors
+///
+/// Returns [`SimError::Persistence`] on malformed JSON or an unknown tag.
+pub fn wire_error_kind_from_json(value: &JsonValue) -> Result<WireErrorKind> {
+    WireErrorKind::from_wire_str(value.as_str()?)
+}
+
 /// The canonical serialized form of a configuration: the deterministic
 /// rendering of [`config_to_json`]. Equal configurations produce identical
 /// strings; configurations differing in **any** field — including the
@@ -986,6 +1050,20 @@ mod tests {
         assert_eq!(value.get("d").unwrap(), &JsonValue::Bool(true));
         // Render → parse is the identity.
         assert_eq!(JsonValue::parse(&value.render()).unwrap(), value);
+    }
+
+    #[test]
+    fn wire_error_kinds_round_trip_and_reject_unknown_tags() {
+        for kind in WireErrorKind::ALL {
+            let encoded = wire_error_kind_to_json(kind);
+            assert_eq!(wire_error_kind_from_json(&encoded).unwrap(), kind);
+        }
+        assert_eq!(
+            WireErrorKind::from_wire_str("overloaded").unwrap(),
+            WireErrorKind::Overloaded
+        );
+        assert!(WireErrorKind::from_wire_str("toasted").is_err());
+        assert!(wire_error_kind_from_json(&JsonValue::Null).is_err());
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub use cache::{
     CacheConfig, CacheStats, ReportCache, CACHE_CAPACITY_ENV, CACHE_PATH_ENV, CACHE_SCHEMA_VERSION,
     DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS,
 };
+pub use codec::WireErrorKind;
 pub use config::SimConfig;
 pub use defect::{DefectConfig, DefectKind};
 pub use disturbance::{

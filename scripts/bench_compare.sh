@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Bench-trajectory comparison: warns (never fails) when a benchmark's median
-# moved beyond a noise threshold between two BENCH_results.json files.
+# moved beyond a noise threshold between two results files. Consumes both
+# the criterion aggregate (BENCH_results.json) and the TCP loadgen's latency
+# artifact (SERVE_net_results.json) — the loadgen emits its p50/p99/p999/
+# ns_per_req rows in the same `benchmarks` shape for exactly this reason.
 #
 # Usage: scripts/bench_compare.sh <previous.json> <current.json>
 #
@@ -9,8 +12,8 @@
 #                      generous because CI runners are shared and the quick
 #                      mode only takes 3 samples per bench).
 #
-# Each BENCH_results.json has the shape
-#   {"schema_version":1,"commit":"…","benchmarks":[{"id":…,"median_ns":…},…]}
+# Each results file has the shape
+#   {"schema_version":1,…,"benchmarks":[{"id":…,"median_ns":…},…]}
 # (rows from builds that predate median_ns fall back to mean_ns).
 #
 # Exit code is always 0: this is a trend signal, not a gate. Regressions

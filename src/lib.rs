@@ -15,8 +15,11 @@
 //! * [`sim`] — the paper's Section 6 simulation platform, parameter sweeps,
 //!   pluggable disturbance distributions and the work-sharded parallel
 //!   execution engine
-//! * [`serve`] — the concurrent request/response serving layer over the
-//!   engine's shared, bounded, single-flight report cache
+//! * [`serve`] — the layered serving stack over the engine's shared,
+//!   bounded, single-flight report cache: a transport-agnostic `Handler`
+//!   core with JSON and framed-TCP front ends (bounded-queue backpressure,
+//!   typed load-shed, graceful draining shutdown) and a p50/p99/p999 TCP
+//!   loadgen
 //! * [`decoder`] — the top-level decoder design and optimisation API
 //!
 //! # Quickstart
@@ -54,9 +57,12 @@ pub mod prelude {
         FabricationCost, PatternMatrix, StepDopingMatrix, VariabilityMatrix,
     };
     pub use crate::physics::{DopingLadder, ThresholdModel, VariabilityModel, Volts};
-    pub use crate::serve::{ReportRequest, ReportServer};
+    pub use crate::serve::{
+        Handler, LatencyHistogram, NetClient, NetServer, NetServerHandle, ReportRequest,
+        ReportServer, ServeConfig, ShedPolicy, WireError, WireReply,
+    };
     pub use crate::sim::{
         CacheConfig, CacheStats, DefectConfig, DefectKind, DisturbanceKind, DisturbanceModel,
-        EngineConfig, ExecutionEngine, ReportCache, SimConfig, SimulationPlatform,
+        EngineConfig, ExecutionEngine, ReportCache, SimConfig, SimulationPlatform, WireErrorKind,
     };
 }
