@@ -1,0 +1,206 @@
+//! Findings, severities and the JSON artifact the CI job uploads.
+//!
+//! The artifact is hand-rolled JSON (the analyzer is dependency-free on
+//! purpose): a fixed schema of `{schema_version, counts, findings[]}` where
+//! each finding carries its lint, severity, location and message, plus —
+//! for suppressed findings — the escape comment's reason. Suppressed
+//! findings stay in the artifact: an allow is an auditable decision, not an
+//! eraser.
+
+use std::fmt;
+use std::path::Path;
+
+/// How a finding gates CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the deny-mode run.
+    Deny,
+    /// Reported but never fails the run (e.g. an allow comment that no
+    /// longer suppresses anything).
+    Warn,
+}
+
+impl Severity {
+    /// The stable artifact tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The lint that produced it (kebab-case registry name).
+    pub lint: &'static str,
+    /// Gate level.
+    pub severity: Severity,
+    /// Workspace-relative file, `(registry)` for registry-side findings.
+    pub file: String,
+    /// 1-based line (0 when no source location applies).
+    pub line: u32,
+    /// 1-based column (0 when no source location applies).
+    pub col: u32,
+    /// Human-readable description of the violated contract.
+    pub message: String,
+    /// The escape-comment reason when the finding is suppressed.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    /// A deny-level finding at a source location.
+    #[must_use]
+    pub fn deny(
+        lint: &'static str,
+        file: impl Into<String>,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            lint,
+            severity: Severity::Deny,
+            file: file.into(),
+            line,
+            col,
+            message: message.into(),
+            allowed: None,
+        }
+    }
+
+    /// Whether this finding fails a deny-mode run: deny severity and not
+    /// suppressed by an escape comment.
+    #[must_use]
+    pub fn is_active_deny(&self) -> bool {
+        self.severity == Severity::Deny && self.allowed.is_none()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = match (&self.allowed, self.severity) {
+            (Some(_), _) => "allowed",
+            (None, Severity::Deny) => "deny",
+            (None, Severity::Warn) => "warn",
+        };
+        write!(
+            f,
+            "{state}[{lint}] {file}:{line}:{col}: {message}",
+            lint = self.lint,
+            file = self.file,
+            line = self.line,
+            col = self.col,
+            message = self.message
+        )?;
+        if let Some(reason) = &self.allowed {
+            write!(f, " (allowed: {reason})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Schema version of the findings artifact. Bump on any shape change.
+pub const FINDINGS_SCHEMA_VERSION: u64 = 1;
+
+fn escape_json(text: &str, out: &mut String) {
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ch if (ch as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", ch as u32));
+            }
+            ch => out.push(ch),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders the findings artifact (`ANALYZE_findings.json`): deterministic
+/// key order, findings in the order the registry produced them.
+#[must_use]
+pub fn render_findings_json(findings: &[Finding]) -> String {
+    let deny = findings.iter().filter(|f| f.is_active_deny()).count();
+    let warn = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warn && f.allowed.is_none())
+        .count();
+    let suppressed = findings.iter().filter(|f| f.allowed.is_some()).count();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema_version\":{FINDINGS_SCHEMA_VERSION},\
+         \"counts\":{{\"deny\":{deny},\"warn\":{warn},\"suppressed\":{suppressed}}},\
+         \"findings\":["
+    ));
+    for (index, finding) in findings.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"lint\":");
+        escape_json(finding.lint, &mut out);
+        out.push_str(",\"severity\":");
+        escape_json(finding.severity.as_str(), &mut out);
+        out.push_str(",\"file\":");
+        escape_json(&finding.file, &mut out);
+        out.push_str(&format!(
+            ",\"line\":{line},\"col\":{col},\"message\":",
+            line = finding.line,
+            col = finding.col
+        ));
+        escape_json(&finding.message, &mut out);
+        match &finding.allowed {
+            Some(reason) => {
+                out.push_str(",\"allowed\":");
+                escape_json(reason, &mut out);
+            }
+            None => out.push_str(",\"allowed\":null"),
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes the artifact to a file.
+///
+/// # Errors
+///
+/// Returns the I/O error message on failure.
+pub fn write_findings_json(path: &Path, findings: &[Finding]) -> Result<(), String> {
+    std::fs::write(path, render_findings_json(findings))
+        .map_err(|error| format!("writing {}: {error}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_counts_and_escapes_are_correct() {
+        let mut allowed = Finding::deny("raw-seed", "a.rs", 3, 7, "raw \"seed\"");
+        allowed.allowed = Some("caller derives it".to_string());
+        let findings = vec![Finding::deny("raw-seed", "a.rs", 1, 1, "x"), allowed];
+        let json = render_findings_json(&findings);
+        assert!(json.contains("\"deny\":1"));
+        assert!(json.contains("\"suppressed\":1"));
+        assert!(json.contains("raw \\\"seed\\\""));
+        assert!(json.contains("\"allowed\":\"caller derives it\""));
+        assert!(json.starts_with("{\"schema_version\":1"));
+    }
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let finding = Finding::deny("lock-discipline", "crates/x/src/a.rs", 10, 5, "held");
+        assert_eq!(
+            finding.to_string(),
+            "deny[lock-discipline] crates/x/src/a.rs:10:5: held"
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! `codec-symmetry`: every key a `*_to_json` encoder writes must be read by
+//! its paired `*_from_json` decoder, and vice versa.
+//!
+//! The wire codec is hand-rolled (the workspace is dependency-free on the
+//! wire path), so nothing structurally ties an encoder's key set to its
+//! decoder's. A key written but never read is silent payload rot; a key read
+//! but never written is a latent decode error on every round-trip. This lint
+//! pairs `foo_to_json` with `foo_from_json` **in the same file** and
+//! compares their key sets:
+//!
+//! * encoder keys — string literals in `("key", …)` tuple position, i.e. a
+//!   `Str` token preceded by `(` and followed by `,`, restricted to
+//!   snake_case identifiers so error-message strings never match;
+//! * decoder keys — the sole string argument of `get("key")` /
+//!   `get_opt("key")` calls.
+//!
+//! An unpaired `*_to_json` or `*_from_json` is also a finding: one-way wire
+//! types silently lose round-trip coverage.
+
+use std::collections::BTreeSet;
+
+use crate::diagnostics::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::lint::Lint;
+use crate::source::{matching, SourceFile, Workspace};
+
+/// See the module docs.
+pub struct CodecSymmetry;
+
+fn is_snake_case_key(text: &str) -> bool {
+    !text.is_empty()
+        && text
+            .chars()
+            .next()
+            .is_some_and(|ch| ch.is_ascii_lowercase() || ch == '_')
+        && text
+            .chars()
+            .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '_')
+}
+
+/// `fn <name> … { body }` spans, keyed by function name.
+fn function_bodies(tokens: &[Token]) -> Vec<(String, usize, usize, u32, u32)> {
+    let mut bodies = Vec::new();
+    let mut index = 0;
+    while index < tokens.len() {
+        if !tokens[index].is_ident("fn") {
+            index += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(index + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            index += 1;
+            continue;
+        };
+        // The body is the first `{` at zero paren/bracket depth after the
+        // signature (generics, arguments, return type may nest).
+        let mut probe = index + 2;
+        let mut depth = 0i32;
+        let mut body = None;
+        while probe < tokens.len() {
+            let token = &tokens[probe];
+            if token.is_punct('(') || token.is_punct('[') {
+                depth += 1;
+            } else if token.is_punct(')') || token.is_punct(']') {
+                depth -= 1;
+            } else if token.is_punct('{') && depth == 0 {
+                body = Some(probe);
+                break;
+            } else if token.is_punct(';') && depth == 0 {
+                break;
+            }
+            probe += 1;
+        }
+        let Some(open) = body else {
+            index += 2;
+            continue;
+        };
+        let close = matching(tokens, open, '{', '}').unwrap_or(tokens.len() - 1);
+        bodies.push((name.text.clone(), open, close, name.line, name.col));
+        index = open + 1;
+    }
+    bodies
+}
+
+/// Keys the encoder writes: `("key", …)` tuple heads.
+fn encoder_keys(tokens: &[Token], open: usize, close: usize) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    for index in open..close {
+        let token = &tokens[index];
+        if token.kind == TokenKind::Str
+            && is_snake_case_key(&token.text)
+            && index > 0
+            && tokens[index - 1].is_punct('(')
+            && tokens.get(index + 1).is_some_and(|next| next.is_punct(','))
+        {
+            keys.insert(token.text.clone());
+        }
+    }
+    keys
+}
+
+/// Keys the decoder reads: sole string argument of `get(…)`/`get_opt(…)`.
+fn decoder_keys(tokens: &[Token], open: usize, close: usize) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    for index in open..close {
+        let token = &tokens[index];
+        if !(token.is_ident("get") || token.is_ident("get_opt")) {
+            continue;
+        }
+        if !tokens.get(index + 1).is_some_and(|next| next.is_punct('(')) {
+            continue;
+        }
+        if let Some(argument) = tokens.get(index + 2) {
+            if argument.kind == TokenKind::Str
+                && tokens.get(index + 3).is_some_and(|next| next.is_punct(')'))
+            {
+                keys.insert(argument.text.clone());
+            }
+        }
+    }
+    keys
+}
+
+fn check_file(lint_name: &'static str, file: &SourceFile, findings: &mut Vec<Finding>) {
+    let path = file.path.to_string_lossy().into_owned();
+    let tokens = &file.tokens;
+    let bodies = function_bodies(tokens);
+    for (name, open, close, line, col) in &bodies {
+        if file.is_test_token(*open) {
+            continue;
+        }
+        let Some(base) = name.strip_suffix("_to_json") else {
+            continue;
+        };
+        let partner = format!("{base}_from_json");
+        let Some((_, from_open, from_close, _, _)) =
+            bodies.iter().find(|(other, ..)| *other == partner)
+        else {
+            findings.push(Finding::deny(
+                lint_name,
+                path.clone(),
+                *line,
+                *col,
+                format!(
+                    "`{name}` has no `{partner}` in this file; one-way wire types \
+                         lose round-trip coverage"
+                ),
+            ));
+            continue;
+        };
+        let written = encoder_keys(tokens, *open, *close);
+        let read = decoder_keys(tokens, *from_open, *from_close);
+        for key in written.difference(&read) {
+            findings.push(Finding::deny(
+                lint_name,
+                path.clone(),
+                *line,
+                *col,
+                format!("`{name}` writes key \"{key}\" that `{partner}` never reads"),
+            ));
+        }
+        for key in read.difference(&written) {
+            findings.push(Finding::deny(
+                lint_name,
+                path.clone(),
+                *line,
+                *col,
+                format!("`{partner}` reads key \"{key}\" that `{name}` never writes"),
+            ));
+        }
+    }
+    for (name, open, _, line, col) in &bodies {
+        if file.is_test_token(*open) {
+            continue;
+        }
+        if let Some(base) = name.strip_suffix("_from_json") {
+            let partner = format!("{base}_to_json");
+            if !bodies.iter().any(|(other, ..)| *other == partner) {
+                findings.push(Finding::deny(
+                    lint_name,
+                    path.clone(),
+                    *line,
+                    *col,
+                    format!(
+                        "`{name}` has no `{partner}` in this file; one-way wire \
+                             types lose round-trip coverage"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+impl Lint for CodecSymmetry {
+    fn name(&self) -> &'static str {
+        "codec-symmetry"
+    }
+
+    fn description(&self) -> &'static str {
+        "every *_to_json key must round-trip through the paired *_from_json"
+    }
+
+    fn check(&self, workspace: &Workspace, findings: &mut Vec<Finding>) {
+        for file in &workspace.files {
+            check_file(self.name(), file, findings);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(source: &str) -> Vec<Finding> {
+        let workspace = Workspace {
+            files: vec![SourceFile::from_source("x.rs", "sim", source)],
+        };
+        let mut findings = Vec::new();
+        CodecSymmetry.check(&workspace, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn symmetric_pairs_are_clean() {
+        let source = r#"
+            pub fn spec_to_json(s: &Spec) -> JsonValue {
+                object(vec![("rows", from(s.rows)), ("cols", from(s.cols))])
+            }
+            pub fn spec_from_json(v: &JsonValue) -> Result<Spec, E> {
+                Ok(Spec { rows: v.get("rows")?, cols: v.get("cols")? })
+            }
+        "#;
+        assert!(check(source).is_empty(), "{:?}", check(source));
+    }
+
+    #[test]
+    fn asymmetric_keys_fire_in_both_directions() {
+        let source = r#"
+            pub fn spec_to_json(s: &Spec) -> JsonValue {
+                object(vec![("rows", from(s.rows)), ("cols", from(s.cols))])
+            }
+            pub fn spec_from_json(v: &JsonValue) -> Result<Spec, E> {
+                Ok(Spec { rows: v.get("rows")?, depth: v.get_opt("depth")? })
+            }
+        "#;
+        let findings = check(source);
+        assert!(
+            findings.iter().any(|f| f.message.contains("\"cols\"")),
+            "{findings:?}"
+        );
+        assert!(
+            findings.iter().any(|f| f.message.contains("\"depth\"")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn error_message_strings_are_not_keys() {
+        let source = r#"
+            pub fn spec_to_json(s: &Spec) -> JsonValue {
+                object(vec![("rows", from(s.rows))])
+            }
+            pub fn spec_from_json(v: &JsonValue) -> Result<Spec, E> {
+                let rows = v.get("rows").ok_or_else(|| err("missing rows field"))?;
+                Ok(Spec { rows })
+            }
+        "#;
+        assert!(check(source).is_empty(), "{:?}", check(source));
+    }
+
+    #[test]
+    fn unpaired_codec_functions_fire() {
+        let findings = check("pub fn spec_to_json(s: &Spec) -> JsonValue { object(vec![]) }");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no `spec_from_json`"));
+    }
+}

@@ -1,0 +1,529 @@
+//! `lock-discipline`: a static pass over every `.lock()` site.
+//!
+//! Four rules, all checked lexically on the token stream:
+//!
+//! 1. **Ordering** — nested acquisitions build a global graph over named
+//!    mutexes (the receiver identifier: `self.state.lock()` contributes
+//!    `state`); any cycle in that graph — including the self-loop of
+//!    re-locking a mutex while holding it — is a potential deadlock and a
+//!    deny finding.
+//! 2. **No blocking under a lock** — while a guard is live, calls that can
+//!    block indefinitely (`join`, `sleep`, socket/file I/O, frame I/O) are
+//!    deny findings. Condvar `wait`/`wait_timeout` are *not* in this list:
+//!    they atomically release the guard, which is the correct pattern.
+//! 3. **Condvar predicate loops** — every `.wait(…)`/`.wait_timeout(…)`
+//!    must sit inside a `loop`/`while` frame, because condvars wake
+//!    spuriously and the predicate must be re-checked.
+//! 4. **Poison policy** — `.lock()`, `.wait*()` and `.into_inner()` return
+//!    poison results; calling `.unwrap()`/`.expect(…)` on them turns one
+//!    panicking thread into a permanent crash for every later caller.
+//!    Recover with `unwrap_or_else(PoisonError::into_inner)` (valid whenever
+//!    the critical sections keep the state structurally consistent) or
+//!    propagate a typed error.
+//!
+//! Guard liveness is approximated lexically: a `let`-bound guard lives to
+//! the end of its enclosing block or an explicit `drop(name)`, a
+//! `match`-scrutinee guard to the end of the match, and a guard used in an
+//! expression statement to that statement's `;`. Cross-function edges (a
+//! callee locking while the caller holds a guard) are out of scope — keep
+//! critical sections call-free or document them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diagnostics::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::lint::Lint;
+use crate::lints::{call_close, is_method_call, receiver_name};
+use crate::source::{matching, SourceFile, Workspace};
+
+/// Method calls that can block indefinitely and must not run under a lock.
+const BLOCKING_CALLS: &[&str] = &[
+    "join",
+    "sleep",
+    "write_all",
+    "read_exact",
+    "read_to_string",
+    "flush",
+    "accept",
+    "connect",
+    "recv",
+    "read_frame",
+    "write_frame",
+];
+
+/// See the module docs.
+pub struct LockDiscipline;
+
+/// One brace-delimited block: token span plus whether it is a loop body.
+struct Frame {
+    open: usize,
+    close: usize,
+    is_loop: bool,
+}
+
+/// All `{ … }` frames of a file, innermost queryable by position.
+fn brace_frames(tokens: &[Token]) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    for (index, token) in tokens.iter().enumerate() {
+        if !token.is_punct('{') {
+            continue;
+        }
+        let Some(close) = matching(tokens, index, '{', '}') else {
+            continue;
+        };
+        // A loop frame has `loop`/`while`/`for` in its header: between the
+        // open brace and the previous statement boundary.
+        let is_loop = tokens[..index]
+            .iter()
+            .rev()
+            .take_while(|token| {
+                !(token.is_punct(';') || token.is_punct('{') || token.is_punct('}'))
+            })
+            .any(|token| {
+                token.is_ident("loop") || token.is_ident("while") || token.is_ident("for")
+            });
+        frames.push(Frame {
+            open: index,
+            close,
+            is_loop,
+        });
+    }
+    frames
+}
+
+/// Close index of the innermost frame containing `index`.
+fn enclosing_block_end(frames: &[Frame], index: usize, tokens_len: usize) -> usize {
+    frames
+        .iter()
+        .filter(|frame| frame.open < index && index < frame.close)
+        .map(|frame| frame.close)
+        .min()
+        .unwrap_or(tokens_len)
+}
+
+/// Whether any frame containing `index` is a loop body.
+fn inside_loop(frames: &[Frame], index: usize) -> bool {
+    frames
+        .iter()
+        .any(|frame| frame.is_loop && frame.open < index && index < frame.close)
+}
+
+/// Index of the token starting the statement containing `index` (the token
+/// after the previous `;`, `{` or `}`).
+fn statement_start(tokens: &[Token], index: usize) -> usize {
+    (0..index)
+        .rev()
+        .find(|&candidate| {
+            tokens[candidate].is_punct(';')
+                || tokens[candidate].is_punct('{')
+                || tokens[candidate].is_punct('}')
+        })
+        .map_or(0, |boundary| boundary + 1)
+}
+
+/// End of an expression statement: the next `;` at bracket depth zero, or
+/// the point where the enclosing block closes.
+fn statement_end(tokens: &[Token], from: usize) -> usize {
+    let mut depth = 0i32;
+    for (offset, token) in tokens[from..].iter().enumerate() {
+        if token.is_punct('(') || token.is_punct('[') || token.is_punct('{') {
+            depth += 1;
+        } else if token.is_punct(')') || token.is_punct(']') || token.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return from + offset;
+            }
+        } else if token.is_punct(';') && depth == 0 {
+            return from + offset;
+        }
+    }
+    tokens.len()
+}
+
+/// How far the guard acquired by the `.lock()` whose dot is at `dot` stays
+/// live, lexically.
+fn guard_scope_end(tokens: &[Token], frames: &[Frame], dot: usize, close_paren: usize) -> usize {
+    let start = statement_start(tokens, dot);
+    // `match expr.lock() … { … }` — guard lives to the end of the match.
+    if tokens[start].is_ident("match") {
+        let mut probe = close_paren + 1;
+        let mut depth = 0i32;
+        while probe < tokens.len() {
+            let token = &tokens[probe];
+            if token.is_punct('(') || token.is_punct('[') {
+                depth += 1;
+            } else if token.is_punct(')') || token.is_punct(']') {
+                depth -= 1;
+            } else if token.is_punct('{') && depth == 0 {
+                return matching(tokens, probe, '{', '}').unwrap_or(tokens.len());
+            }
+            probe += 1;
+        }
+        return tokens.len();
+    }
+    // `let [mut] name = … .lock() …;` — guard lives to the end of the
+    // enclosing block, or to an explicit `drop(name)`.
+    let let_binding = tokens[start..dot].windows(3).find_map(|window| {
+        if !window[0].is_ident("let") {
+            return None;
+        }
+        let binding = if window[1].is_ident("mut") {
+            &window[2]
+        } else {
+            &window[1]
+        };
+        (binding.kind == TokenKind::Ident).then(|| binding.text.clone())
+    });
+    // The binding only holds the guard when the lock result reaches the `;`
+    // through at most a poison-recovery chain (`?`, unwrap, expect,
+    // unwrap_or_else, …) or a `match` over it; `.map(|g| g.len())` and
+    // similar consume the guard inside the statement.
+    let chain_end = {
+        let mut probe = close_paren + 1;
+        loop {
+            if tokens.get(probe).is_some_and(|token| token.is_punct('?')) {
+                probe += 1;
+            } else if [
+                "unwrap",
+                "expect",
+                "unwrap_or",
+                "unwrap_or_else",
+                "unwrap_or_default",
+            ]
+            .iter()
+            .any(|name| is_method_call(tokens, probe, name))
+            {
+                match call_close(tokens, probe + 1) {
+                    Some(chain_close) => probe = chain_close + 1,
+                    None => break probe,
+                }
+            } else {
+                break probe;
+            }
+        }
+    };
+    let binds_guard = tokens
+        .get(chain_end)
+        .is_some_and(|token| token.is_punct(';'))
+        || tokens[start..dot]
+            .iter()
+            .any(|token| token.is_ident("match"));
+    if let Some(name) = let_binding.filter(|_| binds_guard) {
+        let block_end = enclosing_block_end(frames, dot, tokens.len());
+        for index in close_paren..block_end {
+            if tokens[index].is_ident("drop")
+                && tokens.get(index + 1).is_some_and(|t| t.is_punct('('))
+                && tokens.get(index + 2).is_some_and(|t| t.is_ident(&name))
+            {
+                return index;
+            }
+        }
+        return block_end;
+    }
+    // Temporary guard in an expression statement: dropped at the `;`.
+    statement_end(tokens, close_paren)
+}
+
+/// Flags `.unwrap()`/`.expect(…)` directly after the call closing at
+/// `close_paren`.
+fn poison_misuse(tokens: &[Token], close_paren: usize) -> Option<&Token> {
+    let next = close_paren + 1;
+    if is_method_call(tokens, next, "unwrap") || is_method_call(tokens, next, "expect") {
+        Some(&tokens[next + 1])
+    } else {
+        None
+    }
+}
+
+fn check_file(
+    lint_name: &'static str,
+    file: &SourceFile,
+    edges: &mut BTreeMap<(String, String), (String, u32, u32)>,
+    findings: &mut Vec<Finding>,
+) {
+    let path = file.path.to_string_lossy().into_owned();
+    let tokens = &file.tokens;
+    let frames = brace_frames(tokens);
+    for dot in 0..tokens.len() {
+        if file.is_test_token(dot) {
+            continue;
+        }
+        // Condvar predicate + poison rules.
+        if is_method_call(tokens, dot, "wait") || is_method_call(tokens, dot, "wait_timeout") {
+            if !inside_loop(&frames, dot) {
+                findings.push(Finding::deny(
+                    lint_name,
+                    path.clone(),
+                    tokens[dot + 1].line,
+                    tokens[dot + 1].col,
+                    "condvar wait outside a loop: waits wake spuriously, so the \
+                     predicate must be re-checked in a while/loop",
+                ));
+            }
+            if let Some(close) = call_close(tokens, dot + 1) {
+                if let Some(token) = poison_misuse(tokens, close) {
+                    findings.push(Finding::deny(
+                        lint_name,
+                        path.clone(),
+                        token.line,
+                        token.col,
+                        "unwrap/expect on a condvar wait result crashes every later \
+                         caller once any thread panics while holding the lock; recover \
+                         with unwrap_or_else(PoisonError::into_inner) or propagate a \
+                         typed error",
+                    ));
+                }
+            }
+            continue;
+        }
+        if is_method_call(tokens, dot, "into_inner") {
+            if let Some(close) = call_close(tokens, dot + 1) {
+                if let Some(token) = poison_misuse(tokens, close) {
+                    findings.push(Finding::deny(
+                        lint_name,
+                        path.clone(),
+                        token.line,
+                        token.col,
+                        "unwrap/expect on into_inner's poison result; recover with \
+                         unwrap_or_else(PoisonError::into_inner) or propagate a typed \
+                         error",
+                    ));
+                }
+            }
+            continue;
+        }
+        if !is_method_call(tokens, dot, "lock") {
+            continue;
+        }
+        let Some(close) = call_close(tokens, dot + 1) else {
+            continue;
+        };
+        let Some((holder, _)) = receiver_name(tokens, dot) else {
+            continue;
+        };
+        if let Some(token) = poison_misuse(tokens, close) {
+            findings.push(Finding::deny(
+                lint_name,
+                path.clone(),
+                token.line,
+                token.col,
+                format!(
+                    "unwrap/expect on `{holder}.lock()` turns one panicking thread into \
+                     a permanent crash for every later caller; recover with \
+                     unwrap_or_else(PoisonError::into_inner) or propagate a typed error"
+                ),
+            ));
+        }
+        let scope_end = guard_scope_end(tokens, &frames, dot, close);
+        let mut inner = close + 1;
+        while inner < scope_end {
+            if is_method_call(tokens, inner, "lock") {
+                if let Some((inner_name, _)) = receiver_name(tokens, inner) {
+                    let token = &tokens[inner + 1];
+                    edges
+                        .entry((holder.clone(), inner_name))
+                        .or_insert_with(|| (path.clone(), token.line, token.col));
+                }
+            }
+            // Method form is matched at the `.`; the bare-ident form (e.g.
+            // `thread::sleep(…)`) must not be preceded by a `.` or it would
+            // double-count the method form.
+            let blocking = BLOCKING_CALLS.iter().find(|name| {
+                is_method_call(tokens, inner, name)
+                    || (tokens[inner].is_ident(name)
+                        && tokens.get(inner + 1).is_some_and(|t| t.is_punct('('))
+                        && !tokens
+                            .get(inner.wrapping_sub(1))
+                            .is_some_and(|t| t.is_punct('.')))
+            });
+            if let Some(name) = blocking {
+                let token = &tokens[inner];
+                let at = if token.is_punct('.') {
+                    &tokens[inner + 1]
+                } else {
+                    token
+                };
+                findings.push(Finding::deny(
+                    lint_name,
+                    path.clone(),
+                    at.line,
+                    at.col,
+                    format!(
+                        "`{name}` can block indefinitely while the `{holder}` lock is \
+                         held; drop the guard first or move the call out of the \
+                         critical section"
+                    ),
+                ));
+            }
+            inner += 1;
+        }
+    }
+}
+
+/// Reports every cycle in the acquisition graph, smallest-name first.
+fn report_cycles(
+    lint_name: &'static str,
+    edges: &BTreeMap<(String, String), (String, u32, u32)>,
+    findings: &mut Vec<Finding>,
+) {
+    let nodes: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in &nodes {
+        let mut path: Vec<&String> = vec![start];
+        let mut stack: Vec<Vec<&String>> = vec![edges
+            .keys()
+            .filter(|(a, _)| a == *start)
+            .map(|(_, b)| b)
+            .collect()];
+        while let Some(successors) = stack.last_mut() {
+            let Some(next) = successors.pop() else {
+                stack.pop();
+                path.pop();
+                continue;
+            };
+            if let Some(position) = path.iter().position(|node| *node == next) {
+                let mut cycle: Vec<String> = path[position..]
+                    .iter()
+                    .map(|node| (*node).clone())
+                    .collect();
+                let canonical = {
+                    let mut sorted = cycle.clone();
+                    sorted.sort();
+                    sorted
+                };
+                if reported.insert(canonical) {
+                    cycle.push(next.clone());
+                    let first_edge = edges
+                        .get(&(cycle[0].clone(), cycle[1].clone()))
+                        .cloned()
+                        .unwrap_or_else(|| ("(graph)".to_string(), 0, 0));
+                    findings.push(Finding::deny(
+                        lint_name,
+                        first_edge.0,
+                        first_edge.1,
+                        first_edge.2,
+                        format!(
+                            "lock acquisition cycle {}: two threads taking these locks \
+                             in different orders can deadlock",
+                            cycle.join(" -> ")
+                        ),
+                    ));
+                }
+                continue;
+            }
+            if path.len() >= nodes.len() {
+                continue;
+            }
+            path.push(next);
+            stack.push(
+                edges
+                    .keys()
+                    .filter(|(a, _)| a == next)
+                    .map(|(_, b)| b)
+                    .collect(),
+            );
+        }
+    }
+}
+
+impl Lint for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "lock ordering, condvar predicate loops, poison policy, no blocking under a lock"
+    }
+
+    fn check(&self, workspace: &Workspace, findings: &mut Vec<Finding>) {
+        let mut edges = BTreeMap::new();
+        for file in &workspace.files {
+            check_file(self.name(), file, &mut edges, findings);
+        }
+        report_cycles(self.name(), &edges, findings);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(source: &str) -> Vec<Finding> {
+        let workspace = Workspace {
+            files: vec![SourceFile::from_source("x.rs", "serve", source)],
+        };
+        let mut findings = Vec::new();
+        LockDiscipline.check(&workspace, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unwrap_and_expect_on_lock_results_fire() {
+        let source = "fn f(&self) { let g = self.state.lock().unwrap(); }";
+        let findings = check(source);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("state"));
+        let fixed =
+            "fn f(&self) { let g = self.state.lock().unwrap_or_else(PoisonError::into_inner); }";
+        assert!(check(fixed).is_empty());
+    }
+
+    #[test]
+    fn match_scrutinee_poison_recovery_is_clean() {
+        let source = "fn f(&self) { let g = match self.state.lock() { \
+                      Ok(g) => g, Err(p) => p.into_inner() }; }";
+        assert!(check(source).is_empty(), "{:?}", check(source));
+    }
+
+    #[test]
+    fn nested_locks_in_opposite_orders_report_a_cycle() {
+        let source = "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+                      fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }";
+        let findings = check(source);
+        assert!(
+            findings.iter().any(|f| f.message.contains("cycle")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn nested_locks_in_one_consistent_order_are_clean() {
+        let source = "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+                      fn g(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }";
+        assert!(check(source).is_empty(), "{:?}", check(source));
+    }
+
+    #[test]
+    fn drop_releases_the_guard_before_a_blocking_call() {
+        let held = "fn f(&self) { let g = self.state.lock(); handle.join(); }";
+        assert_eq!(check(held).len(), 1, "{:?}", check(held));
+        let dropped = "fn f(&self) { let g = self.state.lock(); drop(g); handle.join(); }";
+        assert!(check(dropped).is_empty(), "{:?}", check(dropped));
+    }
+
+    #[test]
+    fn temporary_guard_scope_ends_at_the_statement() {
+        let source = "fn f(&self) { let n = self.state.lock().map(|g| g.len()); handle.join(); }";
+        assert!(check(source).is_empty(), "{:?}", check(source));
+    }
+
+    #[test]
+    fn condvar_wait_needs_a_loop() {
+        let bare = "fn f(&self) { let g = self.cv.wait(g); }";
+        assert_eq!(check(bare).len(), 1, "{:?}", check(bare));
+        let looped = "fn f(&self) { while !*g { g = self.cv.wait(g)\
+                      .unwrap_or_else(PoisonError::into_inner); } }";
+        assert!(check(looped).is_empty(), "{:?}", check(looped));
+        let poisoned = "fn f(&self) { loop { g = self.cv.wait(g).expect(\"poisoned\"); } }";
+        assert_eq!(check(poisoned).len(), 1, "{:?}", check(poisoned));
+    }
+
+    #[test]
+    fn wait_timeout_is_not_a_blocking_call_under_the_lock() {
+        // wait_timeout releases the guard atomically; only the loop rule
+        // applies to it.
+        let source = "fn f(&self) { let mut g = self.state.lock(); loop { \
+                      let r = self.cv.wait_timeout(g, d); g = r.0; } }";
+        assert!(check(source).is_empty(), "{:?}", check(source));
+    }
+}

@@ -1,0 +1,140 @@
+//! `raw-seed`: RNG construction in the deterministic crates must route
+//! through the workspace seed-derivation primitive.
+//!
+//! The reproducibility contract (ARCHITECTURE.md) is that every random
+//! stream in the evaluation pipeline is derived as
+//! `chunk_seed(seed ^ DOMAIN, chunk)`, so results are independent of thread
+//! count and chunk scheduling. This lint flags, inside the deterministic
+//! crates, any `seed_from_u64(…)` whose argument expression does not itself
+//! call a `chunk_seed`-family deriver, plus any use of the inherently
+//! nondeterministic constructors (`thread_rng`, `from_entropy`, `from_os_rng`).
+//!
+//! A construction whose seed was *already* derived by the caller is a
+//! legitimate pattern — that is what the escape comment is for, and it forces
+//! the derivation chain to be documented at the construction site.
+
+use crate::diagnostics::Finding;
+use crate::lint::Lint;
+use crate::lints::call_close;
+use crate::source::Workspace;
+
+/// Crates bound by the determinism contract.
+const DETERMINISTIC_CRATES: &[&str] = &["sim", "crossbar", "codes", "physics"];
+
+/// Constructors that can never be deterministic.
+const ENTROPY_CONSTRUCTORS: &[&str] = &["thread_rng", "from_entropy", "from_os_rng"];
+
+/// See the module docs.
+pub struct RawSeed;
+
+impl Lint for RawSeed {
+    fn name(&self) -> &'static str {
+        "raw-seed"
+    }
+
+    fn description(&self) -> &'static str {
+        "RNG streams in deterministic crates must derive their seed via chunk_seed"
+    }
+
+    fn check(&self, workspace: &Workspace, findings: &mut Vec<Finding>) {
+        for file in &workspace.files {
+            if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            let path = file.path.to_string_lossy().into_owned();
+            let tokens = &file.tokens;
+            for (index, token) in tokens.iter().enumerate() {
+                if file.is_test_token(index) {
+                    continue;
+                }
+                if ENTROPY_CONSTRUCTORS.iter().any(|name| token.is_ident(name)) {
+                    findings.push(Finding::deny(
+                        self.name(),
+                        path.clone(),
+                        token.line,
+                        token.col,
+                        format!(
+                            "`{}` is nondeterministic; deterministic crates must derive seeds \
+                             via chunk_seed",
+                            token.text
+                        ),
+                    ));
+                    continue;
+                }
+                if !token.is_ident("seed_from_u64") {
+                    continue;
+                }
+                let Some(close) = call_close(tokens, index) else {
+                    continue;
+                };
+                let derived = tokens[index + 2..close].iter().any(|argument| {
+                    argument.kind == crate::lexer::TokenKind::Ident
+                        && argument.text.ends_with("chunk_seed")
+                });
+                if !derived {
+                    findings.push(Finding::deny(
+                        self.name(),
+                        path.clone(),
+                        token.line,
+                        token.col,
+                        "seed_from_u64 argument does not visibly derive from chunk_seed; \
+                         route the seed through chunk_seed(seed ^ DOMAIN, chunk) or document \
+                         the derivation chain with an escape comment",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check(crate_name: &str, source: &str) -> Vec<Finding> {
+        let workspace = Workspace {
+            files: vec![SourceFile::from_source("x.rs", crate_name, source)],
+        };
+        let mut findings = Vec::new();
+        RawSeed.check(&workspace, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn raw_seed_fires_and_derived_seed_does_not() {
+        assert_eq!(check("sim", "let r = StdRng::seed_from_u64(42);").len(), 1);
+        assert_eq!(
+            check(
+                "sim",
+                "let r = StdRng::seed_from_u64(chunk_seed(seed ^ D, c));"
+            )
+            .len(),
+            0
+        );
+        assert_eq!(
+            check(
+                "crossbar",
+                "let r = StdRng::seed_from_u64(defect_chunk_seed(spec, index));"
+            )
+            .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn entropy_constructors_always_fire_in_scope_crates_only() {
+        assert_eq!(check("codes", "let r = thread_rng();").len(), 1);
+        assert_eq!(check("serve", "let r = thread_rng();").len(), 0);
+        assert_eq!(check("physics", "let r = StdRng::from_entropy();").len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let findings = check(
+            "sim",
+            "#[cfg(test)]\nmod tests { fn t() { let r = StdRng::seed_from_u64(7); } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,137 @@
+//! `determinism-unsafe-calls`: no wall clocks and no hash-order-dependent
+//! containers in the evaluation crates.
+//!
+//! Two families of std calls silently break run-to-run reproducibility:
+//!
+//! * **Wall clocks** — `Instant::now()` / `SystemTime::now()` anywhere in an
+//!   evaluation path lets timing leak into results (adaptive cutoffs,
+//!   time-based tie-breaks). The serving crate is exempt: measuring latency
+//!   is its job.
+//! * **Default-`RandomState` containers** — `HashMap` / `HashSet` iteration
+//!   order varies per process (the hasher is seeded from OS entropy), so any
+//!   iteration that feeds results reorders them between runs. Uses that
+//!   never iterate (pure key lookup) are legitimate — suppress those with an
+//!   escape comment explaining why iteration order cannot leak, or switch to
+//!   `BTreeMap`/`BTreeSet`.
+//!
+//! `use`-declaration lines are skipped: the import is not the hazard, the
+//! use site is.
+
+use crate::diagnostics::Finding;
+use crate::lint::Lint;
+use crate::source::Workspace;
+
+/// Crates whose outputs must be reproducible.
+const EVALUATION_CRATES: &[&str] = &["sim", "crossbar", "codes", "physics", "fabrication"];
+
+/// See the module docs.
+pub struct UnsafeCalls;
+
+impl Lint for UnsafeCalls {
+    fn name(&self) -> &'static str {
+        "determinism-unsafe-calls"
+    }
+
+    fn description(&self) -> &'static str {
+        "no wall clocks or hash-order-dependent containers in evaluation crates"
+    }
+
+    fn check(&self, workspace: &Workspace, findings: &mut Vec<Finding>) {
+        for file in &workspace.files {
+            if !EVALUATION_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            let path = file.path.to_string_lossy().into_owned();
+            let tokens = &file.tokens;
+            // Lines whose first token is `use` — import declarations.
+            let use_lines: Vec<u32> = tokens
+                .iter()
+                .enumerate()
+                .filter(|(index, token)| {
+                    token.is_ident("use")
+                        && tokens
+                            .get(index.wrapping_sub(1))
+                            .is_none_or(|previous| previous.line != token.line)
+                })
+                .map(|(_, token)| token.line)
+                .collect();
+            for (index, token) in tokens.iter().enumerate() {
+                if file.is_test_token(index) {
+                    continue;
+                }
+                let clock = (token.is_ident("Instant") || token.is_ident("SystemTime"))
+                    && tokens.get(index + 1).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(index + 2).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(index + 3).is_some_and(|t| t.is_ident("now"));
+                if clock {
+                    findings.push(Finding::deny(
+                        self.name(),
+                        path.clone(),
+                        token.line,
+                        token.col,
+                        format!(
+                            "`{}::now()` leaks wall-clock time into an evaluation path; \
+                             results must not depend on timing",
+                            token.text
+                        ),
+                    ));
+                    continue;
+                }
+                if (token.is_ident("HashMap") || token.is_ident("HashSet"))
+                    && !use_lines.contains(&token.line)
+                {
+                    findings.push(Finding::deny(
+                        self.name(),
+                        path.clone(),
+                        token.line,
+                        token.col,
+                        format!(
+                            "`{}` iterates in per-process hash order; use a BTree container, \
+                             sort before iterating, or document why order cannot leak",
+                            token.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check(crate_name: &str, source: &str) -> Vec<Finding> {
+        let workspace = Workspace {
+            files: vec![SourceFile::from_source("x.rs", crate_name, source)],
+        };
+        let mut findings = Vec::new();
+        UnsafeCalls.check(&workspace, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn clocks_fire_in_evaluation_crates_but_not_in_serve() {
+        assert_eq!(check("sim", "let t = Instant::now();").len(), 1);
+        assert_eq!(check("physics", "let t = SystemTime::now();").len(), 1);
+        assert_eq!(check("serve", "let t = Instant::now();").len(), 0);
+    }
+
+    #[test]
+    fn hash_containers_fire_except_on_use_lines_and_in_tests() {
+        assert_eq!(
+            check("sim", "let m: HashMap<u64, u8> = HashMap::new();").len(),
+            2
+        );
+        assert_eq!(check("sim", "use std::collections::HashMap;").len(), 0);
+        assert_eq!(
+            check(
+                "sim",
+                "#[cfg(test)]\nmod tests { fn t() { let s = HashSet::new(); } }"
+            )
+            .len(),
+            0
+        );
+    }
+}

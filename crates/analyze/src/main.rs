@@ -1,0 +1,113 @@
+//! The `mspt-analyze` CLI.
+//!
+//! ```text
+//! mspt-analyze [--root <dir>] [--json <path>] [--warn] [--list]
+//! ```
+//!
+//! Walks the workspace, runs every registered lint, prints findings one per
+//! line (grep-friendly `state[lint] file:line:col: message`), optionally
+//! writes the JSON artifact, and exits 1 when any active deny finding
+//! remains (0 in `--warn` mode).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mspt_analyze::{default_lints, run_lints, write_findings_json, Workspace};
+
+struct Options {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    warn_only: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        root: PathBuf::from("."),
+        json: None,
+        warn_only: false,
+        list: false,
+    };
+    let mut arguments = std::env::args().skip(1);
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "--root" => {
+                options.root = arguments
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--root needs a directory")?;
+            }
+            "--json" => {
+                options.json = Some(
+                    arguments
+                        .next()
+                        .map(PathBuf::from)
+                        .ok_or("--json needs a path")?,
+                );
+            }
+            "--warn" => options.warn_only = true,
+            "--list" => options.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "mspt-analyze [--root <dir>] [--json <path>] [--warn] [--list]\n\
+                     \n\
+                     --root <dir>   workspace root to analyze (default: .)\n\
+                     --json <path>  write the findings artifact\n\
+                     --warn         report findings but always exit 0\n\
+                     --list         print the lint registry and exit"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("mspt-analyze: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lints = default_lints();
+    if options.list {
+        for lint in &lints {
+            println!("{:<24} {}", lint.name(), lint.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let workspace = match Workspace::load(&options.root) {
+        Ok(workspace) => workspace,
+        Err(message) => {
+            eprintln!("mspt-analyze: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = run_lints(&workspace, &lints);
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if let Some(path) = &options.json {
+        if let Err(message) = write_findings_json(path, &findings) {
+            eprintln!("mspt-analyze: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let deny = findings.iter().filter(|f| f.is_active_deny()).count();
+    let suppressed = findings.iter().filter(|f| f.allowed.is_some()).count();
+    let warn = findings.len() - deny - suppressed;
+    println!(
+        "mspt-analyze: {files} files, {deny} deny, {warn} warn, {suppressed} suppressed",
+        files = workspace.files.len()
+    );
+    if deny > 0 && !options.warn_only {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

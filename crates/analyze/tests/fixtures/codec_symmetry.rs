@@ -1,0 +1,46 @@
+// Fixture for the `codec-symmetry` lint (analyzed as crate `sim`; never
+// compiled).
+
+pub fn balanced_to_json(value: &Balanced) -> JsonValue {
+    object(vec![
+        ("rows", JsonValue::from(value.rows)),
+        ("cols", JsonValue::from(value.cols)),
+    ])
+}
+
+pub fn balanced_from_json(json: &JsonValue) -> Result<Balanced, WireError> {
+    Ok(Balanced {
+        rows: json.get("rows")?,
+        cols: json.get("cols")?,
+    })
+}
+
+pub fn skewed_to_json(value: &Skewed) -> JsonValue {
+    object(vec![
+        ("written_only", JsonValue::from(value.a)),
+        ("shared", JsonValue::from(value.b)),
+    ])
+}
+
+pub fn skewed_from_json(json: &JsonValue) -> Result<Skewed, WireError> {
+    Ok(Skewed {
+        b: json.get("shared")?,
+        c: json.get_opt("read_only"),
+    })
+}
+
+pub fn widow_to_json(value: &Widow) -> JsonValue {
+    object(vec![("x", JsonValue::from(value.x))])
+}
+
+// mspt-analyze: allow(codec-symmetry) fixture: intentionally one-way, upgrade probe payload
+pub fn probe_to_json(value: &Probe) -> JsonValue {
+    object(vec![("ping", JsonValue::from(value.ping))])
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn scratch_to_json(value: &Scratch) -> JsonValue {
+        object(vec![("never_checked", JsonValue::from(value.y))])
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture for the `domain-tag-registry` lint (never compiled). The test
+// checks it against a registry of:
+//   REGISTERED_DOMAIN  = 0x1111
+//   DRIFTED_DOMAIN     = 0x2222
+//   TWIN_A_DOMAIN      = 0x4444
+//   TWIN_B_DOMAIN      = 0x5555
+//   VANISHED_DOMAIN    = 0x6666   (not defined below -> registry rot)
+
+pub const REGISTERED_DOMAIN: u64 = 0x1111;
+pub const DRIFTED_DOMAIN: u64 = 0xbad0;
+pub const ROGUE_DOMAIN: u64 = 0x3333;
+pub const TWIN_A_DOMAIN: u64 = 0x4444;
+pub const TWIN_B_DOMAIN: u64 = 0x4444;

@@ -1,0 +1,57 @@
+// Fixture for the `lock-discipline` lint (analyzed as crate `serve`; never
+// compiled).
+
+fn poison_unwrap_fires(&self) {
+    let guard = self.state.lock().unwrap();
+}
+
+fn poison_recovery_is_clean(&self) {
+    let guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+}
+
+fn blocking_under_lock_fires(&self, handle: Handle) {
+    let guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+    handle.join();
+}
+
+fn drop_before_blocking_is_clean(&self, handle: Handle) {
+    let guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+    drop(guard);
+    handle.join();
+}
+
+// These two functions take `first` and `second` in opposite orders: cycle.
+fn forward_order(&self) {
+    let a = self.first.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = self.second.lock().unwrap_or_else(PoisonError::into_inner);
+}
+
+fn reverse_order(&self) {
+    let b = self.second.lock().unwrap_or_else(PoisonError::into_inner);
+    let a = self.first.lock().unwrap_or_else(PoisonError::into_inner);
+}
+
+fn wait_outside_loop_fires(&self) {
+    let mut ready = self.ready.lock().unwrap_or_else(PoisonError::into_inner);
+    ready = self.cond.wait(ready).unwrap_or_else(PoisonError::into_inner);
+}
+
+fn wait_in_loop_is_clean(&self) {
+    let mut ready = self.ready.lock().unwrap_or_else(PoisonError::into_inner);
+    while !*ready {
+        ready = self.cond.wait(ready).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+fn allowed_blocking_is_suppressed(&self, handle: Handle) {
+    let guard = self.diag.lock().unwrap_or_else(PoisonError::into_inner);
+    // mspt-analyze: allow(lock-discipline) fixture: diagnostic-only path, join is bounded by the test harness
+    handle.join();
+}
+
+#[cfg(test)]
+mod tests {
+    fn deliberate_poison_in_tests_is_exempt(&self) {
+        let guard = self.state.lock().unwrap();
+    }
+}

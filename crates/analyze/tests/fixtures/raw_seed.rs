@@ -1,0 +1,25 @@
+// Fixture for the `raw-seed` lint (analyzed as crate `sim`; never compiled).
+
+fn raw_construction_fires(seed: u64) {
+    let rng = StdRng::seed_from_u64(seed);
+}
+
+fn derived_construction_is_clean(seed: u64, chunk: u64) {
+    let rng = StdRng::seed_from_u64(chunk_seed(seed ^ CACHE_KEY_DOMAIN, chunk));
+}
+
+fn entropy_construction_fires() {
+    let rng = thread_rng();
+}
+
+fn allowed_construction_is_suppressed(seed: u64) {
+    // mspt-analyze: allow(raw-seed) fixture: the caller already derived this seed
+    let rng = StdRng::seed_from_u64(seed);
+}
+
+#[cfg(test)]
+mod tests {
+    fn pinned_seed_in_tests_is_exempt() {
+        let rng = StdRng::seed_from_u64(42);
+    }
+}

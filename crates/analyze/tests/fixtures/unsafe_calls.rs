@@ -1,0 +1,29 @@
+// Fixture for the `determinism-unsafe-calls` lint (analyzed as crate `sim`;
+// never compiled).
+
+use std::collections::HashMap; // import line is exempt
+
+fn wall_clock_fires() {
+    let start = Instant::now();
+}
+
+fn hash_container_fires() {
+    let m: HashMap<u64, u8> = HashMap::new();
+}
+
+fn allowed_lookup_table_is_suppressed() {
+    // mspt-analyze: allow(determinism-unsafe-calls) fixture: lookup only, never iterated
+    let m: HashMap<u64, u8> = HashMap::new();
+}
+
+fn btree_is_clean() {
+    let m: std::collections::BTreeMap<u64, u8> = std::collections::BTreeMap::new();
+}
+
+#[cfg(test)]
+mod tests {
+    fn timing_in_tests_is_exempt() {
+        let start = Instant::now();
+        let s = HashSet::new();
+    }
+}

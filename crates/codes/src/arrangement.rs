@@ -331,6 +331,7 @@ fn finish(
     distances: &[Vec<usize>],
     proven_optimal: bool,
 ) -> Result<Arrangement> {
+    // mspt-analyze: allow(determinism-unsafe-calls) debug-only cardinality check; only len() is read, never iteration order
     debug_assert_eq!(order.iter().collect::<HashSet<_>>().len(), words.len());
     let total_transitions = path_cost(&order, distances);
     let arranged: Vec<CodeWord> = order.into_iter().map(|i| words[i].clone()).collect();

@@ -193,6 +193,7 @@ impl CodeSequence {
     /// Whether all words of the sequence are distinct.
     #[must_use]
     pub fn all_words_distinct(&self) -> bool {
+        // mspt-analyze: allow(determinism-unsafe-calls) insert-only membership test; the set is never iterated
         let mut seen = std::collections::HashSet::new();
         self.words.iter().all(|w| seen.insert(w.clone()))
     }

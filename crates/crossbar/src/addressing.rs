@@ -120,9 +120,8 @@ pub fn is_uniquely_addressable(sequence: &CodeSequence) -> bool {
 pub fn addressable_prefix_len(sequence: &CodeSequence) -> usize {
     let mut best = 0;
     for len in 1..=sequence.len() {
-        let prefix = match sequence.take_prefix(len) {
-            Ok(prefix) => prefix,
-            Err(_) => break,
+        let Ok(prefix) = sequence.take_prefix(len) else {
+            break;
         };
         if is_uniquely_addressable(&prefix) {
             best = len;

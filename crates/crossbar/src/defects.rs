@@ -229,6 +229,7 @@ impl DefectModel {
     }
 
     fn sample_bools(&self, count: usize, rate: f64, seed: u64) -> Vec<bool> {
+        // mspt-analyze: allow(raw-seed) every caller derives `seed` via defect_chunk_seed (DEFECT_SEED_DOMAIN) just above
         let mut rng = StdRng::seed_from_u64(seed);
         (0..count).map(|_| rng.gen::<f64>() < rate).collect()
     }

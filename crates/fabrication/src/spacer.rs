@@ -73,10 +73,7 @@ impl SpacerGeometry {
         };
         if geometry.nanowires_per_half_cave() == 0 {
             return Err(FabricationError::InvalidGeometry {
-                reason: format!(
-                    "cave of {} cannot hold one spacer pair per half cave",
-                    cave_width
-                ),
+                reason: format!("cave of {cave_width} cannot hold one spacer pair per half cave"),
             });
         }
         Ok(geometry)

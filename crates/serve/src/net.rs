@@ -32,7 +32,7 @@
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -257,6 +257,12 @@ fn read_frame_step(stream: &mut TcpStream) -> ReadStep {
 /// A minimal bounded MPMC queue: `Mutex<VecDeque>` + `Condvar`. `try_push`
 /// fails when full — that failure *is* the backpressure signal the acceptor
 /// turns into a shed.
+///
+/// Poison policy: every mutation under the lock is a single structural step
+/// (one push, one pop, one flag flip), so a panicking holder cannot leave
+/// the queue half-updated; lock acquisition therefore recovers from
+/// poisoning instead of cascading the panic into every worker — the server
+/// must keep serving.
 struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     available: Condvar,
@@ -289,7 +295,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueues unless the queue is full or closed; returns the rejected
     /// item so the caller can shed it.
     fn try_push(&self, item: T) -> std::result::Result<(), T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.closed || state.items.len() >= state.bound {
             return Err(item);
         }
@@ -304,7 +310,7 @@ impl<T> BoundedQueue<T> {
     /// `Closed`.
     fn pop_timeout(&self, timeout: Duration) -> Popped<T> {
         let deadline = Instant::now() + timeout;
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Popped::Item(item);
@@ -319,7 +325,7 @@ impl<T> BoundedQueue<T> {
             let (next, result) = self
                 .available
                 .wait_timeout(state, remaining)
-                .expect("queue poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             state = next;
             if result.timed_out() && state.items.is_empty() {
                 return if state.closed {
@@ -332,7 +338,10 @@ impl<T> BoundedQueue<T> {
     }
 
     fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.available.notify_all();
     }
 }

@@ -45,7 +45,7 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use crossbar_array::chunk_seed;
 
@@ -179,19 +179,22 @@ impl Flight {
     }
 
     fn wait(&self) {
-        let mut done = self.done.lock().expect("flight lock");
+        // Poison recovery is sound here: the only mutation under this lock
+        // is the single `done = true` store, so a panicking holder cannot
+        // leave the flag half-written.
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
         while !*done {
-            done = self.completed.wait(done).expect("flight lock");
+            done = self
+                .completed
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn complete(&self) {
         // Tolerates a poisoned lock: completion also runs from a drop guard
         // during panic unwinding, where a second panic would abort.
-        match self.done.lock() {
-            Ok(mut done) => *done = true,
-            Err(poisoned) => *poisoned.into_inner() = true,
-        }
+        *self.done.lock().unwrap_or_else(PoisonError::into_inner) = true;
         self.completed.notify_all();
     }
 }
@@ -224,6 +227,7 @@ impl Drop for FlightGuard<'_> {
 #[derive(Default)]
 struct Shard {
     entries: Vec<Entry>,
+    // mspt-analyze: allow(determinism-unsafe-calls) key-lookup only; the map is never iterated, so hash order cannot leak
     in_flight: HashMap<u64, Arc<Flight>>,
 }
 
@@ -314,7 +318,13 @@ impl ReportCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|shard| shard.lock().expect("cache shard lock").entries.len())
+            .map(|shard| {
+                shard
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entries
+                    .len()
+            })
             .sum()
     }
 
@@ -333,7 +343,7 @@ impl ReportCache {
         let shard = self
             .shard_for(fingerprint)
             .lock()
-            .expect("cache shard lock");
+            .unwrap_or_else(PoisonError::into_inner);
         shard
             .entries
             .iter()
@@ -417,7 +427,7 @@ impl ReportCache {
                 let mut shard = self
                     .shard_for(fingerprint)
                     .lock()
-                    .expect("cache shard lock");
+                    .unwrap_or_else(PoisonError::into_inner);
                 if let Some(entry) = shard
                     .entries
                     .iter_mut()
@@ -450,7 +460,7 @@ impl ReportCache {
                             let mut shard = self
                                 .shard_for(fingerprint)
                                 .lock()
-                                .expect("cache shard lock");
+                                .unwrap_or_else(PoisonError::into_inner);
                             self.insert_locked(&mut shard, fingerprint, config, report);
                         }
                         // `_guard` drops here: waiters wake after the entry
@@ -488,7 +498,7 @@ impl ReportCache {
     fn snapshot_with_count(&self) -> (String, usize) {
         let mut rows: Vec<(u64, String, JsonValue)> = Vec::new();
         for shard in &self.shards {
-            let shard = shard.lock().expect("cache shard lock");
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
             for entry in &shard.entries {
                 let config_json = config_to_json(&entry.config);
                 rows.push((
@@ -552,7 +562,7 @@ impl ReportCache {
             let mut shard = self
                 .shard_for(fingerprint)
                 .lock()
-                .expect("cache shard lock");
+                .unwrap_or_else(PoisonError::into_inner);
             if self.insert_locked(&mut shard, fingerprint, &config, &report) {
                 loaded += 1;
             }

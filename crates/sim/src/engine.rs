@@ -29,7 +29,7 @@
 use std::num::NonZeroUsize;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::thread;
 
 use serde::{Deserialize, Serialize};
@@ -275,7 +275,9 @@ impl ExecutionEngine {
                         break;
                     }
                     let result = job(index);
-                    *slots[index].lock().expect("engine slot lock") = Some(result);
+                    // Each slot is written exactly once; poison recovery
+                    // cannot observe a half-written result.
+                    *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 });
             }
         });
@@ -283,7 +285,7 @@ impl ExecutionEngine {
         for slot in slots {
             let result = slot
                 .into_inner()
-                .expect("engine slot lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every index below count is claimed exactly once");
             results.push(result?);
         }

@@ -204,6 +204,7 @@ impl NormalSource<StdRng> {
     /// A source over a deterministically seeded [`StdRng`].
     #[must_use]
     pub fn from_seed(seed: u64) -> Self {
+        // mspt-analyze: allow(raw-seed) callers pass a chunk_seed-derived seed; this is the single construction point for that stream
         NormalSource::new(StdRng::seed_from_u64(seed))
     }
 }
