@@ -15,6 +15,12 @@
 //! plus p50/p99/p999 round-trip latency from an HDR-style histogram;
 //! `MSPT_STRESS_JSON=<path>` writes the numbers as a CI artifact whose
 //! `benchmarks` rows feed `scripts/bench_compare.sh`.
+//! `MSPT_STRESS_CODEC` picks the wire codec: `json` (rows keep the PR 6-era
+//! `serve_tcp/*` ids, so trajectories stay comparable), `binary` (rows under
+//! `serve_tcp_bin/*`), or `both` (one loadgen run per codec, both row sets
+//! in one artifact). Every run also measures a 64-entry cache snapshot in
+//! both persistence formats and **gates** on the binary one being ≥ 40 %
+//! smaller than the JSON one.
 //!
 //! Knobs (all environment variables):
 //!
@@ -24,6 +30,7 @@
 //! | `MSPT_STRESS_CLIENTS` | concurrent client threads / connections | 8 |
 //! | `MSPT_STRESS_REQUESTS` | wire requests per client per pass | 64 |
 //! | `MSPT_STRESS_SEED` | run seed of the Zipf request streams | 2009 |
+//! | `MSPT_STRESS_CODEC` | TCP wire codec: `json`, `binary` or `both` | json |
 //! | `MSPT_STRESS_JSON` | path of the JSON results artifact | unset |
 //! | `MSPT_NET_WORKERS` | TCP worker pool size | available parallelism |
 //! | `MSPT_NET_QUEUE` | TCP dispatch-queue bound | 64 |
@@ -33,21 +40,30 @@
 //! | `MSPT_ENGINE_THREADS` | engine worker threads | available parallelism |
 //! | `MSPT_CACHE_CAPACITY` | report-cache bound | 4096 |
 //! | `MSPT_CACHE_PATH` | warm-cache snapshot to load/save | unset |
+//! | `MSPT_CACHE_FORMAT` | snapshot encoding saved: `binary` or `json` | binary |
+//! | `MSPT_CACHE_MAX_AGE_SECS` | drop binary snapshot rows older than this at load (0 = unlimited) | 0 |
 
 use std::path::Path;
 use std::sync::Arc;
 
 use decoder_sim::codec::JsonValue;
-use decoder_sim::{CacheStats, EngineConfig, ExecutionEngine, CACHE_PATH_ENV};
+use decoder_sim::{
+    CacheConfig, CacheStats, DisturbanceKind, EngineConfig, ExecutionEngine, ReportCache,
+    SimulationPlatform, CACHE_PATH_ENV,
+};
 use mspt_serve::{
-    probe_shed, run_net_stress, run_stress, NetServer, NetStressOutcome, ReportServer, ServeConfig,
-    StressConfig,
+    probe_shed, run_net_stress_codec, run_stress, NetServer, NetStressOutcome, ReportRequest,
+    ReportServer, ServeConfig, StressConfig, WireCodec, STRESS_CODEC_ENV,
 };
 
 /// Environment variable selecting the transport (`inproc` or `tcp`).
 const STRESS_TRANSPORT_ENV: &str = "MSPT_STRESS_TRANSPORT";
 /// Environment variable naming the JSON results artifact path.
 const STRESS_JSON_ENV: &str = "MSPT_STRESS_JSON";
+
+/// How many entries the snapshot-size measurement fills its cache with —
+/// the 64-entry figure the acceptance gate is stated against.
+const SNAPSHOT_ENTRIES: usize = 64;
 
 struct PassStats {
     hits: u64,
@@ -68,18 +84,113 @@ fn benchmark_row(id: &str, median_ns: f64) -> JsonValue {
     ])
 }
 
+/// The snapshot-size measurement: one cache, [`SNAPSHOT_ENTRIES`] rows,
+/// both persistence encodings.
+struct SnapshotSizes {
+    json_bytes: u64,
+    bin_bytes: u64,
+}
+
+impl SnapshotSizes {
+    /// How much smaller the binary snapshot is, as a fraction of the JSON
+    /// one (0.4 = 40 % smaller).
+    fn saving(&self) -> f64 {
+        if self.json_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.bin_bytes as f64 / self.json_bytes as f64
+        }
+    }
+}
+
+/// Fills a dedicated cache with [`SNAPSHOT_ENTRIES`] distinct
+/// configurations (one evaluated report, re-keyed under a sweep of
+/// correlated-disturbance fractions — the snapshot encodes the full
+/// config/report pair per row either way) and renders it in both snapshot
+/// formats.
+fn snapshot_sizes(mix: &[ReportRequest]) -> Result<SnapshotSizes, Box<dyn std::error::Error>> {
+    let base = &mix[0];
+    let report = SimulationPlatform::new(base.effective_config()).evaluate()?;
+    let cache = ReportCache::new(CacheConfig::unsharded(SNAPSHOT_ENTRIES));
+    for index in 0..SNAPSHOT_ENTRIES {
+        let config = base
+            .config
+            .clone()
+            .with_disturbance(DisturbanceKind::Correlated {
+                shared_fraction: index as f64 / (2 * SNAPSHOT_ENTRIES) as f64,
+            });
+        let row = report.clone();
+        cache.get_or_compute(&config, || Ok(row))?;
+    }
+    if cache.len() != SNAPSHOT_ENTRIES {
+        return Err(format!(
+            "snapshot-size cache holds {} entries, expected {SNAPSHOT_ENTRIES}",
+            cache.len()
+        )
+        .into());
+    }
+    Ok(SnapshotSizes {
+        json_bytes: cache.snapshot_json().len() as u64,
+        bin_bytes: cache.snapshot_bin().len() as u64,
+    })
+}
+
 /// Renders the loadgen results in the same `benchmarks` shape as
 /// `BENCH_results.json`, so `scripts/bench_compare.sh` can diff two runs'
-/// latency trajectories unchanged.
-fn results_json(transport: &str, outcome: &NetStressOutcome, sheds_exercised: bool) -> String {
+/// latency trajectories unchanged. `labeled` holds one `(row prefix,
+/// outcome)` pair per codec run; the first is the primary outcome the
+/// top-level scalars describe.
+fn results_json(
+    transport: &str,
+    labeled: &[(String, NetStressOutcome)],
+    sheds_exercised: bool,
+    snapshot: &SnapshotSizes,
+) -> String {
+    let (_, outcome) = &labeled[0];
     let latency = &outcome.latency;
-    let prefix = format!("serve_{transport}");
-    let rps = outcome.throughput_rps();
-    let ns_per_req = if rps > 0.0 && rps.is_finite() {
-        1e9 / rps
-    } else {
-        0.0
-    };
+    let mut benchmarks = Vec::new();
+    for (prefix, outcome) in labeled {
+        let latency = &outcome.latency;
+        let rps = outcome.throughput_rps();
+        let ns_per_req = if rps > 0.0 && rps.is_finite() {
+            1e9 / rps
+        } else {
+            0.0
+        };
+        let bytes_per_req = if outcome.requests == 0 {
+            0.0
+        } else {
+            (outcome.bytes_sent + outcome.bytes_received) as f64 / outcome.requests as f64
+        };
+        benchmarks.push(benchmark_row(
+            &format!("{prefix}/p50"),
+            latency.quantile(0.5) as f64,
+        ));
+        benchmarks.push(benchmark_row(
+            &format!("{prefix}/p99"),
+            latency.quantile(0.99) as f64,
+        ));
+        benchmarks.push(benchmark_row(
+            &format!("{prefix}/p999"),
+            latency.quantile(0.999) as f64,
+        ));
+        benchmarks.push(benchmark_row(&format!("{prefix}/mean"), latency.mean()));
+        benchmarks.push(benchmark_row(&format!("{prefix}/ns_per_req"), ns_per_req));
+        benchmarks.push(benchmark_row(
+            &format!("{prefix}/bytes_per_req"),
+            bytes_per_req,
+        ));
+    }
+    // The snapshot sizes ride along as benchmark rows too (the "ns" in the
+    // field name is historical; bench_compare.sh only diffs medians by id).
+    benchmarks.push(benchmark_row(
+        "snapshot/json_bytes",
+        snapshot.json_bytes as f64,
+    ));
+    benchmarks.push(benchmark_row(
+        "snapshot/bin_bytes",
+        snapshot.bin_bytes as f64,
+    ));
     JsonValue::Object(vec![
         ("schema_version".to_string(), JsonValue::from_u64(1)),
         (
@@ -103,7 +214,10 @@ fn results_json(transport: &str, outcome: &NetStressOutcome, sheds_exercised: bo
             "shed_path_exercised".to_string(),
             JsonValue::Bool(sheds_exercised),
         ),
-        ("rps".to_string(), JsonValue::from_f64(rps)),
+        (
+            "rps".to_string(),
+            JsonValue::from_f64(outcome.throughput_rps()),
+        ),
         (
             "p50_ns".to_string(),
             JsonValue::from_u64(latency.quantile(0.5)),
@@ -119,15 +233,23 @@ fn results_json(transport: &str, outcome: &NetStressOutcome, sheds_exercised: bo
         ("max_ns".to_string(), JsonValue::from_u64(latency.max())),
         ("mean_ns".to_string(), JsonValue::from_f64(latency.mean())),
         (
-            "benchmarks".to_string(),
-            JsonValue::Array(vec![
-                benchmark_row(&format!("{prefix}/p50"), latency.quantile(0.5) as f64),
-                benchmark_row(&format!("{prefix}/p99"), latency.quantile(0.99) as f64),
-                benchmark_row(&format!("{prefix}/p999"), latency.quantile(0.999) as f64),
-                benchmark_row(&format!("{prefix}/mean"), latency.mean()),
-                benchmark_row(&format!("{prefix}/ns_per_req"), ns_per_req),
+            "snapshot_size".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "entries".to_string(),
+                    JsonValue::from_u64(SNAPSHOT_ENTRIES as u64),
+                ),
+                (
+                    "json_bytes".to_string(),
+                    JsonValue::from_u64(snapshot.json_bytes),
+                ),
+                (
+                    "bin_bytes".to_string(),
+                    JsonValue::from_u64(snapshot.bin_bytes),
+                ),
             ]),
         ),
+        ("benchmarks".to_string(), JsonValue::Array(benchmarks)),
     ])
     .render()
 }
@@ -214,33 +336,78 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stress.seed
     );
 
-    let (first, second, shed_exercised) = match transport.trim() {
+    let (labeled, shed_exercised) = match transport.trim() {
         "tcp" => {
             let serve_config = ServeConfig::from_env();
+            let codecs: Vec<WireCodec> = match std::env::var(STRESS_CODEC_ENV)
+                .unwrap_or_default()
+                .trim()
+                .to_ascii_lowercase()
+                .as_str()
+            {
+                "" | "json" => vec![WireCodec::Json],
+                "binary" => vec![WireCodec::Binary],
+                "both" => vec![WireCodec::Json, WireCodec::Binary],
+                other => {
+                    return Err(format!(
+                        "unknown {STRESS_CODEC_ENV} value {other:?} (expected json, binary or both)"
+                    )
+                    .into());
+                }
+            };
             println!(
-                " tcp: {} worker(s), queue bound {}, shed {:?}, drain {:?}",
+                " tcp: {} worker(s), queue bound {}, shed {:?}, drain {:?}, codec(s) {:?}",
                 serve_config.workers,
                 serve_config.queue_bound,
                 serve_config.shed_policy,
                 serve_config.drain_grace,
+                codecs,
             );
             let handle = NetServer::bind(serve_config, Arc::new(server.clone()))?;
             println!(" tcp: listening on {}", handle.local_addr());
 
-            let before = engine.cache_stats();
-            let first = run_net_stress(handle.local_addr(), &mix, &stress)?;
-            let mid = engine.cache_stats();
-            print_pass("pass 1 (cold)", &first, &delta(&before, &mid));
-            let second = run_net_stress(handle.local_addr(), &mix, &stress)?;
-            let after = engine.cache_stats();
-            let warm = delta(&mid, &after);
-            print_pass("pass 2 (warm)", &second, &warm);
-            if warm.misses != 0 {
-                return Err(format!(
-                    "second pass was not served entirely from the warm cache ({} misses)",
-                    warm.misses
-                )
-                .into());
+            let mut labeled: Vec<(String, NetStressOutcome)> = Vec::new();
+            for (run, codec) in codecs.iter().enumerate() {
+                let name = codec.as_str();
+                let before = engine.cache_stats();
+                let first = run_net_stress_codec(handle.local_addr(), &mix, &stress, *codec)?;
+                let mid = engine.cache_stats();
+                // Only the very first pass of the very first codec runs
+                // cold; later codec runs reuse the warm cache, which is the
+                // point — the codec delta is pure wire cost.
+                let cold = if run == 0 { "cold" } else { "warm" };
+                print_pass(
+                    &format!("{name} pass 1 ({cold})"),
+                    &first,
+                    &delta(&before, &mid),
+                );
+                let second = run_net_stress_codec(handle.local_addr(), &mix, &stress, *codec)?;
+                let after = engine.cache_stats();
+                let warm = delta(&mid, &after);
+                print_pass(&format!("{name} pass 2 (warm)"), &second, &warm);
+                if warm.misses != 0 {
+                    return Err(format!(
+                        "{name} second pass was not served entirely from the warm cache ({} misses)",
+                        warm.misses
+                    )
+                    .into());
+                }
+                gate(&first, &format!("{name} pass 1")).map_err(std::io::Error::other)?;
+                gate(&second, &format!("{name} pass 2")).map_err(std::io::Error::other)?;
+                // JSON keeps the PR 6-era row ids so bench trajectories stay
+                // comparable; binary rows ride alongside under their own ids.
+                let prefix = match codec {
+                    WireCodec::Json => "serve_tcp".to_string(),
+                    WireCodec::Binary => "serve_tcp_bin".to_string(),
+                };
+                println!(
+                    "{name} wire cost: {:.0} bytes/request ({} sent + {} received over {} requests)",
+                    (second.bytes_sent + second.bytes_received) as f64 / second.requests as f64,
+                    second.bytes_sent,
+                    second.bytes_received,
+                    second.requests,
+                );
+                labeled.push((prefix, second));
             }
 
             // Exercise the backpressure path against a deliberately tiny
@@ -261,7 +428,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let served = handle.served();
             handle.shutdown();
             println!("tcp: {served} frame(s) served, graceful shutdown drained");
-            (first, second, true)
+            (labeled, true)
         }
         "inproc" => {
             let first = run_stress(&server, &mix, &stress)?;
@@ -277,7 +444,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
             // Adapt to the common gate/report shape (no sheds in-process;
-            // per-request latency is not measured on this transport).
+            // per-request latency and wire bytes are not measured on this
+            // transport).
             let adapt = |pass: &mspt_serve::StressOutcome| NetStressOutcome {
                 requests: pass.requests,
                 mismatches: pass.mismatches,
@@ -285,6 +453,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 wire_failures: 0,
                 elapsed: pass.elapsed,
                 latency: mspt_serve::LatencyHistogram::new(),
+                bytes_sent: 0,
+                bytes_received: 0,
             };
             if second.misses != 0 {
                 return Err(format!(
@@ -293,7 +463,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 )
                 .into());
             }
-            (adapt(&first), adapt(&second), false)
+            gate(&adapt(&first), "pass 1").map_err(std::io::Error::other)?;
+            let outcome = adapt(&second);
+            gate(&outcome, "pass 2").map_err(std::io::Error::other)?;
+            (vec![("serve_inproc".to_string(), outcome)], false)
         }
         other => {
             return Err(format!(
@@ -303,14 +476,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
 
-    // The gates: bit-identical responses on both passes, zero unexpected
-    // sheds, fully warm second pass. CI runs this binary and relies on a
-    // non-zero exit here.
-    gate(&first, "pass 1").map_err(std::io::Error::other)?;
-    gate(&second, "pass 2").map_err(std::io::Error::other)?;
+    // The snapshot-size gate: the binary persistence format must stay at
+    // least 40 % smaller than JSON for a 64-entry cache.
+    let snapshot = snapshot_sizes(&mix)?;
+    println!(
+        "snapshot size: {SNAPSHOT_ENTRIES} entries — json {} bytes, binary {} bytes ({:.1}% smaller)",
+        snapshot.json_bytes,
+        snapshot.bin_bytes,
+        snapshot.saving() * 100.0,
+    );
+    if snapshot.saving() < 0.40 {
+        return Err(format!(
+            "binary snapshot is only {:.1}% smaller than JSON (gate: >= 40%)",
+            snapshot.saving() * 100.0
+        )
+        .into());
+    }
 
     if let Some(path) = &artifact {
-        let rendered = results_json(transport.trim(), &second, shed_exercised);
+        let rendered = results_json(transport.trim(), &labeled, shed_exercised, &snapshot);
         std::fs::write(path, rendered.as_bytes())?;
         println!("results artifact: wrote {path}");
     }

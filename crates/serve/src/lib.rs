@@ -32,10 +32,13 @@
 //!   string-in/string-out endpoint with **typed** error responses
 //!   ([`wire`]: `bad_request` / `overloaded` / `internal`).
 //!   [`ReportServer::handle`] is this adapter applied to itself.
+//! * [`binwire`] / [`handle_bin`] — the binary front end: the same request
+//!   and reply documents in the compact `decoder_sim::bincodec` encoding.
 //! * [`net`] — the framed-TCP front end: a [`NetServer`] worker pool with a
 //!   bounded accept queue, explicit `overloaded` load-shed responses and
 //!   graceful draining shutdown, speaking 4-byte-length-prefixed frames of
-//!   the same JSON wire.
+//!   either wire codec — each request frame's first byte picks the codec
+//!   its response comes back in, so JSON and binary clients share a server.
 //!
 //! [`run_stress`] is the in-process load harness behind the `serve_stress`
 //! experiment binary and the CI serving gate: N client threads hammer one
@@ -97,13 +100,18 @@ use decoder_sim::{
     SimConfig, SimulationPlatform, WireErrorKind,
 };
 
+pub mod binwire;
 pub mod latency;
 pub mod loadgen;
 pub mod net;
 pub mod wire;
 
+pub use binwire::{
+    error_response_bin, handle_bin, ok_response_bin, parse_reply_any, parse_response_any,
+    reply_from_bin, reply_to_bin, request_from_bin, request_to_bin,
+};
 pub use latency::LatencyHistogram;
-pub use loadgen::{probe_shed, run_net_stress, NetStressOutcome};
+pub use loadgen::{probe_shed, run_net_stress, run_net_stress_codec, NetStressOutcome};
 pub use net::{
     read_frame, write_frame, NetClient, NetServer, NetServerHandle, ServeConfig, ShedPolicy,
 };
@@ -126,6 +134,43 @@ pub const STRESS_CLIENTS_ENV: &str = "MSPT_STRESS_CLIENTS";
 pub const STRESS_REQUESTS_ENV: &str = "MSPT_STRESS_REQUESTS";
 /// Environment variable naming the stress harness's run seed.
 pub const STRESS_SEED_ENV: &str = "MSPT_STRESS_SEED";
+/// Environment variable selecting the wire codec the TCP loadgen speaks:
+/// `json` (the default), `binary`, or — understood by the `serve_stress`
+/// binary only — `both`, which runs the loadgen once per codec and emits
+/// both sets of benchmark rows.
+pub const STRESS_CODEC_ENV: &str = "MSPT_STRESS_CODEC";
+
+/// Which wire codec a loadgen connection encodes its requests in. Replies
+/// always come back in the request's codec (accept-time sheds excepted —
+/// those are JSON and handled by [`binwire::parse_reply_any`] either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// The PR 4/5-era JSON text wire.
+    #[default]
+    Json,
+    /// The compact [`binwire`] binary wire.
+    Binary,
+}
+
+impl WireCodec {
+    /// The codec's lowercase wire name (`json` / `binary`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireCodec::Json => "json",
+            WireCodec::Binary => "binary",
+        }
+    }
+
+    /// Encodes a request in this codec, ready for a frame payload.
+    #[must_use]
+    pub fn encode_request(self, request: &ReportRequest) -> Vec<u8> {
+        match self {
+            WireCodec::Json => request.to_json_string().into_bytes(),
+            WireCodec::Binary => binwire::request_to_bin(request),
+        }
+    }
+}
 
 pub(crate) fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)

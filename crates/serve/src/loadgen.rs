@@ -16,10 +16,13 @@ use rand::SeedableRng;
 
 use decoder_sim::{chunk_seed, PlatformReport, Result, SimulationPlatform, WireErrorKind};
 
+use crate::binwire::parse_reply_any;
 use crate::latency::LatencyHistogram;
 use crate::net::{NetClient, NetServerHandle, ShedPolicy};
 use crate::wire::{parse_reply, wire_err, WireError, WireReply};
-use crate::{zipf_cumulative, zipf_index, ReportRequest, StressConfig, STRESS_SEED_DOMAIN};
+use crate::{
+    zipf_cumulative, zipf_index, ReportRequest, StressConfig, WireCodec, STRESS_SEED_DOMAIN,
+};
 
 /// The outcome of one TCP loadgen pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +45,12 @@ pub struct NetStressOutcome {
     pub elapsed: Duration,
     /// Per-request round-trip latency (send frame → response frame parsed).
     pub latency: LatencyHistogram,
+    /// Request payload bytes put on the wire (frame headers excluded) — with
+    /// [`NetStressOutcome::bytes_received`], the wire-cost side of the
+    /// JSON-vs-binary codec comparison.
+    pub bytes_sent: u64,
+    /// Response payload bytes read off the wire (frame headers excluded).
+    pub bytes_received: u64,
 }
 
 impl NetStressOutcome {
@@ -62,6 +71,8 @@ struct ClientTally {
     sheds: u64,
     wire_failures: u64,
     latency: LatencyHistogram,
+    bytes_sent: u64,
+    bytes_received: u64,
 }
 
 /// Drives [`StressConfig::clients`] concurrent TCP connections against a
@@ -91,6 +102,28 @@ pub fn run_net_stress(
     mix: &[ReportRequest],
     stress: &StressConfig,
 ) -> Result<NetStressOutcome> {
+    run_net_stress_codec(addr, mix, stress, WireCodec::Json)
+}
+
+/// [`run_net_stress`] with an explicit wire codec: requests are encoded in
+/// `codec` and every reply is decoded through the first-byte dispatcher
+/// ([`parse_reply_any`]), so accept-time JSON sheds are understood on
+/// binary connections too. The verification contract is identical in both
+/// codecs — same seeded streams, same bit-for-bit reference check.
+///
+/// # Errors
+///
+/// As [`run_net_stress`].
+///
+/// # Panics
+///
+/// As [`run_net_stress`].
+pub fn run_net_stress_codec(
+    addr: SocketAddr,
+    mix: &[ReportRequest],
+    stress: &StressConfig,
+    codec: WireCodec,
+) -> Result<NetStressOutcome> {
     assert!(!mix.is_empty(), "loadgen mix must not be empty");
     assert!(stress.clients > 0, "loadgen needs at least one connection");
     assert!(
@@ -103,7 +136,10 @@ pub fn run_net_stress(
         .iter()
         .map(|request| SimulationPlatform::new(request.effective_config()).evaluate())
         .collect::<Result<_>>()?;
-    let encoded: Vec<String> = mix.iter().map(ReportRequest::to_json_string).collect();
+    let encoded: Vec<Vec<u8>> = mix
+        .iter()
+        .map(|request| codec.encode_request(request))
+        .collect();
     let cumulative = zipf_cumulative(mix.len());
 
     let start = Instant::now();
@@ -125,13 +161,17 @@ pub fn run_net_stress(
                         sheds: 0,
                         wire_failures: 0,
                         latency: LatencyHistogram::new(),
+                        bytes_sent: 0,
+                        bytes_received: 0,
                     };
                     for sent in 0..stress.requests_per_client {
                         let index = zipf_index(&mut rng, cumulative);
                         let sent_at = Instant::now();
-                        let response = connection.call(&encoded[index])?;
-                        let reply = parse_reply(&response)?;
+                        let response = connection.call_bytes(&encoded[index])?;
+                        let reply = parse_reply_any(&response)?;
                         tally.latency.record_duration(sent_at.elapsed());
+                        tally.bytes_sent += encoded[index].len() as u64;
+                        tally.bytes_received += response.len() as u64;
                         match reply {
                             WireReply::Report(report) => {
                                 if report != references[index] {
@@ -167,6 +207,8 @@ pub fn run_net_stress(
         wire_failures: 0,
         elapsed,
         latency: LatencyHistogram::new(),
+        bytes_sent: 0,
+        bytes_received: 0,
     };
     for tally in per_client {
         let tally = tally?;
@@ -174,6 +216,8 @@ pub fn run_net_stress(
         outcome.sheds += tally.sheds;
         outcome.wire_failures += tally.wire_failures;
         outcome.latency.merge(&tally.latency);
+        outcome.bytes_sent += tally.bytes_sent;
+        outcome.bytes_received += tally.bytes_received;
     }
     Ok(outcome)
 }

@@ -3,11 +3,17 @@
 //! # Protocol
 //!
 //! Connections carry a sequence of **frames**: a 4-byte big-endian length
-//! prefix followed by that many bytes of UTF-8 JSON — the same versioned
-//! wire documents the in-process [`handle_json`] front
-//! end speaks. Each request frame produces exactly one response frame on
-//! the same connection, in order. Frames above [`MAX_FRAME_BYTES`] are
-//! rejected with a typed `bad_request` response.
+//! prefix followed by that many bytes of one wire document — UTF-8 JSON
+//! (the in-process [`handle_json`] documents) or the compact binary codec
+//! ([`crate::binwire`]), told apart by the payload's first byte. Each
+//! request frame produces exactly one response frame on the same
+//! connection, in order, **in the codec the request arrived in** — codec
+//! choice is per frame, so JSON-era clients keep working unchanged. Frames
+//! above [`MAX_FRAME_BYTES`] are rejected with a typed `bad_request`
+//! response. Accept-time `overloaded` sheds are written before the client
+//! has revealed a codec and are therefore always JSON; binary clients
+//! handle them by routing received frames through
+//! [`crate::binwire::parse_reply_any`].
 //!
 //! # Pool, backpressure, shed
 //!
@@ -38,6 +44,7 @@ use std::time::{Duration, Instant};
 
 use decoder_sim::{Result, WireErrorKind};
 
+use crate::binwire::handle_bin;
 use crate::wire::{error_response, wire_err, WireError};
 use crate::{handle_json, Handler};
 
@@ -518,18 +525,27 @@ fn serve_connection(
         }
         match read_frame_step(&mut stream) {
             ReadStep::Frame(frame) => {
-                let response = match std::str::from_utf8(&frame) {
-                    Ok(request_json) => handle_json(handler, request_json),
-                    Err(_) => error_response(&WireError::new(
-                        WireErrorKind::BadRequest,
-                        "request frame is not valid UTF-8",
-                    )),
+                // Per-frame codec negotiation: a binary request frame gets a
+                // binary reply, anything else goes down the JSON path (whose
+                // typed bad_request covers non-UTF-8 garbage too), so a
+                // JSON-era client never sees a byte it cannot parse.
+                let response = if decoder_sim::bincodec::is_binary(&frame) {
+                    handle_bin(handler, &frame)
+                } else {
+                    match std::str::from_utf8(&frame) {
+                        Ok(request_json) => handle_json(handler, request_json).into_bytes(),
+                        Err(_) => error_response(&WireError::new(
+                            WireErrorKind::BadRequest,
+                            "request frame is not valid UTF-8",
+                        ))
+                        .into_bytes(),
+                    }
                 };
                 // Counted before the write: a client that has *received* its
                 // response must already observe the increment, so the counter
                 // can never lag behind what clients have seen.
                 counters.served.fetch_add(1, Ordering::Relaxed);
-                if write_frame(&mut stream, response.as_bytes()).is_err() {
+                if write_frame(&mut stream, &response).is_err() {
                     return;
                 }
             }
@@ -683,6 +699,41 @@ impl NetClient {
     pub fn call(&mut self, request_json: &str) -> Result<String> {
         self.send(request_json)?;
         self.recv()?
+            .ok_or_else(|| wire_err("server closed the connection without a response"))
+    }
+
+    /// Sends one raw request frame — the binary-codec counterpart of
+    /// [`NetClient::send`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a persistence error on I/O failure.
+    pub fn send_bytes(&mut self, request: &[u8]) -> Result<()> {
+        write_frame(&mut self.stream, request)
+            .map_err(|error| wire_err(format!("send frame: {error}")))
+    }
+
+    /// Receives one raw response frame; `Ok(None)` is a clean server-side
+    /// close. The frame may be in either codec (an accept-time shed is
+    /// always JSON) — decode it with [`crate::binwire::parse_reply_any`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a persistence error on I/O failure.
+    pub fn recv_bytes(&mut self) -> Result<Option<Vec<u8>>> {
+        read_frame(&mut self.stream).map_err(|error| wire_err(format!("recv frame: {error}")))
+    }
+
+    /// One full raw round trip: send a request frame, block for the
+    /// response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a persistence error on I/O failure or when the server closes
+    /// without responding.
+    pub fn call_bytes(&mut self, request: &[u8]) -> Result<Vec<u8>> {
+        self.send_bytes(request)?;
+        self.recv_bytes()?
             .ok_or_else(|| wire_err("server closed the connection without a response"))
     }
 }

@@ -15,8 +15,9 @@ use decoder_sim::{
     DisturbanceKind, EngineConfig, ExecutionEngine, SimConfig, SimulationPlatform, WireErrorKind,
 };
 use mspt_serve::{
-    parse_reply, probe_shed, run_net_stress, NetClient, NetServer, ReportRequest, ReportServer,
-    ServeConfig, ShedPolicy, StressConfig, WireReply,
+    parse_reply, parse_reply_any, probe_shed, request_to_bin, run_net_stress, run_net_stress_codec,
+    NetClient, NetServer, ReportRequest, ReportServer, ServeConfig, ShedPolicy, StressConfig,
+    WireCodec, WireReply,
 };
 use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 
@@ -87,6 +88,147 @@ fn loopback_clients_get_bit_identical_reports_and_a_warm_second_pass() {
     );
 
     assert_eq!(handle.served(), 2 * 4 * 16);
+    handle.shutdown();
+}
+
+#[test]
+fn a_mixed_codec_fleet_gets_bit_identical_reports() {
+    let server = report_server(2);
+    let handle = NetServer::bind(config(4, 8), Arc::new(server)).unwrap();
+    let addr = handle.local_addr();
+    let request = mix().remove(2); // the disturbance-override request
+    let reference = SimulationPlatform::new(request.effective_config())
+        .evaluate()
+        .unwrap();
+
+    // One JSON client and one binary client, against the same server.
+    let mut json_client = NetClient::connect(addr).unwrap();
+    let mut bin_client = NetClient::connect(addr).unwrap();
+    let json_frame = request.to_json_string().into_bytes();
+    let bin_frame = request_to_bin(&request);
+    assert!(bin_frame.len() < json_frame.len());
+
+    let json_response = json_client.call_bytes(&json_frame).unwrap();
+    let bin_response = bin_client.call_bytes(&bin_frame).unwrap();
+    // The server answers each frame in the codec it arrived in.
+    assert!(!decoder_sim::bincodec::is_binary(&json_response));
+    assert!(decoder_sim::bincodec::is_binary(&bin_response));
+
+    let json_reply = parse_reply_any(&json_response).unwrap();
+    let bin_reply = parse_reply_any(&bin_response).unwrap();
+    match (json_reply, bin_reply) {
+        (WireReply::Report(from_json), WireReply::Report(from_bin)) => {
+            assert_eq!(from_json, from_bin);
+            assert_eq!(from_bin, reference);
+            assert_eq!(
+                from_json.crossbar_yield.to_bits(),
+                from_bin.crossbar_yield.to_bits()
+            );
+        }
+        other => panic!("mixed fleet got a non-report reply: {other:?}"),
+    }
+
+    // A single connection may even alternate codecs per frame.
+    match parse_reply_any(&json_client.call_bytes(&bin_frame).unwrap()).unwrap() {
+        WireReply::Report(report) => assert_eq!(report, reference),
+        WireReply::Error(error) => panic!("codec switch mid-connection failed: {error}"),
+    }
+
+    // Malformed binary frames come back as *binary* typed bad_request
+    // errors — never a hang, never a JSON reply to a binary speaker.
+    let garbage = decoder_sim::bincodec::document(decoder_sim::bincodec::DOC_REQUEST, &[0xFF]);
+    let response = bin_client.call_bytes(&garbage).unwrap();
+    assert!(decoder_sim::bincodec::is_binary(&response));
+    match parse_reply_any(&response).unwrap() {
+        WireReply::Error(error) => assert_eq!(error.kind, WireErrorKind::BadRequest),
+        WireReply::Report(_) => panic!("garbage request produced a report"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn binary_loadgen_matches_the_serial_reference_with_less_wire_traffic() {
+    let server = report_server(2);
+    let handle = NetServer::bind(config(4, 8), Arc::new(server.clone())).unwrap();
+    let mix = mix();
+    let stress = StressConfig {
+        clients: 4,
+        requests_per_client: 16,
+        seed: 2_009,
+    };
+
+    let binary =
+        run_net_stress_codec(handle.local_addr(), &mix, &stress, WireCodec::Binary).unwrap();
+    assert_eq!(binary.mismatches, 0, "binary responses diverged");
+    assert_eq!(binary.sheds, 0);
+    assert_eq!(binary.wire_failures, 0);
+    assert_eq!(binary.latency.count(), binary.requests);
+
+    // Same seed ⇒ same request multiset ⇒ the JSON pass is fully warm and
+    // answers bit-identically, but costs more bytes in both directions.
+    let before = server.stats();
+    let json = run_net_stress_codec(handle.local_addr(), &mix, &stress, WireCodec::Json).unwrap();
+    assert_eq!(json.mismatches, 0);
+    assert_eq!(
+        server.stats().misses,
+        before.misses,
+        "JSON pass was not warm"
+    );
+    assert!(
+        binary.bytes_sent < json.bytes_sent && binary.bytes_received < json.bytes_received,
+        "binary wire traffic ({} out / {} in) is not below JSON ({} out / {} in)",
+        binary.bytes_sent,
+        binary.bytes_received,
+        json.bytes_sent,
+        json.bytes_received
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn accept_time_sheds_are_typed_for_both_codec_fleets() {
+    let server = report_server(1);
+    // One worker, queue bound 1: the third connection must shed.
+    let handle = NetServer::bind(config(1, 1), Arc::new(server)).unwrap();
+    let addr = handle.local_addr();
+    let request = mix().remove(0);
+
+    // Pin the worker with a *binary* connection, so the shed path is
+    // exercised by a binary-era fleet end to end.
+    let mut pinned = NetClient::connect(addr).unwrap();
+    match parse_reply_any(&pinned.call_bytes(&request_to_bin(&request)).unwrap()).unwrap() {
+        WireReply::Report(_) => {}
+        WireReply::Error(error) => panic!("worker-pinning request failed: {error}"),
+    }
+
+    // Fill the dispatch queue with one idle connection, and wait until the
+    // acceptor has queued it.
+    let _filler = NetClient::connect(addr).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.accepted() < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "acceptor never queued the filler connection"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The over-quota connection is shed before it reveals a codec, so the
+    // typed overloaded reply arrives as JSON — and a binary client decodes
+    // it anyway through the first-byte dispatcher.
+    let mut over_quota = NetClient::connect(addr).unwrap();
+    let response = over_quota
+        .recv_bytes()
+        .unwrap()
+        .expect("shed connection closed without the typed response");
+    match parse_reply_any(&response).unwrap() {
+        WireReply::Error(error) => {
+            assert_eq!(error.kind, WireErrorKind::Overloaded);
+            assert!(error.is_retryable());
+        }
+        WireReply::Report(_) => panic!("over-quota connection received a report"),
+    }
+    assert_eq!(handle.shed(), 1);
     handle.shutdown();
 }
 

@@ -22,13 +22,35 @@
 //! * **Counters.** Hits, misses and evictions are atomic counters readable at
 //!   any time through [`ReportCache::stats`]; the serve stress gate derives
 //!   its hit-rate assertions from them.
-//! * **Persistence.** [`ReportCache::save_to_path`] writes a versioned JSON
+//! * **Persistence.** [`ReportCache::save_to_path`] writes a versioned
 //!   snapshot (`schema_version` [`CACHE_SCHEMA_VERSION`]) that
 //!   [`ReportCache::load_from_path`] restores bit-identically; a mismatched
 //!   schema version is rejected, never reinterpreted. Snapshots are bounded
 //!   to the configured capacity on save (over-retained shard overflow is
 //!   dropped, most-recently-used entries win), so the persisted file cannot
 //!   grow without bound across warm restarts.
+//!
+//! # Snapshot formats
+//!
+//! Two snapshot encodings share the schema version and the loader:
+//!
+//! * **Binary** (the default): a [`crate::bincodec`] document
+//!   ([`bincodec::DOC_SNAPSHOT`]) holding a header section and one section
+//!   per row — a write timestamp, the configuration fingerprint, and the
+//!   nested binary config/report documents. Saving over an existing binary
+//!   snapshot **appends** only the rows whose fingerprint the file does not
+//!   already hold (an O(new) write instead of a full rewrite), falling back
+//!   to a compacting rewrite when the combined row count would exceed the
+//!   capacity bound or the existing file is unreadable.
+//! * **JSON** (set `MSPT_CACHE_FORMAT=json`): the PR 5/6-era text format,
+//!   kept for inspectability; always a full rewrite.
+//!
+//! [`ReportCache::load_from_path`] auto-detects the format from the first
+//! byte (binary documents open with `0xB1`, JSON with `{`), so JSON-era
+//! snapshot files keep loading unchanged. Binary rows carry the time they
+//! were written; a positive `MSPT_CACHE_MAX_AGE_SECS` drops rows older than
+//! that bound at load, so a long-lived warm file cannot resurrect reports
+//! from arbitrarily far in the past.
 //!
 //! # Cache-key identity
 //!
@@ -42,13 +64,16 @@
 //! fingerprint collision can cost a duplicate evaluation but never serve the
 //! wrong report.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use crossbar_array::chunk_seed;
 
+use crate::bincodec::{self, BinReader, BinWriter};
 use crate::codec::{
     canonical_config_string, config_from_json, config_to_json, report_from_json, report_to_json,
     JsonValue,
@@ -63,6 +88,18 @@ pub const CACHE_CAPACITY_ENV: &str = "MSPT_CACHE_CAPACITY";
 /// Environment variable naming the warm-cache persistence file `run_all` and
 /// the serve stress bin load on start and save on exit.
 pub const CACHE_PATH_ENV: &str = "MSPT_CACHE_PATH";
+
+/// Environment variable selecting the snapshot encoding `save_to_path`
+/// writes: `binary` (the default — compact, append-friendly) or `json`
+/// (the PR 5/6-era text format, kept for inspectability). Loading
+/// auto-detects the format, so this knob never affects reads.
+pub const CACHE_FORMAT_ENV: &str = "MSPT_CACHE_FORMAT";
+
+/// Environment variable bounding the age, in seconds, of binary snapshot
+/// rows at load: rows written longer ago than this are skipped. Unset or
+/// `0` disables the bound. JSON snapshots carry no timestamps and are never
+/// age-bounded.
+pub const CACHE_MAX_AGE_ENV: &str = "MSPT_CACHE_MAX_AGE_SECS";
 
 /// Schema version of the persisted snapshot format. Bump on any change to
 /// the on-disk layout; loaders reject every other version.
@@ -80,6 +117,15 @@ pub const DEFAULT_CACHE_SHARDS: usize = 8;
 /// the Monte-Carlo and defect-map seed domains, exactly like the defect
 /// layer's own domain tag.
 const CACHE_KEY_DOMAIN: u64 = 0xcac4_e4e7_5e12_7a03;
+
+/// Binary snapshot section carrying the cache schema version (`u64` body).
+/// Must precede every row section.
+const TAG_SNAPSHOT_HEADER: u8 = 0x01;
+
+/// Binary snapshot section carrying one cached entry: save timestamp
+/// (`u64` Unix seconds), fingerprint (`u64`), then the length-prefixed
+/// config and report [`crate::bincodec`] documents.
+const TAG_SNAPSHOT_ROW: u8 = 0x02;
 
 /// Knobs of the report cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +174,122 @@ fn default_capacity() -> usize {
         }
     }
     DEFAULT_CACHE_CAPACITY
+}
+
+/// The encoding [`ReportCache::save_to_path`] writes. Loading always
+/// auto-detects, so the choice only affects new snapshot files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotFormat {
+    /// Compact [`crate::bincodec`] document; saves append new rows to an
+    /// existing binary file instead of rewriting it.
+    #[default]
+    Binary,
+    /// The PR 5/6-era JSON text format; always a full rewrite.
+    Json,
+}
+
+impl SnapshotFormat {
+    /// Reads [`CACHE_FORMAT_ENV`]: `json` (any case) selects JSON,
+    /// everything else — including unset — selects binary.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(CACHE_FORMAT_ENV) {
+            Ok(value) if value.trim().eq_ignore_ascii_case("json") => SnapshotFormat::Json,
+            _ => SnapshotFormat::Binary,
+        }
+    }
+}
+
+/// Seconds since the Unix epoch, stamped on binary snapshot rows at save so
+/// the age bound at load has something to measure against. Clock failure
+/// degrades to `0`, which the bound treats as "arbitrarily old".
+fn now_unix() -> u64 {
+    // mspt-analyze: allow(determinism-unsafe-calls) snapshot row timestamps are persistence metadata consumed only by the load-time age bound; they never feed an evaluation result
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |elapsed| elapsed.as_secs())
+}
+
+/// Reads [`CACHE_MAX_AGE_ENV`]: a positive integer bounds row age at load;
+/// unset, unparsable or `0` disables the bound.
+fn max_age_from_env() -> u64 {
+    std::env::var(CACHE_MAX_AGE_ENV)
+        .ok()
+        .and_then(|value| value.trim().parse::<u64>().ok())
+        .filter(|&seconds| seconds > 0)
+        .unwrap_or(u64::MAX)
+}
+
+/// One [`TAG_SNAPSHOT_ROW`] section (tag + length + body) for a cached
+/// entry — the unit both full snapshots and appending saves write.
+fn snapshot_row_section(
+    written_at: u64,
+    fingerprint: u64,
+    config: &SimConfig,
+    report: &PlatformReport,
+) -> Vec<u8> {
+    let config_bytes = bincodec::config_to_bin(config);
+    let report_bytes = bincodec::report_to_bin(report);
+    let mut body = BinWriter::new();
+    body.put_u64(written_at);
+    body.put_u64(fingerprint);
+    body.put_u32(u32::try_from(config_bytes.len()).unwrap_or(u32::MAX));
+    body.put_bytes(&config_bytes);
+    body.put_u32(u32::try_from(report_bytes.len()).unwrap_or(u32::MAX));
+    body.put_bytes(&report_bytes);
+    let mut section = BinWriter::new();
+    section.section(TAG_SNAPSHOT_ROW, &body.into_bytes());
+    section.into_bytes()
+}
+
+/// A complete binary snapshot document: header section first, then one row
+/// section per entry, all stamped `written_at`.
+fn encode_snapshot_bin(rows: &[(u64, SimConfig, PlatformReport)], written_at: u64) -> Vec<u8> {
+    let mut payload = BinWriter::new();
+    let mut header = BinWriter::new();
+    header.put_u64(CACHE_SCHEMA_VERSION);
+    payload.section(TAG_SNAPSHOT_HEADER, &header.into_bytes());
+    for (fingerprint, config, report) in rows {
+        payload.put_bytes(&snapshot_row_section(
+            written_at,
+            *fingerprint,
+            config,
+            report,
+        ));
+    }
+    bincodec::document(bincodec::DOC_SNAPSHOT, &payload.into_bytes())
+}
+
+/// Fingerprints already persisted in a binary snapshot file, read from the
+/// row headers without decoding config/report bodies. `None` when the file
+/// is missing, not a current-version binary snapshot, or damaged — the
+/// appending save then falls back to a full rewrite.
+fn existing_binary_fingerprints(path: &Path) -> Option<BTreeSet<u64>> {
+    let bytes = std::fs::read(path).ok()?;
+    let payload = bincodec::document_payload(&bytes, bincodec::DOC_SNAPSHOT).ok()?;
+    let mut reader = BinReader::new(payload);
+    let mut header_seen = false;
+    let mut fingerprints = BTreeSet::new();
+    loop {
+        match reader.next_section() {
+            Ok(Some((TAG_SNAPSHOT_HEADER, body))) => {
+                let mut section = BinReader::new(body);
+                if section.take_u64().ok()? != CACHE_SCHEMA_VERSION {
+                    return None;
+                }
+                header_seen = true;
+            }
+            Ok(Some((TAG_SNAPSHOT_ROW, body))) => {
+                let mut section = BinReader::new(body);
+                section.take_u64().ok()?; // written_at
+                fingerprints.insert(section.take_u64().ok()?);
+            }
+            Ok(Some(_)) => {} // Unknown section: skippable, not ours to judge.
+            Ok(None) => break,
+            Err(_) => return None,
+        }
+    }
+    header_seen.then_some(fingerprints)
 }
 
 /// A point-in-time view of the cache counters.
@@ -491,23 +653,22 @@ impl ReportCache {
         self.snapshot_with_count().0
     }
 
-    /// [`ReportCache::snapshot_json`] plus the number of persisted rows,
-    /// counted from the snapshot itself — the shards are re-locked here, so
-    /// only this count is guaranteed to match the rendered document under
-    /// concurrent inserts.
-    fn snapshot_with_count(&self) -> (String, usize) {
-        let mut rows: Vec<(u64, String, JsonValue)> = Vec::new();
+    /// The rows a snapshot persists, in persisted order: every stored
+    /// entry, most-recently-used entries winning the truncation to the
+    /// capacity bound, the surviving set sorted by canonical configuration
+    /// string so both snapshot encodings are deterministic for a given
+    /// surviving set.
+    fn snapshot_rows(&self) -> Vec<(u64, SimConfig, PlatformReport)> {
+        let mut rows: Vec<(u64, String, u64, SimConfig, PlatformReport)> = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
             for entry in &shard.entries {
-                let config_json = config_to_json(&entry.config);
                 rows.push((
                     entry.last_used,
-                    config_json.render(),
-                    JsonValue::Object(vec![
-                        ("config".to_string(), config_json),
-                        ("report".to_string(), report_to_json(&entry.report)),
-                    ]),
+                    canonical_config_string(&entry.config),
+                    entry.fingerprint,
+                    entry.config.clone(),
+                    entry.report.clone(),
                 ));
             }
         }
@@ -515,6 +676,17 @@ impl ReportCache {
         rows.sort_by_key(|row| std::cmp::Reverse(row.0));
         rows.truncate(self.config.capacity);
         rows.sort_by(|a, b| a.1.cmp(&b.1));
+        rows.into_iter()
+            .map(|(_, _, fingerprint, config, report)| (fingerprint, config, report))
+            .collect()
+    }
+
+    /// [`ReportCache::snapshot_json`] plus the number of persisted rows,
+    /// counted from the snapshot itself — the shards are re-locked here, so
+    /// only this count is guaranteed to match the rendered document under
+    /// concurrent inserts.
+    fn snapshot_with_count(&self) -> (String, usize) {
+        let rows = self.snapshot_rows();
         let count = rows.len();
         let snapshot = JsonValue::Object(vec![
             (
@@ -523,11 +695,122 @@ impl ReportCache {
             ),
             (
                 "entries".to_string(),
-                JsonValue::Array(rows.into_iter().map(|(_, _, row)| row).collect()),
+                JsonValue::Array(
+                    rows.iter()
+                        .map(|(_, config, report)| {
+                            JsonValue::Object(vec![
+                                ("config".to_string(), config_to_json(config)),
+                                ("report".to_string(), report_to_json(report)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ])
         .render();
         (snapshot, count)
+    }
+
+    /// Renders the cache as a binary snapshot document — the same rows as
+    /// [`ReportCache::snapshot_json`] (same bounding, same order) in the
+    /// compact [`crate::bincodec`] encoding, each row stamped with the
+    /// current time for the load-side age bound.
+    #[must_use]
+    pub fn snapshot_bin(&self) -> Vec<u8> {
+        encode_snapshot_bin(&self.snapshot_rows(), now_unix())
+    }
+
+    /// Restores entries from a binary snapshot with no age bound applied.
+    /// Returns the number of entries actually stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] on malformed bytes or a mismatched
+    /// schema version.
+    pub fn load_snapshot_bin(&self, bytes: &[u8]) -> Result<usize> {
+        self.load_snapshot_bin_bounded(bytes, 0, u64::MAX)
+    }
+
+    /// Restores entries from a binary snapshot produced by
+    /// [`ReportCache::snapshot_bin`] (or accumulated by appending saves),
+    /// skipping rows written more than `max_age_secs` before `now_unix` —
+    /// the load-side age bound that keeps a long-lived warm file from
+    /// resurrecting arbitrarily old reports. Returns the number of entries
+    /// actually stored; age-skipped and already-present rows are not
+    /// counted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Persistence`] on malformed bytes, a mismatched
+    /// schema version, or a row section appearing before the header.
+    pub fn load_snapshot_bin_bounded(
+        &self,
+        bytes: &[u8],
+        now_unix: u64,
+        max_age_secs: u64,
+    ) -> Result<usize> {
+        let payload = bincodec::document_payload(bytes, bincodec::DOC_SNAPSHOT)?;
+        let mut reader = BinReader::new(payload);
+        let mut version: Option<u64> = None;
+        let mut loaded = 0;
+        while let Some((tag, body)) = reader.next_section()? {
+            match tag {
+                TAG_SNAPSHOT_HEADER => {
+                    let mut section = BinReader::new(body);
+                    let value = section.take_u64()?;
+                    section.finish()?;
+                    if value != CACHE_SCHEMA_VERSION {
+                        return Err(SimError::Persistence {
+                            reason: format!(
+                                "cache snapshot schema version {value} does not match supported version {CACHE_SCHEMA_VERSION}"
+                            ),
+                        });
+                    }
+                    if version.replace(value).is_some() {
+                        return Err(SimError::Persistence {
+                            reason: "duplicate header section in binary cache snapshot".to_string(),
+                        });
+                    }
+                }
+                TAG_SNAPSHOT_ROW => {
+                    if version.is_none() {
+                        return Err(SimError::Persistence {
+                            reason: "binary cache snapshot row appears before the header"
+                                .to_string(),
+                        });
+                    }
+                    let mut section = BinReader::new(body);
+                    let written_at = section.take_u64()?;
+                    // The stored fingerprint serves the append-time scan;
+                    // loading recomputes it from the decoded configuration
+                    // so a corrupted value can never misfile an entry.
+                    let _stored_fingerprint = section.take_u64()?;
+                    let config_length = section.take_u32()? as usize;
+                    let config = bincodec::config_from_bin(section.take_bytes(config_length)?)?;
+                    let report_length = section.take_u32()? as usize;
+                    let report = bincodec::report_from_bin(section.take_bytes(report_length)?)?;
+                    section.finish()?;
+                    if now_unix.saturating_sub(written_at) > max_age_secs {
+                        continue;
+                    }
+                    let fingerprint = Self::fingerprint(&config);
+                    let mut shard = self
+                        .shard_for(fingerprint)
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if self.insert_locked(&mut shard, fingerprint, &config, &report) {
+                        loaded += 1;
+                    }
+                }
+                _ => {} // Forward compatibility: skip sections a later writer added.
+            }
+        }
+        if version.is_none() {
+            return Err(SimError::Persistence {
+                reason: "binary cache snapshot is missing its header section".to_string(),
+            });
+        }
+        Ok(loaded)
     }
 
     /// Restores entries from a snapshot produced by
@@ -570,35 +853,93 @@ impl ReportCache {
         Ok(loaded)
     }
 
-    /// Writes the snapshot to a file (atomically enough for the workloads
-    /// here: full rewrite, no partial append). Returns the number of
-    /// persisted entries — counted from the written snapshot itself, and at
-    /// most the configured capacity, because [`ReportCache::snapshot_json`]
-    /// drops over-retained overflow entries.
+    /// Writes the snapshot to a file in the format selected by
+    /// [`SnapshotFormat::from_env`] (binary by default). A binary save onto
+    /// an existing current-version binary file appends only the rows whose
+    /// fingerprints the file lacks instead of rewriting everything; any
+    /// other target — missing file, JSON file, older or damaged binary, or
+    /// an append that would exceed the capacity bound — is a full rewrite.
+    /// Returns the number of rows the file holds after the save (at most
+    /// the configured capacity on a rewrite).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Persistence`] on I/O failure.
     pub fn save_to_path(&self, path: &Path) -> Result<usize> {
-        let (snapshot, entries) = self.snapshot_with_count();
-        std::fs::write(path, snapshot).map_err(|io| SimError::Persistence {
-            reason: format!("writing cache snapshot {}: {io}", path.display()),
-        })?;
-        Ok(entries)
+        match SnapshotFormat::from_env() {
+            SnapshotFormat::Json => {
+                let (snapshot, entries) = self.snapshot_with_count();
+                std::fs::write(path, snapshot)
+                    .map_err(|io| persistence_io("writing", path, &io))?;
+                Ok(entries)
+            }
+            SnapshotFormat::Binary => self.save_binary(path),
+        }
     }
 
-    /// Loads a snapshot file saved by [`ReportCache::save_to_path`]. Returns
-    /// the number of entries loaded.
+    /// The binary save path: append fresh rows when the target is already a
+    /// healthy current-version binary snapshot with room for them, full
+    /// rewrite otherwise.
+    fn save_binary(&self, path: &Path) -> Result<usize> {
+        let written_at = now_unix();
+        let rows = self.snapshot_rows();
+        if let Some(existing) = existing_binary_fingerprints(path) {
+            let fresh: Vec<&(u64, SimConfig, PlatformReport)> = rows
+                .iter()
+                .filter(|(fingerprint, _, _)| !existing.contains(fingerprint))
+                .collect();
+            if existing.len() + fresh.len() <= self.config.capacity {
+                let mut appended = Vec::new();
+                for (fingerprint, config, report) in fresh.iter().copied() {
+                    appended.extend_from_slice(&snapshot_row_section(
+                        written_at,
+                        *fingerprint,
+                        config,
+                        report,
+                    ));
+                }
+                let mut file = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|io| persistence_io("appending to", path, &io))?;
+                file.write_all(&appended)
+                    .map_err(|io| persistence_io("appending to", path, &io))?;
+                return Ok(existing.len() + fresh.len());
+            }
+        }
+        std::fs::write(path, encode_snapshot_bin(&rows, written_at))
+            .map_err(|io| persistence_io("writing", path, &io))?;
+        Ok(rows.len())
+    }
+
+    /// Loads a snapshot file saved by [`ReportCache::save_to_path`] in either
+    /// format, auto-detected from the first byte. Binary snapshots honour the
+    /// [`CACHE_MAX_AGE_ENV`] age bound; JSON snapshots carry no timestamps
+    /// and load in full. Returns the number of entries loaded.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Persistence`] on I/O failure, malformed JSON or a
-    /// mismatched schema version.
+    /// Returns [`SimError::Persistence`] on I/O failure, a malformed snapshot
+    /// in either format, or a mismatched schema version.
     pub fn load_from_path(&self, path: &Path) -> Result<usize> {
-        let snapshot = std::fs::read_to_string(path).map_err(|io| SimError::Persistence {
-            reason: format!("reading cache snapshot {}: {io}", path.display()),
+        let bytes = std::fs::read(path).map_err(|io| persistence_io("reading", path, &io))?;
+        if bincodec::is_binary(&bytes) {
+            return self.load_snapshot_bin_bounded(&bytes, now_unix(), max_age_from_env());
+        }
+        let snapshot = std::str::from_utf8(&bytes).map_err(|_| SimError::Persistence {
+            reason: format!(
+                "cache snapshot {} is neither a binary document nor UTF-8 JSON",
+                path.display()
+            ),
         })?;
-        self.load_snapshot(&snapshot)
+        self.load_snapshot(snapshot)
+    }
+}
+
+/// A [`SimError::Persistence`] describing a snapshot I/O failure.
+fn persistence_io(action: &str, path: &Path, io: &std::io::Error) -> SimError {
+    SimError::Persistence {
+        reason: format!("{action} cache snapshot {}: {io}", path.display()),
     }
 }
 
@@ -670,5 +1011,142 @@ mod tests {
         // The next caller computes fresh and succeeds.
         assert!(cache.get_or_compute(&a, || evaluate(&a)).is_ok());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn binary_snapshot_round_trips_bit_identically() {
+        let cache = ReportCache::new(CacheConfig::unsharded(8));
+        for length in [6, 8, 10] {
+            let config = config(length);
+            cache.get_or_compute(&config, || evaluate(&config)).unwrap();
+        }
+        let bytes = cache.snapshot_bin();
+        let restored = ReportCache::new(CacheConfig::unsharded(8));
+        assert_eq!(restored.load_snapshot_bin(&bytes).unwrap(), 3);
+        assert_eq!(restored.snapshot_json(), cache.snapshot_json());
+        // A second load of the same snapshot stores nothing new.
+        assert_eq!(restored.load_snapshot_bin(&bytes).unwrap(), 0);
+    }
+
+    #[test]
+    fn age_bound_skips_stale_rows_without_error() {
+        let cache = ReportCache::new(CacheConfig::unsharded(8));
+        let a = config(6);
+        cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+        let bytes = encode_snapshot_bin(&cache.snapshot_rows(), 1_000);
+        let fresh_enough = ReportCache::new(CacheConfig::unsharded(8));
+        assert_eq!(
+            fresh_enough
+                .load_snapshot_bin_bounded(&bytes, 1_500, 600)
+                .unwrap(),
+            1
+        );
+        let too_old = ReportCache::new(CacheConfig::unsharded(8));
+        assert_eq!(
+            too_old
+                .load_snapshot_bin_bounded(&bytes, 2_000, 600)
+                .unwrap(),
+            0
+        );
+        assert!(too_old.is_empty());
+    }
+
+    #[test]
+    fn binary_save_appends_new_rows_only() {
+        let path =
+            std::env::temp_dir().join(format!("mspt-cache-append-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cache = ReportCache::new(CacheConfig::unsharded(8));
+        let a = config(6);
+        cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+        assert_eq!(cache.save_binary(&path).unwrap(), 1);
+        let first_size = std::fs::metadata(&path).unwrap().len();
+
+        // Saving again with no new entries appends nothing.
+        assert_eq!(cache.save_binary(&path).unwrap(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), first_size);
+
+        // A new entry appends one row; the old bytes stay in place.
+        let b = config(8);
+        cache.get_or_compute(&b, || evaluate(&b)).unwrap();
+        assert_eq!(cache.save_binary(&path).unwrap(), 2);
+        assert!(std::fs::metadata(&path).unwrap().len() > first_size);
+
+        let restored = ReportCache::new(CacheConfig::unsharded(8));
+        assert_eq!(restored.load_from_path(&path).unwrap(), 2);
+        assert_eq!(restored.snapshot_json(), cache.snapshot_json());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn binary_save_rewrites_when_append_would_exceed_capacity() {
+        let path =
+            std::env::temp_dir().join(format!("mspt-cache-rewrite-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let small = ReportCache::new(CacheConfig::unsharded(2));
+        for length in [6, 8] {
+            let config = config(length);
+            small.get_or_compute(&config, || evaluate(&config)).unwrap();
+        }
+        assert_eq!(small.save_binary(&path).unwrap(), 2);
+        // Touch `a` so it survives eviction, then push a third entry out of
+        // capacity: the file now holds a fingerprint the cache evicted, so
+        // an append would exceed the bound and a rewrite happens instead.
+        let a = config(6);
+        small.get_or_compute(&a, || evaluate(&a)).unwrap();
+        let c = config(10);
+        small.get_or_compute(&c, || evaluate(&c)).unwrap();
+        assert_eq!(small.save_binary(&path).unwrap(), 2);
+        let restored = ReportCache::new(CacheConfig::unsharded(8));
+        assert_eq!(restored.load_from_path(&path).unwrap(), 2);
+        assert_eq!(restored.snapshot_json(), small.snapshot_json());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_era_snapshot_still_loads_from_path() {
+        let path =
+            std::env::temp_dir().join(format!("mspt-cache-json-era-{}.json", std::process::id()));
+        let cache = ReportCache::new(CacheConfig::unsharded(8));
+        let a = config(6);
+        cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+        std::fs::write(&path, cache.snapshot_json()).unwrap();
+        let restored = ReportCache::new(CacheConfig::unsharded(8));
+        assert_eq!(restored.load_from_path(&path).unwrap(), 1);
+        assert_eq!(restored.snapshot_json(), cache.snapshot_json());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_binary_snapshots_are_typed_errors() {
+        let cache = ReportCache::new(CacheConfig::unsharded(8));
+        let a = config(6);
+        cache.get_or_compute(&a, || evaluate(&a)).unwrap();
+        let bytes = cache.snapshot_bin();
+        // Truncation never panics: a cut exactly on the header/row section
+        // boundary is a valid zero-row snapshot (TLV streams are
+        // prefix-closed at section granularity), every other cut is a typed
+        // error. With one cached row there is exactly one such boundary.
+        let mut boundary_loads = 0;
+        for take in 0..bytes.len() {
+            let target = ReportCache::new(CacheConfig::unsharded(8));
+            match target.load_snapshot_bin(&bytes[..take]) {
+                Ok(loaded) => {
+                    assert_eq!(loaded, 0);
+                    boundary_loads += 1;
+                }
+                Err(SimError::Persistence { .. }) => {}
+                Err(other) => panic!("unexpected error kind: {other}"),
+            }
+        }
+        assert_eq!(boundary_loads, 1);
+        let target = ReportCache::new(CacheConfig::unsharded(8));
+        // A snapshot without its header section is rejected.
+        let empty = crate::bincodec::document(crate::bincodec::DOC_SNAPSHOT, &[]);
+        assert!(matches!(
+            target.load_snapshot_bin(&empty),
+            Err(SimError::Persistence { .. })
+        ));
+        assert!(target.is_empty());
     }
 }

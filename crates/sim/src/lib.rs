@@ -20,9 +20,10 @@
 //! free functions are thin wrappers over a single-threaded engine.
 //!
 //! Repeated evaluations are served from the engine's sharded, bounded,
-//! single-flight [`ReportCache`], which persists to a versioned JSON
-//! snapshot through the std-only [`codec`] module — the substrate of the
-//! `mspt-serve` concurrent serving layer.
+//! single-flight [`ReportCache`], which persists to a versioned snapshot —
+//! compact binary through the std-only [`bincodec`] module by default, JSON
+//! through [`codec`] for inspectability, with the format auto-detected on
+//! load — the substrate of the `mspt-serve` concurrent serving layer.
 //!
 //! # Examples
 //!
@@ -45,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 mod ablation;
+pub mod bincodec;
 mod cache;
 pub mod codec;
 mod config;
@@ -62,8 +64,9 @@ pub use ablation::{
     SensitivityPoint, SensitivitySweep,
 };
 pub use cache::{
-    CacheConfig, CacheStats, ReportCache, CACHE_CAPACITY_ENV, CACHE_PATH_ENV, CACHE_SCHEMA_VERSION,
-    DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS,
+    CacheConfig, CacheStats, ReportCache, SnapshotFormat, CACHE_CAPACITY_ENV, CACHE_FORMAT_ENV,
+    CACHE_MAX_AGE_ENV, CACHE_PATH_ENV, CACHE_SCHEMA_VERSION, DEFAULT_CACHE_CAPACITY,
+    DEFAULT_CACHE_SHARDS,
 };
 pub use codec::WireErrorKind;
 pub use config::SimConfig;

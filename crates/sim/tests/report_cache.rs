@@ -1,7 +1,7 @@
 //! Edge-case coverage for the sharded, bounded, single-flight report cache:
 //! degenerate capacities, LRU eviction order under interleaved hits,
 //! single-flight under contention, persistence round-trips and schema
-//! versioning, and disturbance-kind keying.
+//! versioning (in both snapshot codecs), and disturbance-kind keying.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
@@ -192,6 +192,80 @@ fn persistence_round_trips_bit_identically() {
     // Snapshots are canonical: re-rendering the restored cache is
     // byte-identical.
     assert_eq!(restored.snapshot_json(), snapshot);
+}
+
+#[test]
+fn binary_snapshots_round_trip_and_agree_with_json() {
+    let cache = ReportCache::new(CacheConfig::default());
+    let gaussian = config(CodeKind::Tree, 8);
+    let laplace = config(CodeKind::Tree, 8).with_disturbance(DisturbanceKind::Laplace);
+    let gray = config(CodeKind::Gray, 10);
+    for entry in [&gaussian, &laplace, &gray] {
+        cache.get_or_compute(entry, || evaluate(entry)).unwrap();
+    }
+
+    let restored_bin = ReportCache::new(CacheConfig::default());
+    assert_eq!(
+        restored_bin
+            .load_snapshot_bin(&cache.snapshot_bin())
+            .unwrap(),
+        3
+    );
+    let restored_json = ReportCache::new(CacheConfig::default());
+    assert_eq!(
+        restored_json.load_snapshot(&cache.snapshot_json()).unwrap(),
+        3
+    );
+
+    // Whichever codec carried the rows, the restored caches are
+    // indistinguishable: same canonical JSON snapshot, bit for bit.
+    assert_eq!(restored_bin.snapshot_json(), restored_json.snapshot_json());
+    for entry in [&gaussian, &laplace, &gray] {
+        let original = cache
+            .get_or_compute(entry, || unreachable!("warm"))
+            .unwrap();
+        let reloaded = restored_bin
+            .get_or_compute(entry, || unreachable!("warm"))
+            .unwrap();
+        assert_eq!(reloaded, original);
+        assert_eq!(
+            reloaded.crossbar_yield.to_bits(),
+            original.crossbar_yield.to_bits()
+        );
+    }
+}
+
+#[test]
+fn binary_snapshots_are_at_least_40_percent_smaller_at_64_entries() {
+    // One evaluated report re-keyed under 64 distinct configurations (the
+    // correlated shared fraction is part of the cache identity), so the
+    // size comparison does not need 64 evaluations.
+    let cache = ReportCache::new(CacheConfig::unsharded(64));
+    let base = config(CodeKind::Tree, 8);
+    let report = evaluate(&base).unwrap();
+    for index in 0..64u32 {
+        let entry = base.clone().with_disturbance(DisturbanceKind::Correlated {
+            shared_fraction: f64::from(index) / 128.0,
+        });
+        cache.get_or_compute(&entry, || Ok(report.clone())).unwrap();
+    }
+    assert_eq!(cache.len(), 64);
+
+    let json_bytes = cache.snapshot_json().len();
+    let bin_bytes = cache.snapshot_bin().len();
+    assert!(
+        (bin_bytes as f64) <= 0.60 * json_bytes as f64,
+        "binary snapshot is {bin_bytes} B against {json_bytes} B of JSON — \
+         less than the required 40% saving"
+    );
+
+    // And the large snapshot still round-trips completely.
+    let restored = ReportCache::new(CacheConfig::unsharded(64));
+    assert_eq!(
+        restored.load_snapshot_bin(&cache.snapshot_bin()).unwrap(),
+        64
+    );
+    assert_eq!(restored.snapshot_json(), cache.snapshot_json());
 }
 
 #[test]
