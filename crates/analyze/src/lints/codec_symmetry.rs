@@ -27,7 +27,8 @@ use std::collections::BTreeSet;
 use crate::diagnostics::Finding;
 use crate::lexer::{Token, TokenKind};
 use crate::lint::Lint;
-use crate::source::{matching, SourceFile, Workspace};
+use crate::lints::function_bodies;
+use crate::source::{SourceFile, Workspace};
 
 /// See the module docs.
 pub struct CodecSymmetry;
@@ -41,49 +42,6 @@ fn is_snake_case_key(text: &str) -> bool {
         && text
             .chars()
             .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '_')
-}
-
-/// `fn <name> … { body }` spans, keyed by function name.
-fn function_bodies(tokens: &[Token]) -> Vec<(String, usize, usize, u32, u32)> {
-    let mut bodies = Vec::new();
-    let mut index = 0;
-    while index < tokens.len() {
-        if !tokens[index].is_ident("fn") {
-            index += 1;
-            continue;
-        }
-        let Some(name) = tokens.get(index + 1).filter(|t| t.kind == TokenKind::Ident) else {
-            index += 1;
-            continue;
-        };
-        // The body is the first `{` at zero paren/bracket depth after the
-        // signature (generics, arguments, return type may nest).
-        let mut probe = index + 2;
-        let mut depth = 0i32;
-        let mut body = None;
-        while probe < tokens.len() {
-            let token = &tokens[probe];
-            if token.is_punct('(') || token.is_punct('[') {
-                depth += 1;
-            } else if token.is_punct(')') || token.is_punct(']') {
-                depth -= 1;
-            } else if token.is_punct('{') && depth == 0 {
-                body = Some(probe);
-                break;
-            } else if token.is_punct(';') && depth == 0 {
-                break;
-            }
-            probe += 1;
-        }
-        let Some(open) = body else {
-            index += 2;
-            continue;
-        };
-        let close = matching(tokens, open, '{', '}').unwrap_or(tokens.len() - 1);
-        bodies.push((name.text.clone(), open, close, name.line, name.col));
-        index = open + 1;
-    }
-    bodies
 }
 
 /// Keys the encoder writes: `("key", …)` tuple heads.

@@ -1,0 +1,351 @@
+//! `stage-fingerprint`: every `*_stage_key` function must read exactly the
+//! `SimConfig` accessors its registry row declares.
+//!
+//! The stage graph's invalidation contract rests on the `*_stage_key`
+//! functions in `crates/sim/src/stage.rs`: each formats **only** the config
+//! fields its `Stage::reads` entry declares, so a configuration change
+//! re-runs a stage iff it touches a declared field. Nothing structural ties
+//! a key function's body to its declared read set — a key function reading
+//! an extra accessor silently over-invalidates (cache misses that should
+//! hit), and one dropping an accessor under-invalidates (stale results
+//! served as hits, the dangerous direction). This lint keeps the two halves
+//! from drifting: it collects every `fn *_stage_key` in the workspace,
+//! extracts the `config.<accessor>()` calls in its body, and cross-checks
+//! them against the registry below. Undeclared reads, missing declared
+//! reads, unregistered key functions and registry rot are all deny
+//! findings.
+//!
+//! Key functions take the configuration parameter as `config` by
+//! convention; the lint matches that receiver name.
+//!
+//! Adding a stage? Extend `Stage::reads` and write the matching
+//! `*_stage_key` in `crates/sim/src/stage.rs`, then add a row with the same
+//! accessor set to [`StageFingerprint::default`].
+
+use std::collections::BTreeSet;
+
+use crate::diagnostics::Finding;
+use crate::lexer::TokenKind;
+use crate::lint::Lint;
+use crate::lints::function_bodies;
+use crate::source::Workspace;
+
+/// See the module docs.
+pub struct StageFingerprint {
+    /// Registered `(key function, declared config accessors)` rows.
+    registry: Vec<(&'static str, &'static [&'static str])>,
+}
+
+impl Default for StageFingerprint {
+    /// The workspace registry — one row per `*_stage_key` function,
+    /// mirroring `Stage::reads` in `crates/sim/src/stage.rs`. Keep sorted
+    /// by function name.
+    fn default() -> StageFingerprint {
+        StageFingerprint {
+            registry: vec![
+                (
+                    "addressability_stage_key",
+                    &[
+                        "code",
+                        "nanowires_per_half_cave",
+                        "threshold_model",
+                        "sigma_per_dose",
+                        "supply_range",
+                        "code_budgets",
+                        "window_override",
+                    ],
+                ),
+                (
+                    "cave_yield_stage_key",
+                    &[
+                        "code",
+                        "nanowires_per_half_cave",
+                        "layout",
+                        "threshold_model",
+                        "sigma_per_dose",
+                        "supply_range",
+                        "code_budgets",
+                        "window_override",
+                    ],
+                ),
+                (
+                    "composite_stage_key",
+                    &[
+                        "code",
+                        "nanowires_per_half_cave",
+                        "raw_bits",
+                        "layout",
+                        "threshold_model",
+                        "sigma_per_dose",
+                        "supply_range",
+                        "window_override",
+                        "code_budgets",
+                        "defects",
+                    ],
+                ),
+                (
+                    "contact_layout_stage_key",
+                    &["code", "nanowires_per_half_cave", "layout"],
+                ),
+                (
+                    "crossbar_area_stage_key",
+                    &["code", "nanowires_per_half_cave", "raw_bits", "layout"],
+                ),
+                (
+                    "defect_map_stage_key",
+                    &["nanowires_per_half_cave", "raw_bits", "layout", "defects"],
+                ),
+                (
+                    "monte_carlo_stage_key",
+                    &[
+                        "code",
+                        "nanowires_per_half_cave",
+                        "threshold_model",
+                        "sigma_per_dose",
+                        "supply_range",
+                        "code_budgets",
+                        "window_override",
+                        "disturbance",
+                    ],
+                ),
+                (
+                    "variability_stage_key",
+                    &[
+                        "code",
+                        "nanowires_per_half_cave",
+                        "threshold_model",
+                        "sigma_per_dose",
+                        "supply_range",
+                        "code_budgets",
+                    ],
+                ),
+            ],
+        }
+    }
+}
+
+impl StageFingerprint {
+    /// A lint instance checking against an explicit registry (for tests).
+    #[must_use]
+    pub fn with_registry(
+        registry: Vec<(&'static str, &'static [&'static str])>,
+    ) -> StageFingerprint {
+        StageFingerprint { registry }
+    }
+}
+
+/// A `fn *_stage_key` found in the workspace with the `config.<accessor>()`
+/// calls its body makes.
+struct FoundKeyFn {
+    name: String,
+    reads: BTreeSet<String>,
+    file: String,
+    line: u32,
+    col: u32,
+}
+
+fn collect_key_fns(workspace: &Workspace) -> Vec<FoundKeyFn> {
+    let mut found = Vec::new();
+    for file in &workspace.files {
+        let path = file.path.to_string_lossy().into_owned();
+        let tokens = &file.tokens;
+        for (name, open, close, line, col) in function_bodies(tokens) {
+            if !name.ends_with("_stage_key") || file.is_test_token(open) {
+                continue;
+            }
+            // `config . accessor (` sequences in the body.
+            let mut reads = BTreeSet::new();
+            for index in open..close {
+                if tokens[index].is_ident("config")
+                    && tokens.get(index + 1).is_some_and(|t| t.is_punct('.'))
+                    && tokens
+                        .get(index + 2)
+                        .is_some_and(|t| t.kind == TokenKind::Ident)
+                    && tokens.get(index + 3).is_some_and(|t| t.is_punct('('))
+                {
+                    reads.insert(tokens[index + 2].text.clone());
+                }
+            }
+            found.push(FoundKeyFn {
+                name,
+                reads,
+                file: path.clone(),
+                line,
+                col,
+            });
+        }
+    }
+    found
+}
+
+impl Lint for StageFingerprint {
+    fn name(&self) -> &'static str {
+        "stage-fingerprint"
+    }
+
+    fn description(&self) -> &'static str {
+        "every *_stage_key function reads exactly its declared config accessors"
+    }
+
+    fn check(&self, workspace: &Workspace, findings: &mut Vec<Finding>) {
+        let key_fns = collect_key_fns(workspace);
+        for key_fn in &key_fns {
+            let Some(&(_, declared)) = self.registry.iter().find(|(name, _)| *name == key_fn.name)
+            else {
+                findings.push(Finding::deny(
+                    self.name(),
+                    key_fn.file.clone(),
+                    key_fn.line,
+                    key_fn.col,
+                    format!(
+                        "stage key function `{}` is not in the registry; add a row \
+                         with its read set to StageFingerprint::default in \
+                         crates/analyze",
+                        key_fn.name
+                    ),
+                ));
+                continue;
+            };
+            let declared: BTreeSet<&str> = declared.iter().copied().collect();
+            for read in &key_fn.reads {
+                if !declared.contains(read.as_str()) {
+                    findings.push(Finding::deny(
+                        self.name(),
+                        key_fn.file.clone(),
+                        key_fn.line,
+                        key_fn.col,
+                        format!(
+                            "`{}` reads `config.{read}()` which its registry row does \
+                             not declare; an undeclared read means the stage recomputes \
+                             on changes its declared read set says cannot affect it",
+                            key_fn.name
+                        ),
+                    ));
+                }
+            }
+            for declared_read in &declared {
+                if !key_fn.reads.contains(*declared_read) {
+                    findings.push(Finding::deny(
+                        self.name(),
+                        key_fn.file.clone(),
+                        key_fn.line,
+                        key_fn.col,
+                        format!(
+                            "`{}` never reads `config.{declared_read}()` though its \
+                             registry row declares it; a missing read serves stale \
+                             cache hits when that field changes",
+                            key_fn.name
+                        ),
+                    ));
+                }
+            }
+        }
+        for (name, _) in &self.registry {
+            if !key_fns.iter().any(|key_fn| key_fn.name == *name) {
+                findings.push(Finding::deny(
+                    self.name(),
+                    "(registry)",
+                    0,
+                    0,
+                    format!(
+                        "registered stage key function `{name}` no longer exists in \
+                         the workspace; remove the stale registry row"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check(lint: &StageFingerprint, source: &str) -> Vec<Finding> {
+        let workspace = Workspace {
+            files: vec![SourceFile::from_source("x.rs", "sim", source)],
+        };
+        let mut findings = Vec::new();
+        lint.check(&workspace, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn matching_read_sets_pass() {
+        let lint = StageFingerprint::with_registry(vec![("area_stage_key", &["code", "layout"])]);
+        let findings = check(
+            &lint,
+            r#"
+            pub(crate) fn area_stage_key(config: &SimConfig) -> String {
+                format!("area;code={:?};layout={:?}", config.code(), config.layout())
+            }
+            "#,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn undeclared_and_missing_reads_both_fire() {
+        let lint = StageFingerprint::with_registry(vec![("area_stage_key", &["code", "layout"])]);
+        let findings = check(
+            &lint,
+            r#"
+            pub(crate) fn area_stage_key(config: &SimConfig) -> String {
+                format!("area;code={:?};defects={:?}", config.code(), config.defects())
+            }
+            "#,
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("config.defects()")
+                    && f.message.contains("does not declare")),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("config.layout()")
+                    && f.message.contains("never reads")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn unregistered_and_vanished_key_functions_fire() {
+        let lint = StageFingerprint::with_registry(vec![("gone_stage_key", &["code"])]);
+        let findings = check(
+            &lint,
+            r#"
+            pub(crate) fn rogue_stage_key(config: &SimConfig) -> String {
+                format!("rogue;code={:?}", config.code())
+            }
+            "#,
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("`rogue_stage_key`")
+                    && f.message.contains("not in the registry")),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("`gone_stage_key`")
+                    && f.message.contains("no longer exists")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn in_test_key_functions_are_exempt() {
+        let lint = StageFingerprint::with_registry(vec![]);
+        let findings = check(
+            &lint,
+            "#[cfg(test)]\nmod tests {\n    fn fake_stage_key(config: &C) -> String { config.code() }\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

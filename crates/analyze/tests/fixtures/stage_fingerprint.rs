@@ -1,0 +1,34 @@
+// Fixture for the `stage-fingerprint` lint (analyzed as crate `sim`; never
+// compiled). The test registry declares:
+//   good_stage_key    -> code, layout
+//   drifted_stage_key -> code, layout
+//   vanished_stage_key -> code            (no longer defined here)
+
+pub(crate) fn good_stage_key(config: &SimConfig) -> String {
+    format!("good;code={:?};layout={:?}", config.code(), config.layout())
+}
+
+pub(crate) fn drifted_stage_key(config: &SimConfig) -> String {
+    // Reads `defects` (undeclared) and drops `layout` (declared).
+    format!(
+        "drifted;code={:?};defects={:?}",
+        config.code(),
+        config.defects()
+    )
+}
+
+pub(crate) fn rogue_stage_key(config: &SimConfig) -> String {
+    format!("rogue;code={:?}", config.code())
+}
+
+// mspt-analyze: allow(stage-fingerprint) fixture: scratch key for a stage still being split out
+pub(crate) fn scratch_stage_key(config: &SimConfig) -> String {
+    format!("scratch;code={:?}", config.code())
+}
+
+#[cfg(test)]
+mod tests {
+    fn fake_stage_key(config: &SimConfig) -> String {
+        format!("fake;window={:?}", config.window_override())
+    }
+}

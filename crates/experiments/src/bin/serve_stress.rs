@@ -49,7 +49,7 @@ use std::sync::Arc;
 use decoder_sim::codec::JsonValue;
 use decoder_sim::{
     CacheConfig, CacheStats, DisturbanceKind, EngineConfig, ExecutionEngine, ReportCache,
-    SimulationPlatform, CACHE_PATH_ENV,
+    SimulationPlatform, StageStats, CACHE_PATH_ENV,
 };
 use mspt_serve::{
     probe_shed, run_net_stress_codec, run_stress, NetServer, NetStressOutcome, ReportRequest,
@@ -82,6 +82,44 @@ fn benchmark_row(id: &str, median_ns: f64) -> JsonValue {
         ("id".to_string(), JsonValue::String(id.to_string())),
         ("median_ns".to_string(), JsonValue::from_f64(median_ns)),
     ])
+}
+
+/// The per-stage memo rows of the engine's stage cache — one object per
+/// stage, in `Stage::ALL` order. Rides alongside the aggregate report-cache
+/// counters in the results artifact (new key, old fields untouched, so
+/// pre-stage-cache consumers keep parsing).
+fn stage_stats_json(rows: &[StageStats]) -> JsonValue {
+    JsonValue::Array(
+        rows.iter()
+            .map(|row| {
+                JsonValue::Object(vec![
+                    (
+                        "stage".to_string(),
+                        JsonValue::String(row.stage.name().to_string()),
+                    ),
+                    ("hits".to_string(), JsonValue::from_u64(row.stats.hits)),
+                    ("misses".to_string(), JsonValue::from_u64(row.stats.misses)),
+                    (
+                        "evictions".to_string(),
+                        JsonValue::from_u64(row.stats.evictions),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn print_stage_stats(rows: &[StageStats]) {
+    println!("stage cache (hits / misses / evictions):");
+    for row in rows {
+        println!(
+            "  {:<14} {:>8} / {:>6} / {:>4}",
+            row.stage.name(),
+            row.stats.hits,
+            row.stats.misses,
+            row.stats.evictions,
+        );
+    }
 }
 
 /// The snapshot-size measurement: one cache, [`SNAPSHOT_ENTRIES`] rows,
@@ -145,6 +183,7 @@ fn results_json(
     labeled: &[(String, NetStressOutcome)],
     sheds_exercised: bool,
     snapshot: &SnapshotSizes,
+    stage_rows: &[StageStats],
 ) -> String {
     let (_, outcome) = &labeled[0];
     let latency = &outcome.latency;
@@ -249,6 +288,7 @@ fn results_json(
                 ),
             ]),
         ),
+        ("stage_cache".to_string(), stage_stats_json(stage_rows)),
         ("benchmarks".to_string(), JsonValue::Array(benchmarks)),
     ])
     .render()
@@ -494,7 +534,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if let Some(path) = &artifact {
-        let rendered = results_json(transport.trim(), &labeled, shed_exercised, &snapshot);
+        let rendered = results_json(
+            transport.trim(),
+            &labeled,
+            shed_exercised,
+            &snapshot,
+            &server.stage_stats(),
+        );
         std::fs::write(path, rendered.as_bytes())?;
         println!("results artifact: wrote {path}");
     }
@@ -503,6 +549,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let saved = engine.save_cache(Path::new(path))?;
         println!("warm cache: saved {saved} report(s) to {path}");
     }
+    print_stage_stats(&server.stage_stats());
     println!(
         "serve_stress: OK — {} request(s) total, final cache: {:?}",
         server.request_count(),

@@ -25,8 +25,9 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use decoder_sim::{
-    variability_map, DefectKind, DisturbanceKind, EngineConfig, ExecutionEngine, Fig5Report,
-    Fig6Report, Fig7Report, Fig8Report, MonteCarloConfig, Result, SimConfig, SimulationPlatform,
+    variability_map, DefectKind, DisturbanceKind, EngineConfig, Evaluation, ExecutionEngine,
+    Fig5Report, Fig6Report, Fig7Report, Fig8Report, MonteCarloConfig, Result, SimConfig,
+    SimulationPlatform, Stage,
 };
 use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 
@@ -359,13 +360,9 @@ pub fn disturbance_report_with(engine: &ExecutionEngine) -> Result<DisturbanceRe
     let code_kind = CodeKind::BalancedGray;
     let code = CodeSpec::new(code_kind, LogicLevel::BINARY, DISTURBANCE_CODE_LENGTH)?;
     let base = paper_base_config()?.with_code(code);
-    // The variability matrix, model and window are invariant across the
-    // compared distributions — derive them once, not once per model.
-    let platform = SimulationPlatform::new(base.clone());
-    let variability = platform.variability()?;
-    let model = base.variability_model()?;
-    let window = base.decision_window()?;
-    let analytic_gaussian_mean = platform.addressability()?.mean();
+    let analytic_gaussian_mean = SimulationPlatform::new(base.clone())
+        .addressability()?
+        .mean();
     let mc = MonteCarloConfig {
         samples: DISTURBANCE_SAMPLES,
         seed: DISTURBANCE_SEED,
@@ -378,13 +375,18 @@ pub fn disturbance_report_with(engine: &ExecutionEngine) -> Result<DisturbanceRe
             shared_fraction: 0.5,
         },
     ] {
-        let outcome = engine.monte_carlo_with_disturbance(
-            &variability,
-            &model,
-            window,
-            mc,
-            kind.model()?.as_ref(),
-        )?;
+        // One builder run per distribution. The disturbance kind is outside
+        // the variability stage's read set, so the engine's stage cache
+        // derives the variability matrix once and serves the second and
+        // third models from the memo slot — only the sampling pass re-runs
+        // per row.
+        let outcome = Evaluation::builder(base.clone())
+            .disturbance(kind)
+            .stages(&[Stage::MonteCarlo])
+            .monte_carlo(mc)
+            .run(engine)?
+            .monte_carlo
+            .expect("the Monte-Carlo stage was requested");
         let probabilities = outcome.profile.probabilities();
         points.push(DisturbancePoint {
             kind,

@@ -97,7 +97,7 @@ use decoder_sim::codec::{
 };
 use decoder_sim::{
     chunk_seed, CacheStats, DefectKind, DisturbanceKind, ExecutionEngine, PlatformReport, Result,
-    SimConfig, SimulationPlatform, WireErrorKind,
+    SimConfig, SimulationPlatform, StageStats, WireErrorKind,
 };
 
 pub mod binwire;
@@ -430,6 +430,14 @@ impl ReportServer {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         self.engine.cache_stats()
+    }
+
+    /// Per-stage hit/miss/eviction counters of the engine's stage cache, in
+    /// [`decoder_sim::Stage::ALL`] order — the rows the `serve_stress`
+    /// harness prints and emits next to the aggregate report-cache counters.
+    #[must_use]
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        self.engine.stage_stats()
     }
 
     /// Serves a typed request: applies the disturbance override, then

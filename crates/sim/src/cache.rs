@@ -1,6 +1,13 @@
 //! The sharded, bounded, single-flight report cache behind the execution
 //! engine and the serve layer.
 //!
+//! The sharding / LRU / single-flight machinery lives in the generic
+//! [`MemoCache`]; [`ReportCache`] is the (`SimConfig` → `PlatformReport`)
+//! instantiation that adds config fingerprinting and snapshot persistence,
+//! and the per-stage memo slots of [`crate::stage::StageCache`] are further
+//! instantiations of the same table — one set of counters, bounds and
+//! single-flight semantics for every memoized quantity in the workspace.
+//!
 //! # Design
 //!
 //! * **Sharding.** Entries are spread over [`CacheConfig::shards`] independent
@@ -319,10 +326,26 @@ impl CacheStats {
     }
 }
 
-struct Entry {
+/// FNV-1a over `key`, finalized through [`chunk_seed`] under `domain` at
+/// stream index `index` — the common fingerprint primitive of the report
+/// cache (`CACHE_KEY_DOMAIN`, index 0) and the per-stage caches
+/// (`STAGE_KEY_DOMAIN`, indexed by stage).
+pub(crate) fn key_fingerprint(domain: u64, index: u64, key: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in key.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    chunk_seed(hash ^ domain, index)
+}
+
+/// One stored entry of a [`MemoCache`]: the shard-selecting fingerprint, the
+/// full canonical key it was derived from, the memoized value and the
+/// recency tick.
+struct Entry<V> {
     fingerprint: u64,
-    config: SimConfig,
-    report: PlatformReport,
+    key: String,
+    value: V,
     last_used: u64,
 }
 
@@ -366,13 +389,13 @@ impl Flight {
 /// the in-flight marker and wakes every waiter. Without it, a panicking
 /// evaluation would leave the marker behind and every current and future
 /// request for that fingerprint would block forever.
-struct FlightGuard<'a> {
-    cache: &'a ReportCache,
+struct FlightGuard<'a, V: Clone> {
+    cache: &'a MemoCache<V>,
     fingerprint: u64,
     flight: Arc<Flight>,
 }
 
-impl Drop for FlightGuard<'_> {
+impl<V: Clone> Drop for FlightGuard<'_, V> {
     fn drop(&mut self) {
         match self.cache.shard_for(self.fingerprint).lock() {
             Ok(mut shard) => {
@@ -386,48 +409,58 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
-#[derive(Default)]
-struct Shard {
-    entries: Vec<Entry>,
+struct Shard<V> {
+    entries: Vec<Entry<V>>,
     // mspt-analyze: allow(determinism-unsafe-calls) key-lookup only; the map is never iterated, so hash order cannot leak
     in_flight: HashMap<u64, Arc<Flight>>,
 }
 
-/// The sharded, bounded, single-flight LRU cache of
-/// ([`SimConfig`] → [`PlatformReport`]) evaluations. See the module docs for
-/// the design; see [`ExecutionEngine`](crate::ExecutionEngine) for the
-/// primary consumer.
-pub struct ReportCache {
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            entries: Vec::new(),
+            // mspt-analyze: allow(determinism-unsafe-calls) key-lookup only; the map is never iterated, so hash order cannot leak
+            in_flight: HashMap::new(),
+        }
+    }
+}
+
+/// The generic fingerprint-sharded, bounded-LRU, single-flight memo table —
+/// the machinery [`ReportCache`] runs on, factored out so the per-stage
+/// memo slots of [`crate::stage::StageCache`] reuse it unchanged: sharding,
+/// exact per-shard LRU, `Mutex` + `Condvar` single-flight and
+/// hit/miss/eviction counters, generic over the memoized value.
+///
+/// A key is a `(fingerprint, canonical key string)` pair: the fingerprint
+/// selects the shard and prefilters lookups, and the full key string is
+/// re-checked on every match, so a fingerprint collision can cost a
+/// duplicate computation but never serve the wrong value.
+pub struct MemoCache<V: Clone> {
     config: CacheConfig,
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<Mutex<Shard<V>>>,
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
-impl std::fmt::Debug for ReportCache {
+impl<V: Clone> std::fmt::Debug for MemoCache<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReportCache")
+        f.debug_struct("MemoCache")
             .field("config", &self.config)
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
 
-impl Default for ReportCache {
-    fn default() -> Self {
-        ReportCache::new(CacheConfig::default())
-    }
-}
-
-impl ReportCache {
-    /// Creates a cache. The shard count is clamped to `1..=capacity` (one
-    /// shard when the capacity is zero); a zero capacity disables storage.
+impl<V: Clone> MemoCache<V> {
+    /// Creates a memo table. The shard count is clamped to `1..=capacity`
+    /// (one shard when the capacity is zero); a zero capacity disables
+    /// storage.
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         let shards = config.shards.max(1).min(config.capacity.max(1));
-        ReportCache {
+        MemoCache {
             config: CacheConfig {
                 capacity: config.capacity,
                 shards,
@@ -440,34 +473,19 @@ impl ReportCache {
         }
     }
 
-    /// The (clamped) configuration of the cache.
+    /// The (clamped) configuration of the table.
     #[must_use]
     pub fn config(&self) -> &CacheConfig {
         &self.config
     }
 
     /// The per-shard entry bound: `ceil(capacity / shards)`, or zero when
-    /// the cache is disabled.
+    /// storage is disabled.
     fn shard_capacity(&self) -> usize {
         self.config.capacity.div_ceil(self.config.shards)
     }
 
-    /// The fingerprint of a configuration: an FNV-1a hash of its canonical
-    /// serialized form, finalized through [`chunk_seed`] under the cache's
-    /// domain tag. Includes every field of the configuration — notably the
-    /// disturbance kind.
-    #[must_use]
-    pub fn fingerprint(config: &SimConfig) -> u64 {
-        let canonical = canonical_config_string(config);
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for byte in canonical.bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x100_0000_01b3);
-        }
-        chunk_seed(hash ^ CACHE_KEY_DOMAIN, 0)
-    }
-
-    fn shard_for(&self, fingerprint: u64) -> &Mutex<Shard> {
+    fn shard_for(&self, fingerprint: u64) -> &Mutex<Shard<V>> {
         &self.shards[(fingerprint % self.config.shards as u64) as usize]
     }
 
@@ -490,18 +508,17 @@ impl ReportCache {
             .sum()
     }
 
-    /// Whether the cache stores nothing.
+    /// Whether the table stores nothing.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Whether a configuration is currently stored. Does **not** refresh the
-    /// entry's recency or touch the counters — a pure probe for tests and
+    /// Whether a key is currently stored. Does **not** refresh the entry's
+    /// recency or touch the counters — a pure probe for tests and
     /// diagnostics.
     #[must_use]
-    pub fn contains(&self, config: &SimConfig) -> bool {
-        let fingerprint = Self::fingerprint(config);
+    pub fn contains_key(&self, fingerprint: u64, key: &str) -> bool {
         let shard = self
             .shard_for(fingerprint)
             .lock()
@@ -509,7 +526,7 @@ impl ReportCache {
         shard
             .entries
             .iter()
-            .any(|entry| entry.fingerprint == fingerprint && &entry.config == config)
+            .any(|entry| entry.fingerprint == fingerprint && entry.key == key)
     }
 
     /// The current counter values.
@@ -523,17 +540,21 @@ impl ReportCache {
         }
     }
 
+    /// Inserts an entry under its shard lock — see
+    /// [`MemoCache::insert_locked`]. Returns whether the entry was stored.
+    pub fn insert(&self, fingerprint: u64, key: &str, value: &V) -> bool {
+        let mut shard = self
+            .shard_for(fingerprint)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.insert_locked(&mut shard, fingerprint, key, value)
+    }
+
     /// Inserts an entry into its shard as most-recently-used, then evicts
     /// least-recently-used entries beyond the shard bound. Returns whether
-    /// the entry was stored — `false` for an already-present configuration
-    /// or a disabled cache.
-    fn insert_locked(
-        &self,
-        shard: &mut Shard,
-        fingerprint: u64,
-        config: &SimConfig,
-        report: &PlatformReport,
-    ) -> bool {
+    /// the entry was stored — `false` for an already-present key or a
+    /// disabled table.
+    fn insert_locked(&self, shard: &mut Shard<V>, fingerprint: u64, key: &str, value: &V) -> bool {
         let capacity = self.shard_capacity();
         if capacity == 0 {
             return false;
@@ -541,14 +562,14 @@ impl ReportCache {
         if shard
             .entries
             .iter()
-            .any(|entry| entry.fingerprint == fingerprint && &entry.config == config)
+            .any(|entry| entry.fingerprint == fingerprint && entry.key == key)
         {
             return false;
         }
         shard.entries.push(Entry {
             fingerprint,
-            config: config.clone(),
-            report: report.clone(),
+            key: key.to_string(),
+            value: value.clone(),
             last_used: self.next_tick(),
         });
         while shard.entries.len() > capacity {
@@ -565,24 +586,23 @@ impl ReportCache {
         true
     }
 
-    /// Looks up a configuration, computing it through `compute` on a miss —
-    /// the single-flight entry point everything above the cache uses.
+    /// Looks up a key, computing it through `compute` on a miss — the
+    /// single-flight entry point everything above a memo table uses.
     ///
-    /// Concurrent callers with the same configuration block on one
-    /// computation: the first becomes the leader (counted as a miss), every
-    /// other caller waits on the leader's `Condvar` and is then served the
-    /// stored result (counted as a hit). If the leader's computation fails,
-    /// its error is returned to the leader and the waiters retake the lead
-    /// one at a time.
+    /// Concurrent callers with the same key block on one computation: the
+    /// first becomes the leader (counted as a miss), every other caller
+    /// waits on the leader's `Condvar` and is then served the stored result
+    /// (counted as a hit). If the leader's computation fails, its error is
+    /// returned to the leader and the waiters retake the lead one at a
+    /// time.
     ///
     /// # Errors
     ///
-    /// Propagates `compute`'s error (the cache never stores failures).
-    pub fn get_or_compute<F>(&self, config: &SimConfig, compute: F) -> Result<PlatformReport>
+    /// Propagates `compute`'s error (the table never stores failures).
+    pub fn get_or_compute<F>(&self, fingerprint: u64, key: &str, compute: F) -> Result<V>
     where
-        F: FnOnce() -> Result<PlatformReport>,
+        F: FnOnce() -> Result<V>,
     {
-        let fingerprint = Self::fingerprint(config);
         let mut compute = Some(compute);
         loop {
             let flight = {
@@ -593,11 +613,11 @@ impl ReportCache {
                 if let Some(entry) = shard
                     .entries
                     .iter_mut()
-                    .find(|entry| entry.fingerprint == fingerprint && &entry.config == config)
+                    .find(|entry| entry.fingerprint == fingerprint && entry.key == key)
                 {
                     entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(entry.report.clone());
+                    return Ok(entry.value.clone());
                 }
                 match shard.in_flight.get(&fingerprint) {
                     Some(flight) => Arc::clone(flight),
@@ -618,12 +638,12 @@ impl ReportCache {
                             .take()
                             .expect("a caller leads at most one computation")(
                         );
-                        if let Ok(report) = &computation {
+                        if let Ok(value) = &computation {
                             let mut shard = self
                                 .shard_for(fingerprint)
                                 .lock()
                                 .unwrap_or_else(PoisonError::into_inner);
-                            self.insert_locked(&mut shard, fingerprint, config, report);
+                            self.insert_locked(&mut shard, fingerprint, key, value);
                         }
                         // `_guard` drops here: waiters wake after the entry
                         // is stored, so a successful leader turns them into
@@ -637,6 +657,136 @@ impl ReportCache {
             // takes the lead itself (leader failed, or capacity is zero).
             flight.wait();
         }
+    }
+
+    /// An unordered point-in-time copy of every stored entry:
+    /// `(fingerprint, key, value, last_used)` rows, one shard at a time —
+    /// what snapshot persistence builds its bounded, sorted row set from.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u64, String, V, u64)> {
+        let mut rows = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for entry in &shard.entries {
+                rows.push((
+                    entry.fingerprint,
+                    entry.key.clone(),
+                    entry.value.clone(),
+                    entry.last_used,
+                ));
+            }
+        }
+        rows
+    }
+}
+
+/// The value [`ReportCache`] memoizes per configuration: the decoded
+/// configuration rides along with the report so snapshot persistence can
+/// re-encode both without reparsing the canonical key string.
+#[derive(Clone)]
+struct CachedReport {
+    config: SimConfig,
+    report: PlatformReport,
+}
+
+/// The sharded, bounded, single-flight LRU cache of
+/// ([`SimConfig`] → [`PlatformReport`]) evaluations — a [`MemoCache`] keyed
+/// by the canonical serialized configuration, plus versioned snapshot
+/// persistence. See the module docs for the design; see
+/// [`ExecutionEngine`](crate::ExecutionEngine) for the primary consumer.
+pub struct ReportCache {
+    memo: MemoCache<CachedReport>,
+}
+
+impl std::fmt::Debug for ReportCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReportCache")
+            .field("config", self.memo.config())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ReportCache {
+    fn default() -> Self {
+        ReportCache::new(CacheConfig::default())
+    }
+}
+
+impl ReportCache {
+    /// Creates a cache. The shard count is clamped to `1..=capacity` (one
+    /// shard when the capacity is zero); a zero capacity disables storage.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        ReportCache {
+            memo: MemoCache::new(config),
+        }
+    }
+
+    /// The (clamped) configuration of the cache.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        self.memo.config()
+    }
+
+    /// The fingerprint of a configuration: an FNV-1a hash of its canonical
+    /// serialized form, finalized through [`chunk_seed`] under the cache's
+    /// domain tag. Includes every field of the configuration — notably the
+    /// disturbance kind.
+    #[must_use]
+    pub fn fingerprint(config: &SimConfig) -> u64 {
+        key_fingerprint(CACHE_KEY_DOMAIN, 0, &canonical_config_string(config))
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Whether the cache stores nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// Whether a configuration is currently stored. Does **not** refresh the
+    /// entry's recency or touch the counters — a pure probe for tests and
+    /// diagnostics.
+    #[must_use]
+    pub fn contains(&self, config: &SimConfig) -> bool {
+        let key = canonical_config_string(config);
+        self.memo
+            .contains_key(key_fingerprint(CACHE_KEY_DOMAIN, 0, &key), &key)
+    }
+
+    /// The current counter values.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.memo.stats()
+    }
+
+    /// Looks up a configuration, computing it through `compute` on a miss —
+    /// the single-flight entry point everything above the cache uses. See
+    /// [`MemoCache::get_or_compute`] for the leader/waiter semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error (the cache never stores failures).
+    pub fn get_or_compute<F>(&self, config: &SimConfig, compute: F) -> Result<PlatformReport>
+    where
+        F: FnOnce() -> Result<PlatformReport>,
+    {
+        let key = canonical_config_string(config);
+        let fingerprint = key_fingerprint(CACHE_KEY_DOMAIN, 0, &key);
+        self.memo
+            .get_or_compute(fingerprint, &key, || {
+                compute().map(|report| CachedReport {
+                    config: config.clone(),
+                    report,
+                })
+            })
+            .map(|cached| cached.report)
     }
 
     /// Renders the cache as a versioned JSON snapshot, **bounded to the
@@ -659,22 +809,19 @@ impl ReportCache {
     /// string so both snapshot encodings are deterministic for a given
     /// surviving set.
     fn snapshot_rows(&self) -> Vec<(u64, SimConfig, PlatformReport)> {
-        let mut rows: Vec<(u64, String, u64, SimConfig, PlatformReport)> = Vec::new();
-        for shard in &self.shards {
-            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
-            for entry in &shard.entries {
-                rows.push((
-                    entry.last_used,
-                    canonical_config_string(&entry.config),
-                    entry.fingerprint,
-                    entry.config.clone(),
-                    entry.report.clone(),
-                ));
-            }
-        }
+        // The memo key *is* the canonical configuration string, so the
+        // deterministic snapshot order comes straight from the entries.
+        let mut rows: Vec<(u64, String, u64, SimConfig, PlatformReport)> = self
+            .memo
+            .entries()
+            .into_iter()
+            .map(|(fingerprint, key, cached, last_used)| {
+                (last_used, key, fingerprint, cached.config, cached.report)
+            })
+            .collect();
         // Most recently used first, then truncate to the capacity bound.
         rows.sort_by_key(|row| std::cmp::Reverse(row.0));
-        rows.truncate(self.config.capacity);
+        rows.truncate(self.memo.config().capacity);
         rows.sort_by(|a, b| a.1.cmp(&b.1));
         rows.into_iter()
             .map(|(_, _, fingerprint, config, report)| (fingerprint, config, report))
@@ -793,12 +940,12 @@ impl ReportCache {
                     if now_unix.saturating_sub(written_at) > max_age_secs {
                         continue;
                     }
-                    let fingerprint = Self::fingerprint(&config);
-                    let mut shard = self
-                        .shard_for(fingerprint)
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner);
-                    if self.insert_locked(&mut shard, fingerprint, &config, &report) {
+                    let key = canonical_config_string(&config);
+                    let fingerprint = key_fingerprint(CACHE_KEY_DOMAIN, 0, &key);
+                    if self
+                        .memo
+                        .insert(fingerprint, &key, &CachedReport { config, report })
+                    {
                         loaded += 1;
                     }
                 }
@@ -841,12 +988,12 @@ impl ReportCache {
         for row in entries {
             let config = config_from_json(row.get("config")?)?;
             let report = report_from_json(row.get("report")?)?;
-            let fingerprint = Self::fingerprint(&config);
-            let mut shard = self
-                .shard_for(fingerprint)
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            if self.insert_locked(&mut shard, fingerprint, &config, &report) {
+            let key = canonical_config_string(&config);
+            let fingerprint = key_fingerprint(CACHE_KEY_DOMAIN, 0, &key);
+            if self
+                .memo
+                .insert(fingerprint, &key, &CachedReport { config, report })
+            {
                 loaded += 1;
             }
         }
@@ -888,7 +1035,7 @@ impl ReportCache {
                 .iter()
                 .filter(|(fingerprint, _, _)| !existing.contains(fingerprint))
                 .collect();
-            if existing.len() + fresh.len() <= self.config.capacity {
+            if existing.len() + fresh.len() <= self.memo.config().capacity {
                 let mut appended = Vec::new();
                 for (fingerprint, config, report) in fresh.iter().copied() {
                     appended.extend_from_slice(&snapshot_row_section(

@@ -49,6 +49,7 @@ use crate::monte_carlo::{
     MonteCarloOutcome,
 };
 use crate::platform::{PlatformReport, SimulationPlatform};
+use crate::stage::{StageCache, StageStats};
 use crate::sweep::{BitAreaPoint, ComplexityPoint, YieldPoint};
 
 /// Environment variable overriding the default engine thread count
@@ -139,6 +140,7 @@ fn default_thread_count() -> usize {
 pub struct ExecutionEngine {
     config: EngineConfig,
     cache: ReportCache,
+    stages: StageCache,
 }
 
 impl Default for ExecutionEngine {
@@ -159,7 +161,8 @@ impl ExecutionEngine {
 
     /// Creates an engine with an explicit report-cache configuration — the
     /// constructor behind cache-bound experiments and the serve layer's
-    /// capacity knob.
+    /// capacity knob. The per-stage memo table ([`ExecutionEngine::stage_cache`])
+    /// shares the same capacity/shard configuration.
     #[must_use]
     pub fn with_cache(config: EngineConfig, cache: CacheConfig) -> Self {
         ExecutionEngine {
@@ -168,6 +171,7 @@ impl ExecutionEngine {
                 chunk_size: config.chunk_size.max(1),
             },
             cache: ReportCache::new(cache),
+            stages: StageCache::new(cache),
         }
     }
 
@@ -203,6 +207,25 @@ impl ExecutionEngine {
         self.cache.config()
     }
 
+    /// The engine's per-stage memo table — the stage-graph substrate every
+    /// [`ExecutionEngine::report_for`] and
+    /// [`ExecutionEngine::monte_carlo_for_config`] call shares. Exposed so
+    /// benches and callers can drive
+    /// [`SimulationPlatform::evaluate_with_stage_cache`] against a warm
+    /// engine directly.
+    #[must_use]
+    pub fn stage_cache(&self) -> &StageCache {
+        &self.stages
+    }
+
+    /// Per-stage hit/miss/eviction counters in [`crate::Stage::ALL`] order —
+    /// what the stage-invalidation matrix test and the serve stress output
+    /// read.
+    #[must_use]
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        self.stages.stats()
+    }
+
     /// Evaluates one configuration through the report cache: a repeated
     /// configuration is a cache hit, concurrent identical requests
     /// single-flight onto one evaluation. This is the serve layer's
@@ -214,16 +237,24 @@ impl ExecutionEngine {
     /// serial [`SimulationPlatform::evaluate`] at any thread count, because
     /// both assemble the same independently seeded chunks.
     ///
+    /// A report-cache miss still runs through the engine's
+    /// [`StageCache`]: the defect map and every pipeline stage memoize
+    /// independently, so a configuration that differs from a cached one in
+    /// only some fields (a sweep point) recomputes only the stages whose
+    /// read set changed.
+    ///
     /// # Errors
     ///
     /// Propagates evaluation errors (never cached).
     pub fn report_for(&self, config: &SimConfig) -> Result<PlatformReport> {
         self.cache.get_or_compute(config, || {
             let platform = SimulationPlatform::new(config.clone());
-            let map = platform.sample_defect_map_with(|model, rows, columns, seed| {
-                self.sample_defect_map(model, rows, columns, seed)
+            let map = self.stages.defect_map(config, || {
+                platform.sample_defect_map_with(|model, rows, columns, seed| {
+                    self.sample_defect_map(model, rows, columns, seed)
+                })
             })?;
-            platform.evaluate_with_defect_map(map.as_ref())
+            platform.evaluate_with_stage_cache(&self.stages, map.as_ref())
         })
     }
 
@@ -296,6 +327,11 @@ impl ExecutionEngine {
     /// sharded into deterministically seeded chunks (see the module-level
     /// determinism contract).
     ///
+    /// Deprecated entry point: prefer [`Evaluation`](crate::Evaluation),
+    /// which derives the inputs from a [`SimConfig`] and memoizes through
+    /// the engine's stage cache; this raw-matrix form is kept as a thin
+    /// delegate for callers that construct their own variability matrices.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for zero samples or a negative
@@ -315,6 +351,10 @@ impl ExecutionEngine {
     /// contract is unchanged: chunk `c` draws from `chunk_seed(seed, c)` and
     /// the model's fixed per-nanowire consumption keeps outcomes
     /// bit-identical for any thread count.
+    ///
+    /// Deprecated entry point: prefer [`Evaluation`](crate::Evaluation) with
+    /// [`SimConfig::with_disturbance`](crate::SimConfig::with_disturbance),
+    /// which memoizes through the engine's stage cache.
     ///
     /// # Errors
     ///
@@ -364,7 +404,14 @@ impl ExecutionEngine {
     /// its configured [`DisturbanceKind`](crate::DisturbanceKind): derives
     /// the variability matrix, model and decision window from `sim` and
     /// samples with `sim.disturbance()` — the engine-side entry point the
-    /// experiments layer sweeps over.
+    /// experiments layer sweeps over (also reachable through
+    /// [`Evaluation`](crate::Evaluation)).
+    ///
+    /// Both the outcome and the underlying variability matrix memoize in the
+    /// engine's [`StageCache`]: repeating the estimation is a Monte-Carlo
+    /// stage hit, and a sweep that varies only fields outside the
+    /// variability stage's read set (defect selection, sampling seed) reuses
+    /// the cached matrix instead of regenerating the pattern per point.
     ///
     /// # Errors
     ///
@@ -374,18 +421,21 @@ impl ExecutionEngine {
         sim: &SimConfig,
         config: MonteCarloConfig,
     ) -> Result<MonteCarloOutcome> {
-        let platform = SimulationPlatform::new(sim.clone());
-        let variability = platform.variability()?;
-        let model = sim.variability_model()?;
-        let window = sim.decision_window()?;
-        let disturbance = sim.disturbance().model()?;
-        self.monte_carlo_with_disturbance(
-            &variability,
-            &model,
-            window,
-            config,
-            disturbance.as_ref(),
-        )
+        self.stages
+            .monte_carlo(sim, config, self.config.chunk_size, || {
+                let platform = SimulationPlatform::new(sim.clone());
+                let staged = platform.variability_stage(&self.stages)?;
+                let model = sim.variability_model()?;
+                let window = sim.decision_window()?;
+                let disturbance = sim.disturbance().model()?;
+                self.monte_carlo_with_disturbance(
+                    &staged.variability,
+                    &model,
+                    window,
+                    config,
+                    disturbance.as_ref(),
+                )
+            })
     }
 
     /// Samples a crossbar defect map with its bands sharded across the

@@ -54,9 +54,11 @@ mod defect;
 mod disturbance;
 mod engine;
 mod error;
+mod evaluation;
 mod monte_carlo;
 mod platform;
 mod report;
+mod stage;
 mod sweep;
 
 pub use ablation::{
@@ -77,6 +79,7 @@ pub use disturbance::{
 };
 pub use engine::{EngineConfig, ExecutionEngine, DEFAULT_CHUNK_SIZE, ENGINE_THREADS_ENV};
 pub use error::{Result, SimError};
+pub use evaluation::{Evaluation, EvaluationBuilder, EvaluationOutcome};
 pub use monte_carlo::{
     max_profile_difference, monte_carlo_addressability, monte_carlo_with_disturbance,
     MonteCarloConfig, MonteCarloOutcome, NormalSource,
@@ -89,6 +92,7 @@ pub use monte_carlo::{
 pub use crossbar_array::chunk_seed;
 pub use platform::{PlatformReport, SimulationPlatform};
 pub use report::{Fig5Report, Fig6Report, Fig7Report, Fig8Report};
+pub use stage::{ConfigField, Stage, StageCache, StageStats};
 pub use sweep::{
     bit_area_sweep, complexity_sweep, defect_yield_sweep, full_sweep, variability_map, yield_sweep,
     BitAreaPoint, ComplexityPoint, DefectYieldPoint, VariabilityMap, YieldPoint,

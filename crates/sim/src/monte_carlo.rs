@@ -78,6 +78,10 @@ pub struct MonteCarloOutcome {
 /// Thin wrapper over a single-threaded [`ExecutionEngine`]; results are
 /// bit-identical to the engine at any thread count.
 ///
+/// Deprecated entry point: prefer [`Evaluation`](crate::Evaluation), which
+/// derives the inputs from a [`SimConfig`](crate::SimConfig) and memoizes
+/// through the engine's stage cache.
+///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidConfig`] when `samples` is zero, or propagates
@@ -98,6 +102,9 @@ pub fn monte_carlo_addressability(
 /// Thin wrapper over a single-threaded
 /// [`ExecutionEngine::monte_carlo_with_disturbance`]; results are
 /// bit-identical to the engine at any thread count.
+///
+/// Deprecated entry point: prefer [`Evaluation`](crate::Evaluation) with
+/// [`SimConfig::with_disturbance`](crate::SimConfig::with_disturbance).
 ///
 /// # Errors
 ///

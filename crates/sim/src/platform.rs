@@ -13,6 +13,7 @@ use nanowire_codes::{CodeSequence, CodeSpec};
 use crate::config::SimConfig;
 use crate::defect::DefectKind;
 use crate::error::{Result, SimError};
+use crate::stage::{StageCache, VariabilityStage};
 
 /// The outcome of evaluating one decoder design on the platform.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -235,6 +236,10 @@ impl SimulationPlatform {
     /// Runs the full evaluation and collects every reported quantity,
     /// sampling the configured defect map serially.
     ///
+    /// Callers holding an [`ExecutionEngine`](crate::ExecutionEngine) should
+    /// prefer [`Evaluation`](crate::Evaluation), which runs the same
+    /// pipeline through the engine's report and stage caches.
+    ///
     /// # Errors
     ///
     /// Propagates errors from every stage of the pipeline.
@@ -256,76 +261,160 @@ impl SimulationPlatform {
     /// dimensions do not match the configuration, or propagates pipeline
     /// errors.
     pub fn evaluate_with_defect_map(&self, map: Option<&DefectMap>) -> Result<PlatformReport> {
-        let code = self.config.code();
-        let variability = self.variability()?;
-        let cost = self.fabrication_cost()?;
-        let layout = self.contact_layout()?;
-        let profile = AddressabilityProfile::from_variability(
-            &variability,
-            &self.config.variability_model()?,
-            self.config.decision_window()?,
-        )?;
-        let yield_ = CaveYield::compute(&profile, &layout)?;
-        let spec = self.config.crossbar_spec()?;
-        let area = CrossbarArea::compute(&spec, code.code_length(), &layout)?;
-        let effective_bit_area = area.effective_bit_area(&spec, &yield_)?;
-        let effective_bits = yield_.effective_bits(spec.raw_crosspoints());
+        self.evaluate_with_stage_cache(&StageCache::disabled(), map)
+    }
 
-        let (defect_survival, composite_yield, composite_effective_bits) =
-            match (self.config.defects(), map) {
-                // Defect-free: the composite quantities *are* the decoder
-                // quantities, bit-for-bit (no multiplication by 1.0 that
-                // could perturb them).
-                (DefectKind::None, None) => (1.0, yield_.crossbar_yield(), effective_bits),
-                (DefectKind::Sampled(_), Some(map)) => {
-                    let edge = spec.nanowires_per_layer();
-                    if map.rows() != edge || map.columns() != edge {
-                        return Err(SimError::InvalidConfig {
-                            reason: format!(
-                                "defect map is {}x{} but the crossbar is {edge}x{edge}",
-                                map.rows(),
-                                map.columns()
-                            ),
-                        });
-                    }
-                    let composite = map.compose_with(&yield_);
-                    (
-                        composite.defect_survival,
-                        composite.crossbar_yield,
-                        composite.effective_bits(spec.raw_crosspoints()),
-                    )
-                }
-                (DefectKind::None, Some(_)) => {
-                    return Err(SimError::InvalidConfig {
-                        reason: "defect map supplied for a defect-free configuration".to_string(),
-                    })
-                }
-                (DefectKind::Sampled(_), None) => {
-                    return Err(SimError::InvalidConfig {
-                        reason: "defect-configured evaluation needs a sampled defect map"
-                            .to_string(),
-                    })
-                }
-            };
-
-        Ok(PlatformReport {
-            code,
-            nanowires_per_half_cave: self.config.nanowires_per_half_cave(),
-            fabrication_steps: cost.total(),
-            mean_variability: variability.mean_in_sigma_units(),
-            max_normalized_sigma: variability.normalized_map().max(),
-            cave_yield: yield_.nanowire_yield(),
-            crossbar_yield: yield_.crossbar_yield(),
-            effective_bits,
-            raw_bit_area: area.raw_bit_area(&spec).value(),
-            effective_bit_area: effective_bit_area.value(),
-            contact_groups: layout.group_count(),
-            defects: self.config.defects(),
-            defect_survival,
-            composite_yield,
-            composite_effective_bits,
+    /// The memoized variability stage: the variability matrix and the
+    /// fabrication cost, which share one pattern/ladder build. This is the
+    /// root stage both the report pipeline and the Monte-Carlo validator
+    /// hang off — a sweep over the defect axis (or the disturbance kind)
+    /// hits this slot instead of regenerating the pattern per point.
+    pub(crate) fn variability_stage(&self, stages: &StageCache) -> Result<VariabilityStage> {
+        stages.variability(&self.config, || {
+            // Σ and Φ share the pattern and the doping ladder, so one
+            // stage computes both from a single pattern build.
+            let pattern = self.half_cave()?.pattern()?;
+            let ladder = self.config.doping_ladder()?;
+            Ok(VariabilityStage {
+                variability: VariabilityMatrix::from_pattern(
+                    &pattern,
+                    &ladder,
+                    &self.config.variability_model()?,
+                )?,
+                cost: FabricationCost::from_pattern(&pattern, &ladder)?,
+            })
         })
     }
+
+    /// [`SimulationPlatform::evaluate_with_defect_map`] through an explicit
+    /// per-stage memo table — the stage-graph entry point the
+    /// [`ExecutionEngine`](crate::ExecutionEngine) routes every cached
+    /// evaluation through. Each pipeline stage (variability, contact layout,
+    /// addressability, cave yield, crossbar area, defect composition) looks
+    /// up its own fingerprint in `stages` first, so a configuration change
+    /// recomputes only the stages whose declared read set it touches (see
+    /// [`Stage::reads`](crate::Stage::reads)).
+    ///
+    /// With a [`StageCache::disabled`] cache every stage is a leader-path
+    /// miss and the evaluation is bit-identical to the pre-stage monolith —
+    /// the configuration behind [`SimulationPlatform::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the map's presence or
+    /// dimensions do not match the configuration (checked **before** any
+    /// memo lookup, so a warm cache never masks a mismatched map), or
+    /// propagates pipeline errors.
+    pub fn evaluate_with_stage_cache(
+        &self,
+        stages: &StageCache,
+        map: Option<&DefectMap>,
+    ) -> Result<PlatformReport> {
+        let spec = self.config.crossbar_spec()?;
+        let edge = spec.nanowires_per_layer();
+        check_defect_map(self.config.defects(), map, edge)?;
+        stages.composite(&self.config, || {
+            let code = self.config.code();
+            let staged = self.variability_stage(stages)?;
+            let layout = stages.contact_layout(&self.config, || self.contact_layout())?;
+            let profile = stages.addressability(&self.config, || {
+                Ok(AddressabilityProfile::from_variability(
+                    &staged.variability,
+                    &self.config.variability_model()?,
+                    self.config.decision_window()?,
+                )?)
+            })?;
+            let yield_ =
+                stages.cave_yield(&self.config, || Ok(CaveYield::compute(&profile, &layout)?))?;
+            let area = stages.crossbar_area(&self.config, || {
+                Ok(CrossbarArea::compute(&spec, code.code_length(), &layout)?)
+            })?;
+            let effective_bit_area = area.effective_bit_area(&spec, &yield_)?;
+            let effective_bits = yield_.effective_bits(spec.raw_crosspoints());
+
+            let (defect_survival, composite_yield, composite_effective_bits) =
+                compose_defect_quantities(
+                    self.config.defects(),
+                    map,
+                    edge,
+                    &yield_,
+                    effective_bits,
+                    spec.raw_crosspoints(),
+                )?;
+
+            Ok(PlatformReport {
+                code,
+                nanowires_per_half_cave: self.config.nanowires_per_half_cave(),
+                fabrication_steps: staged.cost.total(),
+                mean_variability: staged.variability.mean_in_sigma_units(),
+                max_normalized_sigma: staged.variability.normalized_map().max(),
+                cave_yield: yield_.nanowire_yield(),
+                crossbar_yield: yield_.crossbar_yield(),
+                effective_bits,
+                raw_bit_area: area.raw_bit_area(&spec).value(),
+                effective_bit_area: effective_bit_area.value(),
+                contact_groups: layout.group_count(),
+                defects: self.config.defects(),
+                defect_survival,
+                composite_yield,
+                composite_effective_bits,
+            })
+        })
+    }
+}
+
+/// Presence and dimension checks of an externally supplied defect map — the
+/// three error cases of [`SimulationPlatform::evaluate_with_defect_map`],
+/// factored out so the staged path rejects a mismatched map *before* any
+/// memo lookup (a composite cache hit must never mask one).
+fn check_defect_map(defects: DefectKind, map: Option<&DefectMap>, edge: usize) -> Result<()> {
+    match (defects, map) {
+        (DefectKind::None, None) => Ok(()),
+        (DefectKind::Sampled(_), Some(map)) => {
+            if map.rows() != edge || map.columns() != edge {
+                return Err(SimError::InvalidConfig {
+                    reason: format!(
+                        "defect map is {}x{} but the crossbar is {edge}x{edge}",
+                        map.rows(),
+                        map.columns()
+                    ),
+                });
+            }
+            Ok(())
+        }
+        (DefectKind::None, Some(_)) => Err(SimError::InvalidConfig {
+            reason: "defect map supplied for a defect-free configuration".to_string(),
+        }),
+        (DefectKind::Sampled(_), None) => Err(SimError::InvalidConfig {
+            reason: "defect-configured evaluation needs a sampled defect map".to_string(),
+        }),
+    }
+}
+
+/// The defect-composition quantities of a report:
+/// `(defect_survival, composite_yield, composite_effective_bits)`. A
+/// defect-free evaluation returns the decoder quantities bit-for-bit (no
+/// multiplication by `1.0` that could perturb them).
+fn compose_defect_quantities(
+    defects: DefectKind,
+    map: Option<&DefectMap>,
+    edge: usize,
+    yield_: &CaveYield,
+    effective_bits: f64,
+    raw_crosspoints: u64,
+) -> Result<(f64, f64, f64)> {
+    check_defect_map(defects, map, edge)?;
+    Ok(match map {
+        None => (1.0, yield_.crossbar_yield(), effective_bits),
+        Some(map) => {
+            let composite = map.compose_with(yield_);
+            (
+                composite.defect_survival,
+                composite.crossbar_yield,
+                composite.effective_bits(raw_crosspoints),
+            )
+        }
+    })
 }
 
 #[cfg(test)]

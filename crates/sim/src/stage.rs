@@ -1,0 +1,860 @@
+//! The stage graph of the evaluation pipeline: incremental,
+//! dependency-aware recomputation.
+//!
+//! [`SimulationPlatform::evaluate_with_defect_map`] used to be a monolith —
+//! any one-field configuration change re-ran everything. This module splits
+//! it into explicit stages, each memoized under a **canonical per-stage
+//! fingerprint** derived from only the [`SimConfig`] fields the stage
+//! actually reads:
+//!
+//! ```text
+//! Variability ──────► Addressability ──► CaveYield ──┐
+//!   (Σ matrix + Φ)       (window)           ▲        │
+//! ContactLayout ─────────────────────────────┘        ├─► Composite
+//!   └─────────► CrossbarArea ─────────────────────────┤   (PlatformReport)
+//! DefectMap ──────────────────────────────────────────┘
+//! Variability ──────► MonteCarlo   (+ Disturbance, samples, seed, chunk)
+//! ```
+//!
+//! Changing only the defect seed therefore re-runs only the `DefectMap` and
+//! `Composite` stages; changing only the disturbance kind re-runs only the
+//! `MonteCarlo` stage — every other stage is a cache hit, with its own
+//! hit/miss/eviction counters.
+//!
+//! # Fingerprint rules
+//!
+//! Every stage has a hand-written `*_stage_key` function that formats
+//! **exactly** the accessors its [`Stage::reads`] entry declares (the
+//! `stage-fingerprint` lint in `mspt-analyze` machine-checks this), and a
+//! fingerprint `key_fingerprint(STAGE_KEY_DOMAIN, stage_index, key)` — the
+//! same FNV-1a + [`chunk_seed`](crossbar_array::chunk_seed) discipline as
+//! the report cache, under its own domain tag so stage keys never collide
+//! with report keys or sampling seeds.
+//!
+//! [`StageCache`] holds one [`MemoCache`] slot per stage, so every stage
+//! keeps the report cache's per-shard LRU bounds, single-flight semantics
+//! and counters.
+
+use crossbar_array::{
+    AddressabilityProfile, CaveYield, ContactGroupLayout, CrossbarArea, DefectMap,
+};
+use mspt_fabrication::{FabricationCost, VariabilityMatrix};
+
+use crate::cache::{key_fingerprint, CacheConfig, CacheStats, MemoCache};
+use crate::config::SimConfig;
+use crate::error::Result;
+use crate::monte_carlo::{MonteCarloConfig, MonteCarloOutcome};
+use crate::platform::PlatformReport;
+
+/// Domain-separation tag mixed into stage-key fingerprints before the
+/// [`chunk_seed`](crossbar_array::chunk_seed) finalizer. Keeps the stage
+/// memo keys decorrelated from the report-cache key stream and from every
+/// sampling seed domain.
+const STAGE_KEY_DOMAIN: u64 = 0x57a6_e1fd_9b3c_5a21;
+
+/// The [`SimConfig`] fields a stage can declare in its read set — one
+/// variant per public accessor that is part of a configuration's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfigField {
+    /// [`SimConfig::code`].
+    Code,
+    /// [`SimConfig::nanowires_per_half_cave`].
+    NanowiresPerHalfCave,
+    /// [`SimConfig::raw_bits`].
+    RawBits,
+    /// [`SimConfig::layout`].
+    Layout,
+    /// [`SimConfig::threshold_model`].
+    ThresholdModel,
+    /// [`SimConfig::sigma_per_dose`].
+    SigmaPerDose,
+    /// [`SimConfig::supply_range`].
+    SupplyRange,
+    /// [`SimConfig::window_override`].
+    WindowOverride,
+    /// [`SimConfig::code_budgets`].
+    CodeBudgets,
+    /// [`SimConfig::disturbance`].
+    Disturbance,
+    /// [`SimConfig::defects`].
+    Defects,
+}
+
+impl ConfigField {
+    /// Every field, in declaration order — what the stage-invalidation
+    /// matrix test iterates over.
+    pub const ALL: [ConfigField; 11] = [
+        ConfigField::Code,
+        ConfigField::NanowiresPerHalfCave,
+        ConfigField::RawBits,
+        ConfigField::Layout,
+        ConfigField::ThresholdModel,
+        ConfigField::SigmaPerDose,
+        ConfigField::SupplyRange,
+        ConfigField::WindowOverride,
+        ConfigField::CodeBudgets,
+        ConfigField::Disturbance,
+        ConfigField::Defects,
+    ];
+
+    /// The name of the [`SimConfig`] accessor the field corresponds to —
+    /// the method name the `stage-fingerprint` lint matches key functions
+    /// against.
+    #[must_use]
+    pub fn accessor(self) -> &'static str {
+        match self {
+            ConfigField::Code => "code",
+            ConfigField::NanowiresPerHalfCave => "nanowires_per_half_cave",
+            ConfigField::RawBits => "raw_bits",
+            ConfigField::Layout => "layout",
+            ConfigField::ThresholdModel => "threshold_model",
+            ConfigField::SigmaPerDose => "sigma_per_dose",
+            ConfigField::SupplyRange => "supply_range",
+            ConfigField::WindowOverride => "window_override",
+            ConfigField::CodeBudgets => "code_budgets",
+            ConfigField::Disturbance => "disturbance",
+            ConfigField::Defects => "defects",
+        }
+    }
+}
+
+/// One stage of the evaluation pipeline — the unit of memoization and
+/// invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// The variability matrix `Σ` and fabrication complexity `Φ` of the
+    /// configured half cave (one stage: both derive from the same pattern
+    /// and doping ladder).
+    Variability,
+    /// The analytic per-nanowire addressability profile.
+    Addressability,
+    /// The contact-group layout of the half cave.
+    ContactLayout,
+    /// Cave and crossbar yield from addressability and contact layout.
+    CaveYield,
+    /// The crossbar area model (raw and effective bit area inputs).
+    CrossbarArea,
+    /// The sampled fabrication-defect map (`None` for a defect-free
+    /// configuration).
+    DefectMap,
+    /// The fully composed [`PlatformReport`] — everything the report
+    /// carries except Monte-Carlo results.
+    Composite,
+    /// The Monte-Carlo addressability estimation under the configured
+    /// disturbance (keyed additionally by samples, seed and chunk size).
+    MonteCarlo,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order — the order
+    /// [`StageCache::stats`] reports rows in.
+    pub const ALL: [Stage; 8] = [
+        Stage::Variability,
+        Stage::Addressability,
+        Stage::ContactLayout,
+        Stage::CaveYield,
+        Stage::CrossbarArea,
+        Stage::DefectMap,
+        Stage::Composite,
+        Stage::MonteCarlo,
+    ];
+
+    /// The stable kebab-case name of the stage — the `stage` label of
+    /// per-stage stats rows in the serve stress artifact.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Variability => "variability",
+            Stage::Addressability => "addressability",
+            Stage::ContactLayout => "contact-layout",
+            Stage::CaveYield => "cave-yield",
+            Stage::CrossbarArea => "crossbar-area",
+            Stage::DefectMap => "defect-map",
+            Stage::Composite => "composite",
+            Stage::MonteCarlo => "monte-carlo",
+        }
+    }
+
+    /// The stages whose outputs this stage consumes — the dependency edges
+    /// of the module-level diagram. A stage's read set is the union of its
+    /// dependencies' read sets plus its own direct reads, so invalidation
+    /// propagates downstream by construction.
+    #[must_use]
+    pub fn depends_on(self) -> &'static [Stage] {
+        match self {
+            Stage::Variability | Stage::ContactLayout | Stage::DefectMap => &[],
+            Stage::Addressability | Stage::MonteCarlo => &[Stage::Variability],
+            Stage::CaveYield => &[Stage::Addressability, Stage::ContactLayout],
+            Stage::CrossbarArea => &[Stage::ContactLayout],
+            Stage::Composite => &[
+                Stage::Variability,
+                Stage::CaveYield,
+                Stage::CrossbarArea,
+                Stage::DefectMap,
+            ],
+        }
+    }
+
+    /// The [`SimConfig`] fields the stage (transitively) reads — exactly
+    /// the fields its `*_stage_key` function formats, so a configuration
+    /// change re-runs the stage iff it touches one of these.
+    #[must_use]
+    pub fn reads(self) -> &'static [ConfigField] {
+        match self {
+            Stage::Variability => &[
+                ConfigField::Code,
+                ConfigField::NanowiresPerHalfCave,
+                ConfigField::ThresholdModel,
+                ConfigField::SigmaPerDose,
+                ConfigField::SupplyRange,
+                ConfigField::CodeBudgets,
+            ],
+            Stage::Addressability => &[
+                ConfigField::Code,
+                ConfigField::NanowiresPerHalfCave,
+                ConfigField::ThresholdModel,
+                ConfigField::SigmaPerDose,
+                ConfigField::SupplyRange,
+                ConfigField::CodeBudgets,
+                ConfigField::WindowOverride,
+            ],
+            Stage::ContactLayout => &[
+                ConfigField::Code,
+                ConfigField::NanowiresPerHalfCave,
+                ConfigField::Layout,
+            ],
+            Stage::CaveYield => &[
+                ConfigField::Code,
+                ConfigField::NanowiresPerHalfCave,
+                ConfigField::Layout,
+                ConfigField::ThresholdModel,
+                ConfigField::SigmaPerDose,
+                ConfigField::SupplyRange,
+                ConfigField::CodeBudgets,
+                ConfigField::WindowOverride,
+            ],
+            Stage::CrossbarArea => &[
+                ConfigField::Code,
+                ConfigField::NanowiresPerHalfCave,
+                ConfigField::RawBits,
+                ConfigField::Layout,
+            ],
+            Stage::DefectMap => &[
+                ConfigField::NanowiresPerHalfCave,
+                ConfigField::RawBits,
+                ConfigField::Layout,
+                ConfigField::Defects,
+            ],
+            Stage::Composite => &[
+                ConfigField::Code,
+                ConfigField::NanowiresPerHalfCave,
+                ConfigField::RawBits,
+                ConfigField::Layout,
+                ConfigField::ThresholdModel,
+                ConfigField::SigmaPerDose,
+                ConfigField::SupplyRange,
+                ConfigField::WindowOverride,
+                ConfigField::CodeBudgets,
+                ConfigField::Defects,
+            ],
+            Stage::MonteCarlo => &[
+                ConfigField::Code,
+                ConfigField::NanowiresPerHalfCave,
+                ConfigField::ThresholdModel,
+                ConfigField::SigmaPerDose,
+                ConfigField::SupplyRange,
+                ConfigField::CodeBudgets,
+                ConfigField::WindowOverride,
+                ConfigField::Disturbance,
+            ],
+        }
+    }
+
+    /// The position of the stage in [`Stage::ALL`] — the fingerprint stream
+    /// index, so two stages with an identical key string still fingerprint
+    /// differently.
+    fn index(self) -> u64 {
+        Stage::ALL
+            .iter()
+            .position(|&stage| stage == self)
+            .expect("every stage appears in ALL") as u64
+    }
+
+    /// The canonical memo key of the stage for a configuration: the
+    /// stage's `*_stage_key` rendering of exactly its declared read set.
+    /// ([`Stage::MonteCarlo`] keys carry additional sampling parameters —
+    /// see [`StageCache`]'s Monte-Carlo slot — appended by the cache, not
+    /// by the key function.)
+    #[must_use]
+    pub fn key(self, config: &SimConfig) -> String {
+        match self {
+            Stage::Variability => variability_stage_key(config),
+            Stage::Addressability => addressability_stage_key(config),
+            Stage::ContactLayout => contact_layout_stage_key(config),
+            Stage::CaveYield => cave_yield_stage_key(config),
+            Stage::CrossbarArea => crossbar_area_stage_key(config),
+            Stage::DefectMap => defect_map_stage_key(config),
+            Stage::Composite => composite_stage_key(config),
+            Stage::MonteCarlo => monte_carlo_stage_key(config),
+        }
+    }
+
+    /// The memo fingerprint of a canonical stage key: FNV-1a over the key,
+    /// finalized through the workspace-wide `chunk_seed` under
+    /// `STAGE_KEY_DOMAIN` at the stage's index.
+    #[must_use]
+    pub fn fingerprint(self, key: &str) -> u64 {
+        key_fingerprint(STAGE_KEY_DOMAIN, self.index(), key)
+    }
+}
+
+// The `*_stage_key` functions below are the machine-checked half of the
+// stage graph: each formats exactly the accessors its `Stage::reads` entry
+// declares, via `Debug` (injective for every field type — f64 renders
+// shortest-roundtrip). The `stage-fingerprint` lint in mspt-analyze keeps
+// the calls and the declared read sets from drifting apart.
+
+pub(crate) fn variability_stage_key(config: &SimConfig) -> String {
+    format!(
+        "variability;code={:?};nanowires={:?};threshold={:?};sigma={:?};supply={:?};budgets={:?}",
+        config.code(),
+        config.nanowires_per_half_cave(),
+        config.threshold_model(),
+        config.sigma_per_dose(),
+        config.supply_range(),
+        config.code_budgets(),
+    )
+}
+
+pub(crate) fn addressability_stage_key(config: &SimConfig) -> String {
+    format!(
+        "addressability;code={:?};nanowires={:?};threshold={:?};sigma={:?};supply={:?};budgets={:?};window={:?}",
+        config.code(),
+        config.nanowires_per_half_cave(),
+        config.threshold_model(),
+        config.sigma_per_dose(),
+        config.supply_range(),
+        config.code_budgets(),
+        config.window_override(),
+    )
+}
+
+pub(crate) fn contact_layout_stage_key(config: &SimConfig) -> String {
+    format!(
+        "contact-layout;code={:?};nanowires={:?};layout={:?}",
+        config.code(),
+        config.nanowires_per_half_cave(),
+        config.layout(),
+    )
+}
+
+pub(crate) fn cave_yield_stage_key(config: &SimConfig) -> String {
+    format!(
+        "cave-yield;code={:?};nanowires={:?};layout={:?};threshold={:?};sigma={:?};supply={:?};budgets={:?};window={:?}",
+        config.code(),
+        config.nanowires_per_half_cave(),
+        config.layout(),
+        config.threshold_model(),
+        config.sigma_per_dose(),
+        config.supply_range(),
+        config.code_budgets(),
+        config.window_override(),
+    )
+}
+
+pub(crate) fn crossbar_area_stage_key(config: &SimConfig) -> String {
+    format!(
+        "crossbar-area;code={:?};nanowires={:?};raw={:?};layout={:?}",
+        config.code(),
+        config.nanowires_per_half_cave(),
+        config.raw_bits(),
+        config.layout(),
+    )
+}
+
+pub(crate) fn defect_map_stage_key(config: &SimConfig) -> String {
+    format!(
+        "defect-map;nanowires={:?};raw={:?};layout={:?};defects={:?}",
+        config.nanowires_per_half_cave(),
+        config.raw_bits(),
+        config.layout(),
+        config.defects(),
+    )
+}
+
+pub(crate) fn composite_stage_key(config: &SimConfig) -> String {
+    format!(
+        "composite;code={:?};nanowires={:?};raw={:?};layout={:?};threshold={:?};sigma={:?};supply={:?};window={:?};budgets={:?};defects={:?}",
+        config.code(),
+        config.nanowires_per_half_cave(),
+        config.raw_bits(),
+        config.layout(),
+        config.threshold_model(),
+        config.sigma_per_dose(),
+        config.supply_range(),
+        config.window_override(),
+        config.code_budgets(),
+        config.defects(),
+    )
+}
+
+pub(crate) fn monte_carlo_stage_key(config: &SimConfig) -> String {
+    format!(
+        "monte-carlo;code={:?};nanowires={:?};threshold={:?};sigma={:?};supply={:?};budgets={:?};window={:?};disturbance={:?}",
+        config.code(),
+        config.nanowires_per_half_cave(),
+        config.threshold_model(),
+        config.sigma_per_dose(),
+        config.supply_range(),
+        config.code_budgets(),
+        config.window_override(),
+        config.disturbance(),
+    )
+}
+
+/// The memoized product of the [`Stage::Variability`] stage: the
+/// variability matrix and the fabrication cost ride together because both
+/// derive from the same pattern and doping ladder.
+#[derive(Debug, Clone)]
+pub(crate) struct VariabilityStage {
+    /// The variability matrix `Σ` of the configured half cave.
+    pub variability: VariabilityMatrix,
+    /// The fabrication complexity `Φ` of the configured half cave.
+    pub cost: FabricationCost,
+}
+
+/// The counters of one stage's memo slot — a per-stage [`CacheStats`] row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// The stage the counters belong to.
+    pub stage: Stage,
+    /// Hit/miss/eviction counters and current entry count of the stage's
+    /// memo slot.
+    pub stats: CacheStats,
+}
+
+/// The per-stage memo table of the evaluation pipeline: one
+/// [`MemoCache`] slot per [`Stage`], each with the report cache's
+/// fingerprint sharding, bounded LRU, single-flight semantics and
+/// hit/miss/eviction counters — the generalisation of
+/// [`ReportCache`](crate::ReportCache) the stage graph runs on.
+///
+/// The [`ExecutionEngine`](crate::ExecutionEngine) owns one; the serial
+/// entry points route through a [`StageCache::disabled`] instance, so
+/// their behaviour (including every defect-map validation error) is
+/// unchanged.
+#[derive(Debug)]
+pub struct StageCache {
+    variability: MemoCache<VariabilityStage>,
+    addressability: MemoCache<AddressabilityProfile>,
+    contact_layout: MemoCache<ContactGroupLayout>,
+    cave_yield: MemoCache<CaveYield>,
+    crossbar_area: MemoCache<CrossbarArea>,
+    defect_map: MemoCache<Option<DefectMap>>,
+    composite: MemoCache<PlatformReport>,
+    monte_carlo: MemoCache<MonteCarloOutcome>,
+}
+
+impl Default for StageCache {
+    fn default() -> Self {
+        StageCache::new(CacheConfig::default())
+    }
+}
+
+impl StageCache {
+    /// Creates a stage cache where every stage's memo slot uses `config`
+    /// (the same clamping rules as [`ReportCache`](crate::ReportCache):
+    /// shards clamped to `1..=capacity`, capacity `0` disables storage).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        StageCache {
+            variability: MemoCache::new(config),
+            addressability: MemoCache::new(config),
+            contact_layout: MemoCache::new(config),
+            cave_yield: MemoCache::new(config),
+            crossbar_area: MemoCache::new(config),
+            defect_map: MemoCache::new(config),
+            composite: MemoCache::new(config),
+            monte_carlo: MemoCache::new(config),
+        }
+    }
+
+    /// A cache that stores nothing: every stage lookup is a leader-path
+    /// miss that recomputes — the configuration behind the serial entry
+    /// points, which must stay bit- and error-identical to the pre-stage
+    /// monolith.
+    #[must_use]
+    pub fn disabled() -> Self {
+        StageCache::new(CacheConfig {
+            capacity: 0,
+            shards: 1,
+        })
+    }
+
+    /// The per-stage counters, one row per [`Stage`] in [`Stage::ALL`]
+    /// order — what `cache_stats` extensions and the serve stress artifact
+    /// report.
+    #[must_use]
+    pub fn stats(&self) -> Vec<StageStats> {
+        Stage::ALL
+            .iter()
+            .map(|&stage| StageStats {
+                stage,
+                stats: match stage {
+                    Stage::Variability => self.variability.stats(),
+                    Stage::Addressability => self.addressability.stats(),
+                    Stage::ContactLayout => self.contact_layout.stats(),
+                    Stage::CaveYield => self.cave_yield.stats(),
+                    Stage::CrossbarArea => self.crossbar_area.stats(),
+                    Stage::DefectMap => self.defect_map.stats(),
+                    Stage::Composite => self.composite.stats(),
+                    Stage::MonteCarlo => self.monte_carlo.stats(),
+                },
+            })
+            .collect()
+    }
+
+    /// Total entries stored across every stage slot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stats().iter().map(|row| row.stats.entries).sum()
+    }
+
+    /// Whether no stage slot stores anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn variability<F>(&self, config: &SimConfig, compute: F) -> Result<VariabilityStage>
+    where
+        F: FnOnce() -> Result<VariabilityStage>,
+    {
+        let key = variability_stage_key(config);
+        self.variability
+            .get_or_compute(Stage::Variability.fingerprint(&key), &key, compute)
+    }
+
+    pub(crate) fn addressability<F>(
+        &self,
+        config: &SimConfig,
+        compute: F,
+    ) -> Result<AddressabilityProfile>
+    where
+        F: FnOnce() -> Result<AddressabilityProfile>,
+    {
+        let key = addressability_stage_key(config);
+        self.addressability
+            .get_or_compute(Stage::Addressability.fingerprint(&key), &key, compute)
+    }
+
+    pub(crate) fn contact_layout<F>(
+        &self,
+        config: &SimConfig,
+        compute: F,
+    ) -> Result<ContactGroupLayout>
+    where
+        F: FnOnce() -> Result<ContactGroupLayout>,
+    {
+        let key = contact_layout_stage_key(config);
+        self.contact_layout
+            .get_or_compute(Stage::ContactLayout.fingerprint(&key), &key, compute)
+    }
+
+    pub(crate) fn cave_yield<F>(&self, config: &SimConfig, compute: F) -> Result<CaveYield>
+    where
+        F: FnOnce() -> Result<CaveYield>,
+    {
+        let key = cave_yield_stage_key(config);
+        self.cave_yield
+            .get_or_compute(Stage::CaveYield.fingerprint(&key), &key, compute)
+    }
+
+    pub(crate) fn crossbar_area<F>(&self, config: &SimConfig, compute: F) -> Result<CrossbarArea>
+    where
+        F: FnOnce() -> Result<CrossbarArea>,
+    {
+        let key = crossbar_area_stage_key(config);
+        self.crossbar_area
+            .get_or_compute(Stage::CrossbarArea.fingerprint(&key), &key, compute)
+    }
+
+    pub(crate) fn defect_map<F>(&self, config: &SimConfig, compute: F) -> Result<Option<DefectMap>>
+    where
+        F: FnOnce() -> Result<Option<DefectMap>>,
+    {
+        let key = defect_map_stage_key(config);
+        self.defect_map
+            .get_or_compute(Stage::DefectMap.fingerprint(&key), &key, compute)
+    }
+
+    pub(crate) fn composite<F>(&self, config: &SimConfig, compute: F) -> Result<PlatformReport>
+    where
+        F: FnOnce() -> Result<PlatformReport>,
+    {
+        let key = composite_stage_key(config);
+        self.composite
+            .get_or_compute(Stage::Composite.fingerprint(&key), &key, compute)
+    }
+
+    /// The Monte-Carlo slot keys on the stage key **plus** the sampling
+    /// parameters that are part of an outcome's identity: sample count,
+    /// run seed, and the engine chunk size (outcomes are bit-identical
+    /// across thread counts but depend on the chunk size).
+    pub(crate) fn monte_carlo<F>(
+        &self,
+        config: &SimConfig,
+        mc: MonteCarloConfig,
+        chunk_size: usize,
+        compute: F,
+    ) -> Result<MonteCarloOutcome>
+    where
+        F: FnOnce() -> Result<MonteCarloOutcome>,
+    {
+        let key = format!(
+            "{};samples={};seed={};chunk={}",
+            monte_carlo_stage_key(config),
+            mc.samples,
+            mc.seed,
+            chunk_size,
+        );
+        self.monte_carlo
+            .get_or_compute(Stage::MonteCarlo.fingerprint(&key), &key, compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defect::DefectKind;
+    use crate::disturbance::DisturbanceKind;
+    use crossbar_array::LayoutRules;
+    use device_physics::{Nanometers, ThresholdModel, Volts};
+    use nanowire_codes::{
+        ArrangedHotBudget, BalanceBudget, CodeBudgets, CodeKind, CodeSpec, LogicLevel,
+    };
+
+    fn base() -> SimConfig {
+        let code = CodeSpec::new(CodeKind::Tree, LogicLevel::BINARY, 8).unwrap();
+        SimConfig::paper_defaults(code).unwrap()
+    }
+
+    /// A configuration differing from [`base`] in exactly `field`.
+    fn varied(field: ConfigField) -> SimConfig {
+        let base = base();
+        match field {
+            ConfigField::Code => {
+                base.with_code(CodeSpec::new(CodeKind::Gray, LogicLevel::BINARY, 8).unwrap())
+            }
+            ConfigField::NanowiresPerHalfCave => base.with_nanowires_per_half_cave(24).unwrap(),
+            ConfigField::RawBits => rebuild(&base, 2 * base.raw_bits(), *base.layout(), None, None),
+            ConfigField::Layout => rebuild(
+                &base,
+                base.raw_bits(),
+                LayoutRules::new(
+                    Nanometers::new(45.0),
+                    Nanometers::new(10.0),
+                    1.5,
+                    Nanometers::new(16.0),
+                )
+                .unwrap(),
+                None,
+                None,
+            ),
+            ConfigField::ThresholdModel => rebuild(
+                &base,
+                base.raw_bits(),
+                *base.layout(),
+                Some(ThresholdModel::new(Nanometers::new(3.0), Volts::new(-1.0)).unwrap()),
+                None,
+            ),
+            ConfigField::SigmaPerDose => base
+                .with_sigma_per_dose(Volts::from_millivolts(40.0))
+                .unwrap(),
+            ConfigField::SupplyRange => rebuild(
+                &base,
+                base.raw_bits(),
+                *base.layout(),
+                None,
+                Some((Volts::new(0.0), Volts::new(1.2))),
+            ),
+            ConfigField::WindowOverride => base.with_window(Volts::new(0.2)),
+            ConfigField::CodeBudgets => base.with_code_budgets(CodeBudgets {
+                balance: BalanceBudget {
+                    max_nodes_per_limit: 1_000,
+                    max_limit_slack: 2,
+                },
+                arranged_hot: ArrangedHotBudget::default(),
+            }),
+            ConfigField::Disturbance => base.with_disturbance(DisturbanceKind::Laplace),
+            ConfigField::Defects => {
+                base.with_defects(DefectKind::sampled(0.02, 0.01, 2_009).unwrap())
+            }
+        }
+    }
+
+    /// Rebuilds [`base`] through [`SimConfig::new`] with selected
+    /// parameters swapped (the fields without `with_` builders).
+    fn rebuild(
+        base: &SimConfig,
+        raw_bits: u64,
+        layout: LayoutRules,
+        threshold: Option<ThresholdModel>,
+        supply: Option<(Volts, Volts)>,
+    ) -> SimConfig {
+        SimConfig::new(
+            base.code(),
+            base.nanowires_per_half_cave(),
+            raw_bits,
+            layout,
+            threshold.unwrap_or(*base.threshold_model()),
+            base.sigma_per_dose(),
+            supply.unwrap_or(base.supply_range()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keys_change_iff_the_field_is_in_the_read_set() {
+        let base = base();
+        for field in ConfigField::ALL {
+            let varied = varied(field);
+            assert_ne!(base, varied, "varied({field:?}) must differ from base");
+            for stage in Stage::ALL {
+                let declared = stage.reads().contains(&field);
+                let changed = stage.key(&base) != stage.key(&varied);
+                assert_eq!(
+                    declared, changed,
+                    "{stage:?} key change={changed} but reads declares {declared} for {field:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage_fingerprints_are_domain_and_index_separated() {
+        let config = base();
+        // Identical key strings under different stages never collide.
+        let key = "same-key";
+        let mut fingerprints: Vec<u64> = Stage::ALL
+            .iter()
+            .map(|stage| stage.fingerprint(key))
+            .collect();
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        assert_eq!(fingerprints.len(), Stage::ALL.len());
+        // And a stage fingerprint never equals the report-cache fingerprint
+        // of the same configuration (different domain tags).
+        let report = crate::cache::ReportCache::fingerprint(&config);
+        for stage in Stage::ALL {
+            assert_ne!(stage.fingerprint(&stage.key(&config)), report);
+        }
+    }
+
+    #[test]
+    fn read_sets_cover_dependencies() {
+        // A stage's read set must contain every field its dependencies
+        // read, or invalidation would not propagate downstream.
+        for stage in Stage::ALL {
+            for &dependency in stage.depends_on() {
+                for field in dependency.reads() {
+                    assert!(
+                        stage.reads().contains(field),
+                        "{stage:?} misses {field:?} read by its dependency {dependency:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_cache_always_recomputes() {
+        let cache = StageCache::disabled();
+        let config = base();
+        let mut computed = 0;
+        for _ in 0..2 {
+            cache
+                .contact_layout(&config, || {
+                    computed += 1;
+                    Ok(ContactGroupLayout::new(
+                        config.nanowires_per_half_cave(),
+                        config.code().space_size(),
+                        *config.layout(),
+                    )?)
+                })
+                .unwrap();
+        }
+        assert_eq!(computed, 2);
+        assert!(cache.is_empty());
+        let rows = cache.stats();
+        let contact = rows
+            .iter()
+            .find(|row| row.stage == Stage::ContactLayout)
+            .unwrap();
+        assert_eq!((contact.stats.hits, contact.stats.misses), (0, 2));
+    }
+
+    #[test]
+    fn enabled_cache_hits_on_repeats_and_counts_per_stage() {
+        let cache = StageCache::new(CacheConfig::unsharded(16));
+        let config = base();
+        for _ in 0..3 {
+            cache
+                .cave_yield(&config, || {
+                    let platform = crate::platform::SimulationPlatform::new(config.clone());
+                    platform.cave_yield()
+                })
+                .unwrap();
+        }
+        let rows = cache.stats();
+        let cave = rows
+            .iter()
+            .find(|row| row.stage == Stage::CaveYield)
+            .unwrap();
+        assert_eq!((cave.stats.hits, cave.stats.misses), (2, 1));
+        // Other stages are untouched.
+        let variability = rows
+            .iter()
+            .find(|row| row.stage == Stage::Variability)
+            .unwrap();
+        assert_eq!(variability.stats, CacheStats::default());
+    }
+
+    #[test]
+    fn monte_carlo_keys_include_sampling_parameters() {
+        let cache = StageCache::new(CacheConfig::unsharded(16));
+        let config = base();
+        let outcome = MonteCarloOutcome {
+            profile: crossbar_array::AddressabilityProfile::new(vec![1.0]).unwrap(),
+            samples: 1,
+        };
+        let mc = MonteCarloConfig {
+            samples: 100,
+            seed: 1,
+        };
+        for (samples, seed, chunk) in [(100, 1, 256), (200, 1, 256), (100, 2, 256), (100, 1, 128)] {
+            cache
+                .monte_carlo(&config, MonteCarloConfig { samples, seed }, chunk, || {
+                    Ok(outcome.clone())
+                })
+                .unwrap();
+        }
+        // Four distinct (samples, seed, chunk) triples: four misses.
+        let rows = cache.stats();
+        let mc_row = rows
+            .iter()
+            .find(|row| row.stage == Stage::MonteCarlo)
+            .unwrap();
+        assert_eq!((mc_row.stats.hits, mc_row.stats.misses), (0, 4));
+        // And a repeat of the first triple hits.
+        cache
+            .monte_carlo(&config, mc, 256, || Ok(outcome.clone()))
+            .unwrap();
+        let rows = cache.stats();
+        let mc_row = rows
+            .iter()
+            .find(|row| row.stage == Stage::MonteCarlo)
+            .unwrap();
+        assert_eq!((mc_row.stats.hits, mc_row.stats.misses), (1, 4));
+    }
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Bench-history trend: prints each benchmark's median trajectory across the
+# baselines committed under bench/history/ plus a current results file, and
+# warns (never fails) when the current median regressed beyond the noise
+# threshold against the newest committed baseline.
+#
+# Companion to bench_compare.sh, which compares two artifacts from adjacent
+# CI runs; this script tracks the long-run trajectory pinned in the
+# repository itself, so a slow drift that stays inside the per-run noise
+# band still surfaces. Baselines are date-stamped `BENCH_<date>.json` files
+# in the criterion aggregate shape
+#   {"schema_version":1,…,"benchmarks":[{"id":…,"median_ns":…},…]}
+# (rows from builds that predate median_ns fall back to mean_ns); lexical
+# file order is chronological order.
+#
+# Usage: scripts/bench_history.sh <current.json> [history-dir]
+#
+# Environment:
+#   BENCH_NOISE_RATIO  relative change treated as noise (default 0.5),
+#                      same knob as bench_compare.sh.
+#
+# Exit code is always 0: this is a trend signal, not a gate.
+set -u
+
+curr="${1:?usage: bench_history.sh <current.json> [history-dir]}"
+dir="${2:-bench/history}"
+ratio="${BENCH_NOISE_RATIO:-0.5}"
+
+if ! [ -r "$curr" ]; then
+  echo "bench_history: nothing to trend (missing $curr)"
+  exit 0
+fi
+
+baselines=()
+for file in "$dir"/BENCH_*.json; do
+  [ -r "$file" ] && baselines+=("$file")
+done
+if [ "${#baselines[@]}" -eq 0 ]; then
+  echo "bench_history: no committed baselines under $dir"
+  exit 0
+fi
+
+jq -r -n --argjson noise "$ratio" '
+  def metric: (.median_ns // .mean_ns);
+  [inputs] as $runs
+  | ($runs | length) as $count
+  | $runs[$count - 1] as $now
+  | $runs[$count - 2] as $newest
+  | $now.benchmarks[]
+  | .id as $id
+  | metric as $new
+  | ([$runs[]
+      | ((first(.benchmarks[] | select(.id == $id)) | metric | tostring) // "-")
+     ] | join(" -> ")) as $trajectory
+  | (first($newest.benchmarks[] | select(.id == $id)) | metric) as $old
+  | if $old == null or $old == 0 then
+      "bench \($id): \($trajectory) ns (new benchmark, no committed baseline)"
+    else
+      (($new - $old) / $old) as $delta
+      | if ($delta | fabs) > $noise and $delta > 0 then
+          "::warning::bench \($id): median \($trajectory) ns (+\(($delta * 100 * 10 | round) / 10)% vs newest committed baseline)"
+        else
+          "bench \($id): \($trajectory) ns"
+        end
+    end
+' "${baselines[@]}" "$curr" || echo "bench_history: trend failed (malformed results file?)"
+
+exit 0
