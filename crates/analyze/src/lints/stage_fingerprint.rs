@@ -106,6 +106,7 @@ impl Default for StageFingerprint {
                         "code_budgets",
                         "window_override",
                         "disturbance",
+                        "monte_carlo",
                     ],
                 ),
                 (

@@ -33,10 +33,7 @@ fn bench_engine(c: &mut Criterion) {
                         &variability,
                         &model,
                         window,
-                        MonteCarloConfig {
-                            samples: 8_000,
-                            seed: 17,
-                        },
+                        MonteCarloConfig::fixed(8_000, 17),
                     )
                     .expect("monte carlo outcome")
             })

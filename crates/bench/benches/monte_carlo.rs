@@ -30,7 +30,7 @@ fn bench_monte_carlo(c: &mut Criterion) {
                     &variability,
                     &model,
                     Volts::new(window.value()),
-                    MonteCarloConfig { samples, seed: 17 },
+                    MonteCarloConfig::fixed(samples, 17),
                 )
                 .expect("monte carlo profile")
             })

@@ -101,19 +101,13 @@ fn bench_stage_cache(c: &mut Criterion) {
     group.bench_function("mc_new_seed_reuses_variability", |b| {
         let engine = warm_engine(&base);
         engine
-            .monte_carlo_for_config(
-                &base,
-                MonteCarloConfig {
-                    samples: 64,
-                    seed: 0,
-                },
-            )
+            .monte_carlo_for_config(&base, MonteCarloConfig::fixed(64, 0))
             .unwrap();
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
             engine
-                .monte_carlo_for_config(black_box(&base), MonteCarloConfig { samples: 64, seed })
+                .monte_carlo_for_config(black_box(&base), MonteCarloConfig::fixed(64, seed))
                 .unwrap()
         });
     });

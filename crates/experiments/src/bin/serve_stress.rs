@@ -48,8 +48,8 @@ use std::sync::Arc;
 
 use decoder_sim::codec::JsonValue;
 use decoder_sim::{
-    CacheConfig, CacheStats, DisturbanceKind, EngineConfig, ExecutionEngine, ReportCache,
-    SimulationPlatform, StageStats, CACHE_PATH_ENV,
+    CacheConfig, CacheStats, DisturbanceKind, EngineConfig, ExecutionEngine, MonteCarloConfig,
+    ReportCache, SamplingStats, SimulationPlatform, StageStats, CACHE_PATH_ENV,
 };
 use mspt_serve::{
     probe_shed, run_net_stress_codec, run_stress, NetServer, NetStressOutcome, ReportRequest,
@@ -122,6 +122,69 @@ fn print_stage_stats(rows: &[StageStats]) {
     }
 }
 
+/// The adaptive-sampling measurement: one configuration sampled under a
+/// fixed budget and again under a Wilson-score stopping target, plus the
+/// engine's cumulative sampling counters.
+struct SamplingDemo {
+    fixed_used: usize,
+    adaptive_used: usize,
+    cap: usize,
+    stats: SamplingStats,
+}
+
+/// The sampling demo's own defaults: a 4 096-sample budget under the
+/// canonical 2009 seed, stopping at a 0.05 Wilson half-width. Any
+/// `MSPT_MC_*` environment knob ([`MonteCarloConfig::from_env`]) overrides
+/// the corresponding field for both arms of the comparison.
+fn demo_sampling_config() -> MonteCarloConfig {
+    let tuned = MonteCarloConfig::from_env();
+    let defaults = MonteCarloConfig::default();
+    let mut demo = MonteCarloConfig::fixed(
+        if tuned.samples == defaults.samples {
+            4_096
+        } else {
+            tuned.samples
+        },
+        if tuned.seed == defaults.seed {
+            2_009
+        } else {
+            tuned.seed
+        },
+    )
+    .with_target_half_width(tuned.target_half_width.unwrap_or(0.05))
+    .with_confidence(tuned.confidence);
+    if let Some(max_samples) = tuned.max_samples {
+        demo = demo.with_max_samples(max_samples);
+    }
+    demo
+}
+
+/// Runs the fixed-vs-adaptive Monte-Carlo comparison on `engine` and
+/// gates on the adaptive run never drawing more samples than the fixed one.
+fn sampling_demo(
+    engine: &ExecutionEngine,
+    mix: &[ReportRequest],
+) -> Result<SamplingDemo, Box<dyn std::error::Error>> {
+    let config = mix[0].effective_config();
+    let adaptive_config = demo_sampling_config();
+    let fixed_config = MonteCarloConfig::fixed(adaptive_config.sample_cap(), adaptive_config.seed);
+    let fixed = engine.monte_carlo_for_config(&config, fixed_config)?;
+    let adaptive = engine.monte_carlo_for_config(&config, adaptive_config)?;
+    if adaptive.samples_used > fixed.samples_used {
+        return Err(format!(
+            "adaptive sampling drew {} samples, more than the fixed budget of {}",
+            adaptive.samples_used, fixed.samples_used
+        )
+        .into());
+    }
+    Ok(SamplingDemo {
+        fixed_used: fixed.samples_used,
+        adaptive_used: adaptive.samples_used,
+        cap: adaptive.samples,
+        stats: engine.sampling_stats(),
+    })
+}
+
 /// The snapshot-size measurement: one cache, [`SNAPSHOT_ENTRIES`] rows,
 /// both persistence encodings.
 struct SnapshotSizes {
@@ -184,6 +247,7 @@ fn results_json(
     sheds_exercised: bool,
     snapshot: &SnapshotSizes,
     stage_rows: &[StageStats],
+    sampling: &SamplingDemo,
 ) -> String {
     let (_, outcome) = &labeled[0];
     let latency = &outcome.latency;
@@ -229,6 +293,15 @@ fn results_json(
     benchmarks.push(benchmark_row(
         "snapshot/bin_bytes",
         snapshot.bin_bytes as f64,
+    ));
+    // The sampling comparison rides along the same way: medians by id.
+    benchmarks.push(benchmark_row(
+        "sampling/fixed_samples_used",
+        sampling.fixed_used as f64,
+    ));
+    benchmarks.push(benchmark_row(
+        "sampling/adaptive_samples_used",
+        sampling.adaptive_used as f64,
     ));
     JsonValue::Object(vec![
         ("schema_version".to_string(), JsonValue::from_u64(1)),
@@ -289,6 +362,32 @@ fn results_json(
             ]),
         ),
         ("stage_cache".to_string(), stage_stats_json(stage_rows)),
+        (
+            "sampling".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "fixed_samples_used".to_string(),
+                    JsonValue::from_u64(sampling.fixed_used as u64),
+                ),
+                (
+                    "adaptive_samples_used".to_string(),
+                    JsonValue::from_u64(sampling.adaptive_used as u64),
+                ),
+                (
+                    "sample_cap".to_string(),
+                    JsonValue::from_u64(sampling.cap as u64),
+                ),
+                ("runs".to_string(), JsonValue::from_u64(sampling.stats.runs)),
+                (
+                    "samples_requested".to_string(),
+                    JsonValue::from_u64(sampling.stats.samples_requested),
+                ),
+                (
+                    "samples_used".to_string(),
+                    JsonValue::from_u64(sampling.stats.samples_used),
+                ),
+            ]),
+        ),
         ("benchmarks".to_string(), JsonValue::Array(benchmarks)),
     ])
     .render()
@@ -533,6 +632,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into());
     }
 
+    // The adaptive-sampling demonstration: the same configuration under a
+    // fixed budget vs a Wilson-score target, plus the engine's counters.
+    let sampling = sampling_demo(&engine, &mix)?;
+    println!(
+        "monte-carlo sampling: fixed used {} / {}, adaptive used {} / {} ({:.1}x fewer)",
+        sampling.fixed_used,
+        sampling.cap,
+        sampling.adaptive_used,
+        sampling.cap,
+        sampling.fixed_used as f64 / sampling.adaptive_used.max(1) as f64,
+    );
+    println!(
+        "sampling stats: {} run(s), {} sample(s) requested, {} drawn",
+        sampling.stats.runs, sampling.stats.samples_requested, sampling.stats.samples_used,
+    );
+
     if let Some(path) = &artifact {
         let rendered = results_json(
             transport.trim(),
@@ -540,6 +655,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shed_exercised,
             &snapshot,
             &server.stage_stats(),
+            &sampling,
         );
         std::fs::write(path, rendered.as_bytes())?;
         println!("results artifact: wrote {path}");

@@ -363,10 +363,7 @@ pub fn disturbance_report_with(engine: &ExecutionEngine) -> Result<DisturbanceRe
     let analytic_gaussian_mean = SimulationPlatform::new(base.clone())
         .addressability()?
         .mean();
-    let mc = MonteCarloConfig {
-        samples: DISTURBANCE_SAMPLES,
-        seed: DISTURBANCE_SEED,
-    };
+    let mc = MonteCarloConfig::fixed(DISTURBANCE_SAMPLES, DISTURBANCE_SEED);
     let mut points = Vec::new();
     for kind in [
         DisturbanceKind::Gaussian,

@@ -97,7 +97,7 @@ use decoder_sim::codec::{
 };
 use decoder_sim::{
     chunk_seed, CacheStats, DefectKind, DisturbanceKind, ExecutionEngine, PlatformReport, Result,
-    SimConfig, SimulationPlatform, StageStats, WireErrorKind,
+    SamplingStats, SimConfig, SimulationPlatform, StageStats, WireErrorKind,
 };
 
 pub mod binwire;
@@ -438,6 +438,15 @@ impl ReportServer {
     #[must_use]
     pub fn stage_stats(&self) -> Vec<StageStats> {
         self.engine.stage_stats()
+    }
+
+    /// The engine's cumulative Monte-Carlo sampling counters — how many
+    /// sampling runs the engine computed (cache hits excluded) and how many
+    /// samples the adaptive stopping rule actually drew against the
+    /// requested budgets.
+    #[must_use]
+    pub fn sampling_stats(&self) -> SamplingStats {
+        self.engine.sampling_stats()
     }
 
     /// Serves a typed request: applies the disturbance override, then

@@ -59,6 +59,7 @@ use crate::config::SimConfig;
 use crate::defect::{DefectConfig, DefectKind};
 use crate::disturbance::DisturbanceKind;
 use crate::error::{Result, SimError};
+use crate::monte_carlo::MonteCarloConfig;
 use crate::platform::PlatformReport;
 
 /// The four magic bytes that open every binary document. The first byte,
@@ -548,6 +549,7 @@ const TAG_CONFIG_WINDOW: u8 = 0x06;
 const TAG_CONFIG_BUDGETS: u8 = 0x07;
 const TAG_CONFIG_DISTURBANCE: u8 = 0x08;
 const TAG_CONFIG_DEFECTS: u8 = 0x09;
+const TAG_CONFIG_MONTE_CARLO: u8 = 0x0a;
 
 fn duplicate(tag: u8) -> SimError {
     err(format!("duplicate section 0x{tag:02x} in binary document"))
@@ -612,13 +614,37 @@ pub fn config_to_bin(config: &SimConfig) -> Vec<u8> {
         &disturbance_to_bin(config.disturbance()),
     );
     payload.section(TAG_CONFIG_DEFECTS, &defect_to_bin(config.defects()));
+    // Appended last so documents written by this version still parse in
+    // readers that predate the sampling knobs (they skip unknown tags).
+    let mc = config.monte_carlo();
+    let mut monte_carlo = BinWriter::new();
+    monte_carlo.put_usize(mc.samples);
+    monte_carlo.put_u64(mc.seed);
+    match mc.target_half_width {
+        Some(target) => {
+            monte_carlo.put_u8(1);
+            monte_carlo.put_f64(target);
+        }
+        None => monte_carlo.put_u8(0),
+    }
+    monte_carlo.put_f64(mc.confidence);
+    match mc.max_samples {
+        Some(max) => {
+            monte_carlo.put_u8(1);
+            monte_carlo.put_usize(max);
+        }
+        None => monte_carlo.put_u8(0),
+    }
+    payload.section(TAG_CONFIG_MONTE_CARLO, &monte_carlo.into_bytes());
     document(DOC_CONFIG, &payload.into_bytes())
 }
 
 /// Decodes a [`SimConfig`] document, passing every field through the same
 /// validating constructors a hand-built configuration uses. Unknown section
 /// tags are skipped; every section version 1 writes is required (the window
-/// override excepted — its absence *is* the unset state).
+/// override excepted — its absence *is* the unset state — and the
+/// Monte-Carlo section, which postdates version 1 and defaults to the
+/// historical fixed-sample behaviour when absent).
 ///
 /// # Errors
 ///
@@ -635,6 +661,7 @@ pub fn config_from_bin(bytes: &[u8]) -> Result<SimConfig> {
     let mut budgets = None;
     let mut disturbance = None;
     let mut defects = None;
+    let mut monte_carlo = None;
     while let Some((tag, body)) = reader.next_section()? {
         match tag {
             TAG_CONFIG_CODE => store(&mut code, code_spec_from_bin(body)?, tag)?,
@@ -700,6 +727,19 @@ pub fn config_from_bin(bytes: &[u8]) -> Result<SimConfig> {
             }
             TAG_CONFIG_DISTURBANCE => store(&mut disturbance, disturbance_from_bin(body)?, tag)?,
             TAG_CONFIG_DEFECTS => store(&mut defects, defect_from_bin(body)?, tag)?,
+            TAG_CONFIG_MONTE_CARLO => {
+                let mut section = BinReader::new(body);
+                let mut value = MonteCarloConfig::fixed(section.take_usize()?, section.take_u64()?);
+                if section.take_u8()? != 0 {
+                    value = value.with_target_half_width(section.take_f64()?);
+                }
+                value = value.with_confidence(section.take_f64()?);
+                if section.take_u8()? != 0 {
+                    value = value.with_max_samples(section.take_usize()?);
+                }
+                section.finish()?;
+                store(&mut monte_carlo, value, tag)?;
+            }
             _ => {} // Forward compatibility: skip sections a later writer added.
         }
     }
@@ -722,6 +762,9 @@ pub fn config_from_bin(bytes: &[u8]) -> Result<SimConfig> {
     )?
     .with_code_budgets(budgets)
     .with_disturbance(disturbance)
+    // Optional for forward compatibility: documents written before the
+    // sampling knobs existed decode to the default fixed behaviour.
+    .with_monte_carlo(monte_carlo.unwrap_or_default())
     .with_defects(defects);
     if let Some(window) = window {
         config = config.with_window(window);
@@ -867,14 +910,42 @@ mod tests {
                 shared_fraction: 0.25,
             })
             .with_defects(DefectKind::sampled(0.01, 0.002, 7).unwrap())
-            .with_window(Volts::new(0.375));
+            .with_window(Volts::new(0.375))
+            .with_monte_carlo(
+                MonteCarloConfig::fixed(4_096, 17)
+                    .with_target_half_width(0.05)
+                    .with_confidence(0.99)
+                    .with_max_samples(65_536),
+            );
         let bytes = config_to_bin(&config);
         let decoded = config_from_bin(&bytes).unwrap();
         assert_eq!(config_to_bin(&decoded), bytes);
+        assert_eq!(decoded.monte_carlo(), config.monte_carlo());
         assert_eq!(
             crate::codec::canonical_config_string(&decoded),
             crate::codec::canonical_config_string(&config)
         );
+    }
+
+    #[test]
+    fn documents_without_a_monte_carlo_section_decode_to_the_default() {
+        // Reconstruct the byte stream a pre-adaptive writer produced: every
+        // section except the trailing Monte-Carlo one. The decoder must
+        // fall back to the historical fixed-sample default.
+        let config = base_config();
+        let bytes = config_to_bin(&config);
+        let payload = document_payload(&bytes, DOC_CONFIG).unwrap();
+        let mut legacy_payload = BinWriter::new();
+        let mut reader = BinReader::new(payload);
+        while let Some((tag, body)) = reader.next_section().unwrap() {
+            if tag != TAG_CONFIG_MONTE_CARLO {
+                legacy_payload.section(tag, body);
+            }
+        }
+        let legacy = document(DOC_CONFIG, &legacy_payload.into_bytes());
+        let decoded = config_from_bin(&legacy).unwrap();
+        assert_eq!(decoded.monte_carlo(), MonteCarloConfig::default());
+        assert_eq!(decoded, config);
     }
 
     #[test]

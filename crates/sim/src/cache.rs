@@ -690,7 +690,7 @@ struct CachedReport {
 }
 
 /// The sharded, bounded, single-flight LRU cache of
-/// ([`SimConfig`] → [`PlatformReport`]) evaluations — a [`MemoCache`] keyed
+/// ([`SimConfig`] → [`PlatformReport`]) evaluations — a `MemoCache` keyed
 /// by the canonical serialized configuration, plus versioned snapshot
 /// persistence. See the module docs for the design; see
 /// [`ExecutionEngine`](crate::ExecutionEngine) for the primary consumer.
@@ -768,7 +768,7 @@ impl ReportCache {
 
     /// Looks up a configuration, computing it through `compute` on a miss —
     /// the single-flight entry point everything above the cache uses. See
-    /// [`MemoCache::get_or_compute`] for the leader/waiter semantics.
+    /// `MemoCache::get_or_compute` for the leader/waiter semantics.
     ///
     /// # Errors
     ///

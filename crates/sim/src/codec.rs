@@ -42,6 +42,7 @@ use crate::config::SimConfig;
 use crate::defect::{DefectConfig, DefectKind};
 use crate::disturbance::DisturbanceKind;
 use crate::error::{Result, SimError};
+use crate::monte_carlo::MonteCarloConfig;
 use crate::platform::PlatformReport;
 
 /// A parsed JSON document: the minimal value tree the serve and persistence
@@ -638,6 +639,60 @@ pub fn disturbance_from_json(value: &JsonValue) -> Result<DisturbanceKind> {
     }
 }
 
+/// Encodes a [`MonteCarloConfig`] as an object carrying the fixed-mode
+/// fields plus the adaptive knobs (`target_half_width` / `max_samples`
+/// render as `null` when unset).
+#[must_use]
+pub fn monte_carlo_to_json(config: MonteCarloConfig) -> JsonValue {
+    object(vec![
+        ("samples", JsonValue::from_usize(config.samples)),
+        ("seed", JsonValue::from_u64(config.seed)),
+        (
+            "target_half_width",
+            config
+                .target_half_width
+                .map_or(JsonValue::Null, JsonValue::from_f64),
+        ),
+        ("confidence", JsonValue::from_f64(config.confidence)),
+        (
+            "max_samples",
+            config
+                .max_samples
+                .map_or(JsonValue::Null, JsonValue::from_usize),
+        ),
+    ])
+}
+
+/// Decodes a [`MonteCarloConfig`]. The adaptive knobs are optional *keys*
+/// as well as nullable values: documents written before adaptive stopping
+/// existed (bare `{"samples":…,"seed":…}`) decode to the fixed behaviour.
+///
+/// # Errors
+///
+/// Returns [`SimError::Persistence`] on malformed JSON.
+pub fn monte_carlo_from_json(value: &JsonValue) -> Result<MonteCarloConfig> {
+    let mut config = MonteCarloConfig::fixed(
+        value.get("samples")?.as_usize()?,
+        value.get("seed")?.as_u64()?,
+    );
+    if let Some(target) = value.get_opt("target_half_width")? {
+        if !matches!(target, JsonValue::Null) {
+            config = config.with_target_half_width(target.as_f64()?);
+        }
+    }
+    if let Some(confidence) = value.get_opt("confidence")? {
+        if !matches!(confidence, JsonValue::Null) {
+            config = config.with_confidence(confidence.as_f64()?);
+        }
+    }
+    if let Some(max) = value.get_opt("max_samples")? {
+        if !matches!(max, JsonValue::Null) {
+            config = config.with_max_samples(max.as_usize()?);
+        }
+    }
+    Ok(config)
+}
+
 /// Encodes a [`DefectKind`] as a tagged object (`{"kind":"none"}` or
 /// `{"kind":"sampled","nanowire_breakage":…,"crosspoint_defect":…,"seed":…}`).
 #[must_use]
@@ -679,8 +734,9 @@ pub fn defect_from_json(value: &JsonValue) -> Result<DefectKind> {
 }
 
 /// Encodes a full [`SimConfig`] — every field, including the disturbance
-/// kind and the defect selection, so two configurations differing only in
-/// either never serialize (or cache-key) identically.
+/// kind, the defect selection and the Monte-Carlo sampling knobs, so two
+/// configurations differing only in any of them never serialize (or
+/// cache-key) identically.
 #[must_use]
 pub fn config_to_json(config: &SimConfig) -> JsonValue {
     let layout = config.layout();
@@ -783,6 +839,7 @@ pub fn config_to_json(config: &SimConfig) -> JsonValue {
         ),
         ("disturbance", disturbance_to_json(config.disturbance())),
         ("defects", defect_to_json(config.defects())),
+        ("monte_carlo", monte_carlo_to_json(config.monte_carlo())),
     ])
 }
 
@@ -850,6 +907,11 @@ pub fn config_from_json(value: &JsonValue) -> Result<SimConfig> {
     // default (defect-free) is exactly the pre-field behaviour.
     if let Some(defects) = value.get_opt("defects")? {
         config = config.with_defects(defect_from_json(defects)?);
+    }
+    // Absent in documents written before the sampling knobs moved into the
+    // configuration; the default is the historical fixed-sample behaviour.
+    if let Some(monte_carlo) = value.get_opt("monte_carlo")? {
+        config = config.with_monte_carlo(monte_carlo_from_json(monte_carlo)?);
     }
     if !matches!(value.get("window_override_v")?, JsonValue::Null) {
         config = config.with_window(volts_from(value.get("window_override_v")?)?);
@@ -1138,15 +1200,49 @@ mod tests {
         assert_eq!(decoded, config);
 
         // Every override survives, including a window override, a
-        // non-default disturbance and a defect selection.
+        // non-default disturbance, a defect selection and adaptive
+        // Monte-Carlo sampling knobs.
         let tuned = base_config()
             .with_window(Volts::new(0.21))
             .with_disturbance(DisturbanceKind::Correlated {
                 shared_fraction: 0.25,
             })
-            .with_defects(DefectKind::sampled(0.02, 0.01, 77).unwrap());
+            .with_defects(DefectKind::sampled(0.02, 0.01, 77).unwrap())
+            .with_monte_carlo(
+                MonteCarloConfig::fixed(4_096, 17)
+                    .with_target_half_width(0.05)
+                    .with_confidence(0.99)
+                    .with_max_samples(65_536),
+            );
         let decoded = config_from_json(&config_to_json(&tuned)).unwrap();
         assert_eq!(decoded, tuned);
+    }
+
+    #[test]
+    fn monte_carlo_documents_without_adaptive_keys_decode_to_fixed_mode() {
+        // The wire shape of a fixed-sample request written before adaptive
+        // stopping existed: bare samples + seed, no adaptive keys at all.
+        let legacy = JsonValue::parse(r#"{"samples":500,"seed":42}"#).unwrap();
+        let decoded = monte_carlo_from_json(&legacy).unwrap();
+        assert_eq!(decoded, MonteCarloConfig::fixed(500, 42));
+        assert!(!decoded.is_adaptive());
+        // Explicit nulls mean the same thing as absent keys.
+        let nulled = JsonValue::parse(
+            r#"{"samples":500,"seed":42,"target_half_width":null,"confidence":0.95,"max_samples":null}"#,
+        )
+        .unwrap();
+        assert_eq!(monte_carlo_from_json(&nulled).unwrap(), decoded);
+    }
+
+    #[test]
+    fn canonical_strings_separate_monte_carlo_knobs() {
+        let fixed = base_config();
+        let adaptive = base_config()
+            .with_monte_carlo(MonteCarloConfig::default().with_target_half_width(0.05));
+        assert_ne!(
+            canonical_config_string(&fixed),
+            canonical_config_string(&adaptive)
+        );
     }
 
     #[test]

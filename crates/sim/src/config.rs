@@ -10,6 +10,7 @@ use nanowire_codes::{CodeBudgets, CodeSpec};
 use crate::defect::DefectKind;
 use crate::disturbance::DisturbanceKind;
 use crate::error::{Result, SimError};
+use crate::monte_carlo::MonteCarloConfig;
 
 /// Full configuration of one decoder/crossbar simulation.
 ///
@@ -46,6 +47,11 @@ pub struct SimConfig {
     // (defect-free) behaviour.
     #[serde(default)]
     defects: DefectKind,
+    // Defaulted so configurations serialized before the sampling knobs
+    // moved into the configuration still deserialize: the default is the
+    // engine's historical fixed-sample behaviour.
+    #[serde(default)]
+    monte_carlo: MonteCarloConfig,
 }
 
 impl SimConfig {
@@ -127,6 +133,7 @@ impl SimConfig {
             code_budgets: CodeBudgets::default(),
             disturbance: DisturbanceKind::default(),
             defects: DefectKind::default(),
+            monte_carlo: MonteCarloConfig::default(),
         })
     }
 
@@ -205,6 +212,18 @@ impl SimConfig {
         self
     }
 
+    /// Replaces the Monte-Carlo sampling configuration: sample count, run
+    /// seed, and the adaptive-stopping knobs (defaults to
+    /// [`MonteCarloConfig::default`], a fixed-sample run). Like the
+    /// disturbance kind, the selection is part of the configuration's
+    /// identity: runs with different sampling budgets never alias in the
+    /// report cache or on disk.
+    #[must_use]
+    pub fn with_monte_carlo(mut self, monte_carlo: MonteCarloConfig) -> Self {
+        self.monte_carlo = monte_carlo;
+        self
+    }
+
     /// The code specification under evaluation.
     #[must_use]
     pub fn code(&self) -> CodeSpec {
@@ -263,6 +282,12 @@ impl SimConfig {
     #[must_use]
     pub fn defects(&self) -> DefectKind {
         self.defects
+    }
+
+    /// The Monte-Carlo sampling configuration of the evaluation.
+    #[must_use]
+    pub fn monte_carlo(&self) -> MonteCarloConfig {
+        self.monte_carlo
     }
 
     /// The crossbar specification implied by this configuration.
@@ -425,6 +450,20 @@ mod tests {
         // The defect selection is part of the configuration's identity (the
         // engine's report cache keys on SimConfig equality).
         assert_ne!(config, defective);
+    }
+
+    #[test]
+    fn monte_carlo_defaults_and_is_part_of_the_identity() {
+        let config = SimConfig::paper_defaults(code()).unwrap();
+        assert_eq!(config.monte_carlo(), MonteCarloConfig::default());
+        let tuned = config
+            .clone()
+            .with_monte_carlo(MonteCarloConfig::fixed(4_096, 7).with_target_half_width(0.05));
+        assert_eq!(tuned.monte_carlo().samples, 4_096);
+        assert!(tuned.monte_carlo().is_adaptive());
+        // The sampling knobs are part of the configuration's identity (the
+        // engine's report cache keys on SimConfig equality).
+        assert_ne!(config, tuned);
     }
 
     #[test]

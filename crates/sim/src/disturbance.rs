@@ -83,6 +83,35 @@ pub trait DisturbanceModel: fmt::Debug + Send + Sync {
     /// nanowire; `sigmas[j]` is the standard deviation the analytic model
     /// assigns to region `j` (`out.len() == sigmas.len()`).
     fn sample_regions(&self, sigmas: &[f64], draws: &mut NormalSource<StdRng>, out: &mut [f64]);
+
+    /// Fills a whole `nanowires × regions` deviation matrix in one call —
+    /// the structure-of-arrays entry point of the batched sampling kernel.
+    /// `sigmas` and `out` are flat row-major matrices of equal length whose
+    /// rows are `regions` wide.
+    ///
+    /// The provided body loops [`sample_regions`](Self::sample_regions) over
+    /// the rows in order, so every implementation consumes the draw stream
+    /// exactly as the scalar path did; implementations may override it with
+    /// a batched draw **only** when the batch consumes the identical stream
+    /// (see [`GaussianDisturbance`], whose override leans on
+    /// [`NormalSource::fill`] replaying the scalar stream bit-exactly).
+    fn sample_matrix(
+        &self,
+        sigmas: &[f64],
+        regions: usize,
+        draws: &mut NormalSource<StdRng>,
+        out: &mut [f64],
+    ) {
+        if regions == 0 {
+            return;
+        }
+        for (row_sigmas, row_out) in sigmas
+            .chunks_exact(regions)
+            .zip(out.chunks_exact_mut(regions))
+        {
+            self.sample_regions(row_sigmas, draws, row_out);
+        }
+    }
 }
 
 /// The paper's Gaussian disturbance: region `j` deviates by `σ_j · Z` with
@@ -95,6 +124,23 @@ impl DisturbanceModel for GaussianDisturbance {
     fn sample_regions(&self, sigmas: &[f64], draws: &mut NormalSource<StdRng>, out: &mut [f64]) {
         for (slot, &sigma) in out.iter_mut().zip(sigmas) {
             *slot = sigma * draws.sample();
+        }
+    }
+
+    /// Batched draw: one [`NormalSource::fill`] over the whole matrix, then
+    /// an elementwise scale the compiler can autovectorize. Bit-identical to
+    /// the row loop because the Gaussian consumes exactly one normal per
+    /// cell in row-major order — the flat order *is* the scalar order.
+    fn sample_matrix(
+        &self,
+        sigmas: &[f64],
+        _regions: usize,
+        draws: &mut NormalSource<StdRng>,
+        out: &mut [f64],
+    ) {
+        draws.fill(out);
+        for (slot, &sigma) in out.iter_mut().zip(sigmas) {
+            *slot *= sigma;
         }
     }
 }
@@ -323,6 +369,41 @@ mod tests {
             model.sample_regions(&[0.1, 0.2, 0.3], &mut a, &mut out);
             model.sample_regions(&[10.0, 20.0, 30.0], &mut b, &mut out);
             assert_eq!(a.sample(), b.sample(), "{kind}: consumption diverged");
+        }
+    }
+
+    #[test]
+    fn sample_matrix_matches_the_row_by_row_scalar_path() {
+        // The batched entry point (including the Gaussian's fill-based
+        // override) must produce the exact deviations of looping
+        // sample_regions over the rows — same stream, same values.
+        for kind in [
+            DisturbanceKind::Gaussian,
+            DisturbanceKind::Laplace,
+            DisturbanceKind::Correlated {
+                shared_fraction: 0.4,
+            },
+        ] {
+            let model = kind.model().unwrap();
+            let regions = 3;
+            let sigmas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2];
+            let mut batched = NormalSource::from_seed(55);
+            let mut scalar = NormalSource::from_seed(55);
+            let mut batched_out = [0.0f64; 12];
+            let mut scalar_out = [0.0f64; 12];
+            // Two consecutive matrices: the cached Box–Muller half must
+            // carry across batch calls exactly as it does across rows.
+            for _ in 0..2 {
+                model.sample_matrix(&sigmas, regions, &mut batched, &mut batched_out);
+                for (row_sigmas, row_out) in sigmas
+                    .chunks_exact(regions)
+                    .zip(scalar_out.chunks_exact_mut(regions))
+                {
+                    model.sample_regions(row_sigmas, &mut scalar, row_out);
+                }
+                assert_eq!(batched_out, scalar_out, "{kind}: batched path diverged");
+            }
+            assert_eq!(batched.sample(), scalar.sample(), "{kind}: stream desync");
         }
     }
 

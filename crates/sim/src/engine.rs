@@ -12,6 +12,15 @@
 //! [`MonteCarloOutcome`] **bit-identical for any thread count** (it does
 //! depend on `chunk_size`; keep that fixed when comparing runs).
 //!
+//! The adaptive stopping rule ([`MonteCarloConfig::target_half_width`])
+//! preserves the contract: chunks are computed in waves, but the stopping
+//! decision is evaluated by a scan over per-chunk counts **in chunk order**,
+//! stopping at the first chunk boundary where every nanowire's Wilson
+//! half-width meets the target. Per-chunk counts depend only on
+//! `(seed, chunk, chunk_size)`, so the stopping chunk — and therefore
+//! `samples_used` and the profile — is identical at any thread count; chunks
+//! computed past the stopping point are discarded, never folded in.
+//!
 //! Sweep points are evaluated independently and reassembled in parameter
 //! order, so sweep results are element-identical to the serial path.
 //!
@@ -28,7 +37,7 @@
 
 use std::num::NonZeroUsize;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::thread;
 
@@ -45,11 +54,12 @@ use crate::defect::DefectKind;
 use crate::disturbance::{DisturbanceModel, GaussianDisturbance};
 use crate::error::{Result, SimError};
 use crate::monte_carlo::{
-    chunk_seed, region_sigmas, sample_chunk, validate_monte_carlo, MonteCarloConfig,
-    MonteCarloOutcome,
+    chunk_seed, sample_chunk, validate_monte_carlo, McScratch, MonteCarloConfig, MonteCarloOutcome,
+    SigmaMatrix,
 };
 use crate::platform::{PlatformReport, SimulationPlatform};
 use crate::stage::{StageCache, StageStats};
+use crate::stats::{wilson_bounds, wilson_half_width, z_for_confidence};
 use crate::sweep::{BitAreaPoint, ComplexityPoint, YieldPoint};
 
 /// Environment variable overriding the default engine thread count
@@ -141,6 +151,31 @@ pub struct ExecutionEngine {
     config: EngineConfig,
     cache: ReportCache,
     stages: StageCache,
+    sampling: SamplingCounters,
+}
+
+/// Internal atomic tallies behind [`ExecutionEngine::sampling_stats`].
+#[derive(Debug, Default)]
+struct SamplingCounters {
+    runs: AtomicU64,
+    samples_requested: AtomicU64,
+    samples_used: AtomicU64,
+}
+
+/// Cumulative Monte-Carlo sampling counters of one engine: how many
+/// estimations actually ran (stage-cache hits do not count), how many
+/// samples their configurations requested as a ceiling, and how many the
+/// (possibly adaptive) kernel actually drew. The serve stress artifact
+/// reports these to make adaptive savings visible in CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingStats {
+    /// Number of Monte-Carlo estimations computed (not served from cache).
+    pub runs: u64,
+    /// Total sample ceiling across runs ([`MonteCarloConfig::sample_cap`]).
+    pub samples_requested: u64,
+    /// Total samples actually drawn; under adaptive stopping this is the
+    /// smaller number the speedup comes from.
+    pub samples_used: u64,
 }
 
 impl Default for ExecutionEngine {
@@ -172,6 +207,7 @@ impl ExecutionEngine {
             },
             cache: ReportCache::new(cache),
             stages: StageCache::new(cache),
+            sampling: SamplingCounters::default(),
         }
     }
 
@@ -279,6 +315,18 @@ impl ExecutionEngine {
         self.cache.load_from_path(path)
     }
 
+    /// Cumulative Monte-Carlo sampling counters (runs, requested ceiling,
+    /// samples actually drawn) — the adaptive kernel's savings, as the
+    /// serve stress artifact reports them.
+    #[must_use]
+    pub fn sampling_stats(&self) -> SamplingStats {
+        SamplingStats {
+            runs: self.sampling.runs.load(Ordering::Relaxed),
+            samples_requested: self.sampling.samples_requested.load(Ordering::Relaxed),
+            samples_used: self.sampling.samples_used.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs `count` independent jobs across the engine's threads and returns
     /// their results in index order. Jobs are claimed from a shared atomic
     /// counter; results land in per-index slots, so the output order never
@@ -289,26 +337,45 @@ impl ExecutionEngine {
         T: Send,
         F: Fn(usize) -> Result<T> + Sync,
     {
+        self.run_indexed_with(count, || (), |(): &mut (), index| job(index))
+    }
+
+    /// [`ExecutionEngine::run_indexed`] with per-worker scratch state:
+    /// `init` builds one scratch value per participating thread (one total
+    /// on the serial path), and every job a worker claims reuses that
+    /// worker's scratch — the allocation-reuse substrate of the batched
+    /// Monte-Carlo kernel. Determinism is unaffected: scratch never crosses
+    /// jobs' visible outputs, it only recycles buffers.
+    fn run_indexed_with<S, T, I, F>(&self, count: usize, init: I, job: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> Result<T> + Sync,
+    {
         if count == 0 {
             return Ok(Vec::new());
         }
         let threads = self.config.threads.min(count);
         if threads <= 1 {
-            return (0..count).map(job).collect();
+            let mut scratch = init();
+            return (0..count).map(|index| job(&mut scratch, index)).collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<T>>>> = (0..count).map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= count {
-                        break;
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= count {
+                            break;
+                        }
+                        let result = job(&mut scratch, index);
+                        // Each slot is written exactly once; poison recovery
+                        // cannot observe a half-written result.
+                        *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                     }
-                    let result = job(index);
-                    // Each slot is written exactly once; poison recovery
-                    // cannot observe a half-written result.
-                    *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 });
             }
         });
@@ -369,34 +436,85 @@ impl ExecutionEngine {
         disturbance: &dyn DisturbanceModel,
     ) -> Result<MonteCarloOutcome> {
         validate_monte_carlo(&config, window)?;
-        let sigmas = region_sigmas(variability, model)?;
+        let sigmas = SigmaMatrix::from_variability(variability, model)?;
         let window_half_width = window.value();
         let chunk_size = self.config.chunk_size;
-        let chunk_count = config.samples.div_ceil(chunk_size);
-        let per_chunk_counts = self.run_indexed(chunk_count, |chunk| {
-            let start = chunk * chunk_size;
-            let samples = chunk_size.min(config.samples - start);
+        let cap = config.sample_cap();
+        let chunk_count = cap.div_ceil(chunk_size);
+        let chunk_samples = |chunk: usize| chunk_size.min(cap - chunk * chunk_size);
+        let run_chunk = |scratch: &mut McScratch, chunk: usize| {
             Ok(sample_chunk(
                 &sigmas,
                 window_half_width,
                 chunk_seed(config.seed, chunk as u64),
-                samples,
+                chunk_samples(chunk),
                 disturbance,
+                scratch,
             ))
-        })?;
-        let mut totals = vec![0usize; variability.nanowire_count()];
-        for counts in per_chunk_counts {
-            for (total, count) in totals.iter_mut().zip(counts) {
-                *total += count;
+        };
+        let z = z_for_confidence(config.confidence);
+        let mut totals = vec![0usize; sigmas.nanowires()];
+        let mut samples_used = 0usize;
+        if let Some(target) = config.target_half_width {
+            // Adaptive mode: compute chunks in waves of `threads`, then scan
+            // the wave's per-chunk counts in chunk order, stopping at the
+            // first boundary where every nanowire's Wilson half-width meets
+            // the target. Per-chunk counts depend only on (seed, chunk,
+            // chunk_size), so the stopping chunk is thread-count-invariant;
+            // chunks computed past it (wave overshoot) are discarded.
+            let wave = self.config.threads.max(1);
+            let mut next_chunk = 0usize;
+            'waves: while next_chunk < chunk_count {
+                let batch = wave.min(chunk_count - next_chunk);
+                let first = next_chunk;
+                let wave_counts =
+                    self.run_indexed_with(batch, McScratch::new, |scratch, offset| {
+                        run_chunk(scratch, first + offset)
+                    })?;
+                for (offset, counts) in wave_counts.iter().enumerate() {
+                    for (total, &count) in totals.iter_mut().zip(counts) {
+                        *total += count;
+                    }
+                    samples_used += chunk_samples(first + offset);
+                    if totals
+                        .iter()
+                        .all(|&successes| wilson_half_width(successes, samples_used, z) <= target)
+                    {
+                        break 'waves;
+                    }
+                }
+                next_chunk += batch;
             }
+        } else {
+            let per_chunk_counts = self.run_indexed_with(chunk_count, McScratch::new, run_chunk)?;
+            for counts in per_chunk_counts {
+                for (total, count) in totals.iter_mut().zip(counts) {
+                    *total += count;
+                }
+            }
+            samples_used = cap;
         }
+        self.sampling.runs.fetch_add(1, Ordering::Relaxed);
+        self.sampling
+            .samples_requested
+            .fetch_add(cap as u64, Ordering::Relaxed);
+        self.sampling
+            .samples_used
+            .fetch_add(samples_used as u64, Ordering::Relaxed);
+        let (ci_lower, ci_upper): (Vec<f64>, Vec<f64>) = totals
+            .iter()
+            .map(|&successes| wilson_bounds(successes, samples_used, z))
+            .unzip();
         let probabilities: Vec<f64> = totals
             .into_iter()
-            .map(|count| count as f64 / config.samples as f64)
+            .map(|count| count as f64 / samples_used as f64)
             .collect();
         Ok(MonteCarloOutcome {
             profile: AddressabilityProfile::new(probabilities)?,
-            samples: config.samples,
+            samples: cap,
+            samples_used,
+            ci_lower,
+            ci_upper,
         })
     }
 
@@ -749,6 +867,56 @@ mod tests {
                 reason: "job 3".to_string()
             }
         );
+    }
+
+    #[test]
+    fn run_indexed_with_reuses_one_scratch_per_worker() {
+        // Serial path: a single scratch walks every index in order.
+        let serial = engine(1);
+        let counts = serial
+            .run_indexed_with(
+                5,
+                || 0usize,
+                |seen: &mut usize, _| {
+                    *seen += 1;
+                    Ok(*seen)
+                },
+            )
+            .unwrap();
+        assert_eq!(counts, vec![1, 2, 3, 4, 5]);
+
+        // Parallel path: 4 workers claim 64 jobs, so by pigeonhole some
+        // worker's scratch sees at least 16 of them — proof the scratch is
+        // per worker, not per job.
+        let parallel = engine(4);
+        let counts = parallel
+            .run_indexed_with(
+                64,
+                || 0usize,
+                |seen: &mut usize, _| {
+                    *seen += 1;
+                    Ok(*seen)
+                },
+            )
+            .unwrap();
+        assert_eq!(counts.len(), 64);
+        assert!(*counts.iter().max().unwrap() >= 16);
+    }
+
+    #[test]
+    fn sampling_stats_track_adaptive_savings() {
+        let engine = engine(2);
+        assert_eq!(engine.sampling_stats().runs, 0);
+        let adaptive = MonteCarloConfig::fixed(4_096, 5).with_target_half_width(0.05);
+        let outcome = engine.monte_carlo_for_config(&base(), adaptive).unwrap();
+        let stats = engine.sampling_stats();
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.samples_requested, 4_096);
+        assert_eq!(stats.samples_used, outcome.samples_used as u64);
+        assert!(stats.samples_used < stats.samples_requested);
+        // A stage-cache hit computes nothing, so the counters stand still.
+        engine.monte_carlo_for_config(&base(), adaptive).unwrap();
+        assert_eq!(engine.sampling_stats(), stats);
     }
 
     #[test]

@@ -101,7 +101,7 @@ impl EvaluationBuilder {
     /// Adds a Monte-Carlo validation pass with an explicit sampling
     /// configuration. Listing [`Stage::MonteCarlo`] in
     /// [`EvaluationBuilder::stages`] without calling this runs the pass
-    /// under [`MonteCarloConfig::default`].
+    /// under the configuration's own [`SimConfig::monte_carlo`] knobs.
     #[must_use]
     pub fn monte_carlo(mut self, config: MonteCarloConfig) -> Self {
         self.monte_carlo = Some(config);
@@ -138,8 +138,11 @@ impl EvaluationBuilder {
         };
         let monte_carlo = if wants_monte_carlo {
             Some(
-                engine
-                    .monte_carlo_for_config(&self.config, self.monte_carlo.unwrap_or_default())?,
+                engine.monte_carlo_for_config(
+                    &self.config,
+                    self.monte_carlo
+                        .unwrap_or_else(|| self.config.monte_carlo()),
+                )?,
             )
         } else {
             None
@@ -187,10 +190,7 @@ mod tests {
     #[test]
     fn monte_carlo_only_skips_the_report() {
         let engine = ExecutionEngine::serial();
-        let mc = MonteCarloConfig {
-            samples: 200,
-            seed: 11,
-        };
+        let mc = MonteCarloConfig::fixed(200, 11);
         let outcome = Evaluation::builder(base())
             .stages(&[Stage::MonteCarlo])
             .monte_carlo(mc)
@@ -212,16 +212,21 @@ mod tests {
             outcome.monte_carlo.unwrap().samples,
             MonteCarloConfig::default().samples
         );
+        // And a configuration carrying its own sampling knobs wins over
+        // the crate default when the builder does not override them.
+        let tuned = base().with_monte_carlo(MonteCarloConfig::fixed(128, 21));
+        let outcome = Evaluation::builder(tuned)
+            .stages(&[Stage::MonteCarlo])
+            .run(&engine)
+            .unwrap();
+        assert_eq!(outcome.monte_carlo.unwrap().samples, 128);
     }
 
     #[test]
     fn report_and_monte_carlo_run_together() {
         let engine = ExecutionEngine::serial();
         let outcome = Evaluation::builder(base())
-            .monte_carlo(MonteCarloConfig {
-                samples: 200,
-                seed: 3,
-            })
+            .monte_carlo(MonteCarloConfig::fixed(200, 3))
             .run(&engine)
             .unwrap();
         assert!(outcome.report.is_some());
@@ -241,10 +246,7 @@ mod tests {
     #[test]
     fn repeated_runs_hit_the_caches() {
         let engine = ExecutionEngine::serial();
-        let builder = Evaluation::builder(base()).monte_carlo(MonteCarloConfig {
-            samples: 200,
-            seed: 5,
-        });
+        let builder = Evaluation::builder(base()).monte_carlo(MonteCarloConfig::fixed(200, 5));
         let first = builder.run(&engine).unwrap();
         let second = builder.run(&engine).unwrap();
         assert_eq!(first, second);

@@ -59,6 +59,7 @@ mod monte_carlo;
 mod platform;
 mod report;
 mod stage;
+mod stats;
 mod sweep;
 
 pub use ablation::{
@@ -77,13 +78,16 @@ pub use disturbance::{
     CorrelatedDisturbance, DisturbanceKind, DisturbanceModel, GaussianDisturbance,
     LaplaceDisturbance,
 };
-pub use engine::{EngineConfig, ExecutionEngine, DEFAULT_CHUNK_SIZE, ENGINE_THREADS_ENV};
+pub use engine::{
+    EngineConfig, ExecutionEngine, SamplingStats, DEFAULT_CHUNK_SIZE, ENGINE_THREADS_ENV,
+};
 pub use error::{Result, SimError};
 pub use evaluation::{Evaluation, EvaluationBuilder, EvaluationOutcome};
 pub use monte_carlo::{
     max_profile_difference, monte_carlo_addressability, monte_carlo_with_disturbance,
-    MonteCarloConfig, MonteCarloOutcome, NormalSource,
+    MonteCarloConfig, MonteCarloOutcome, NormalSource, DEFAULT_MC_CONFIDENCE,
 };
+pub use stats::{inverse_normal_cdf, wilson_bounds, wilson_half_width, z_for_confidence};
 
 // Re-exported so the sampling and defect-map determinism contracts can be
 // referenced from one API: Monte-Carlo chunk `c` draws from

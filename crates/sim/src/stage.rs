@@ -13,7 +13,7 @@
 //! ContactLayout ─────────────────────────────┘        ├─► Composite
 //!   └─────────► CrossbarArea ─────────────────────────┤   (PlatformReport)
 //! DefectMap ──────────────────────────────────────────┘
-//! Variability ──────► MonteCarlo   (+ Disturbance, samples, seed, chunk)
+//! Variability ──────► MonteCarlo   (+ Disturbance, MonteCarlo knobs, chunk)
 //! ```
 //!
 //! Changing only the defect seed therefore re-runs only the `DefectMap` and
@@ -78,12 +78,14 @@ pub enum ConfigField {
     Disturbance,
     /// [`SimConfig::defects`].
     Defects,
+    /// [`SimConfig::monte_carlo`].
+    MonteCarlo,
 }
 
 impl ConfigField {
     /// Every field, in declaration order — what the stage-invalidation
     /// matrix test iterates over.
-    pub const ALL: [ConfigField; 11] = [
+    pub const ALL: [ConfigField; 12] = [
         ConfigField::Code,
         ConfigField::NanowiresPerHalfCave,
         ConfigField::RawBits,
@@ -95,6 +97,7 @@ impl ConfigField {
         ConfigField::CodeBudgets,
         ConfigField::Disturbance,
         ConfigField::Defects,
+        ConfigField::MonteCarlo,
     ];
 
     /// The name of the [`SimConfig`] accessor the field corresponds to —
@@ -114,6 +117,7 @@ impl ConfigField {
             ConfigField::CodeBudgets => "code_budgets",
             ConfigField::Disturbance => "disturbance",
             ConfigField::Defects => "defects",
+            ConfigField::MonteCarlo => "monte_carlo",
         }
     }
 }
@@ -266,6 +270,7 @@ impl Stage {
                 ConfigField::CodeBudgets,
                 ConfigField::WindowOverride,
                 ConfigField::Disturbance,
+                ConfigField::MonteCarlo,
             ],
         }
     }
@@ -400,7 +405,7 @@ pub(crate) fn composite_stage_key(config: &SimConfig) -> String {
 
 pub(crate) fn monte_carlo_stage_key(config: &SimConfig) -> String {
     format!(
-        "monte-carlo;code={:?};nanowires={:?};threshold={:?};sigma={:?};supply={:?};budgets={:?};window={:?};disturbance={:?}",
+        "monte-carlo;code={:?};nanowires={:?};threshold={:?};sigma={:?};supply={:?};budgets={:?};window={:?};disturbance={:?};mc={:?}",
         config.code(),
         config.nanowires_per_half_cave(),
         config.threshold_model(),
@@ -409,6 +414,7 @@ pub(crate) fn monte_carlo_stage_key(config: &SimConfig) -> String {
         config.code_budgets(),
         config.window_override(),
         config.disturbance(),
+        config.monte_carlo(),
     )
 }
 
@@ -434,7 +440,7 @@ pub struct StageStats {
 }
 
 /// The per-stage memo table of the evaluation pipeline: one
-/// [`MemoCache`] slot per [`Stage`], each with the report cache's
+/// `MemoCache` slot per [`Stage`], each with the report cache's
 /// fingerprint sharding, bounded LRU, single-flight semantics and
 /// hit/miss/eviction counters — the generalisation of
 /// [`ReportCache`](crate::ReportCache) the stage graph runs on.
@@ -599,8 +605,9 @@ impl StageCache {
 
     /// The Monte-Carlo slot keys on the stage key **plus** the sampling
     /// parameters that are part of an outcome's identity: sample count,
-    /// run seed, and the engine chunk size (outcomes are bit-identical
-    /// across thread counts but depend on the chunk size).
+    /// run seed, the adaptive-stopping knobs (target half-width,
+    /// confidence, sample cap), and the engine chunk size (outcomes are
+    /// bit-identical across thread counts but depend on the chunk size).
     pub(crate) fn monte_carlo<F>(
         &self,
         config: &SimConfig,
@@ -612,11 +619,14 @@ impl StageCache {
         F: FnOnce() -> Result<MonteCarloOutcome>,
     {
         let key = format!(
-            "{};samples={};seed={};chunk={}",
+            "{};samples={};seed={};chunk={};target={:?};confidence={:?};max={:?}",
             monte_carlo_stage_key(config),
             mc.samples,
             mc.seed,
             chunk_size,
+            mc.target_half_width,
+            mc.confidence,
+            mc.max_samples,
         );
         self.monte_carlo
             .get_or_compute(Stage::MonteCarlo.fingerprint(&key), &key, compute)
@@ -690,6 +700,7 @@ mod tests {
             ConfigField::Defects => {
                 base.with_defects(DefectKind::sampled(0.02, 0.01, 2_009).unwrap())
             }
+            ConfigField::MonteCarlo => base.with_monte_carlo(MonteCarloConfig::fixed(123, 9)),
         }
     }
 
@@ -827,26 +838,38 @@ mod tests {
         let outcome = MonteCarloOutcome {
             profile: crossbar_array::AddressabilityProfile::new(vec![1.0]).unwrap(),
             samples: 1,
+            samples_used: 1,
+            ci_lower: vec![0.0],
+            ci_upper: vec![1.0],
         };
-        let mc = MonteCarloConfig {
-            samples: 100,
-            seed: 1,
-        };
-        for (samples, seed, chunk) in [(100, 1, 256), (200, 1, 256), (100, 2, 256), (100, 1, 128)] {
+        let mc = MonteCarloConfig::fixed(100, 1);
+        let variants = [
+            MonteCarloConfig::fixed(100, 1),
+            MonteCarloConfig::fixed(200, 1),
+            MonteCarloConfig::fixed(100, 2),
+            MonteCarloConfig::fixed(100, 1).with_target_half_width(0.05),
+            MonteCarloConfig::fixed(100, 1).with_confidence(0.99),
+            MonteCarloConfig::fixed(100, 1).with_max_samples(5_000),
+        ];
+        for (index, variant) in variants.into_iter().enumerate() {
+            let chunk = if index == 0 { 128 } else { 256 };
             cache
-                .monte_carlo(&config, MonteCarloConfig { samples, seed }, chunk, || {
-                    Ok(outcome.clone())
-                })
+                .monte_carlo(&config, variant, 256, || Ok(outcome.clone()))
+                .unwrap();
+            cache
+                .monte_carlo(&config, variant, chunk, || Ok(outcome.clone()))
                 .unwrap();
         }
-        // Four distinct (samples, seed, chunk) triples: four misses.
+        // Every sampling knob (samples, seed, target, confidence, max) and
+        // the chunk size are part of the key: seven distinct keys above, and
+        // the five repeats with identical (config, chunk) pairs hit.
         let rows = cache.stats();
         let mc_row = rows
             .iter()
             .find(|row| row.stage == Stage::MonteCarlo)
             .unwrap();
-        assert_eq!((mc_row.stats.hits, mc_row.stats.misses), (0, 4));
-        // And a repeat of the first triple hits.
+        assert_eq!((mc_row.stats.hits, mc_row.stats.misses), (5, 7));
+        // And a repeat of the first configuration hits again.
         cache
             .monte_carlo(&config, mc, 256, || Ok(outcome.clone()))
             .unwrap();
@@ -855,6 +878,6 @@ mod tests {
             .iter()
             .find(|row| row.stage == Stage::MonteCarlo)
             .unwrap();
-        assert_eq!((mc_row.stats.hits, mc_row.stats.misses), (1, 4));
+        assert_eq!((mc_row.stats.hits, mc_row.stats.misses), (6, 7));
     }
 }

@@ -1,0 +1,296 @@
+//! Sequential-stopping statistics for the adaptive Monte-Carlo kernel: the
+//! Wilson score interval for a binomial proportion, and the inverse normal
+//! CDF that turns a confidence level into its z quantile.
+//!
+//! The adaptive sampler stops the moment every nanowire's estimated
+//! addressability carries a Wilson half-width at or below the configured
+//! target. The Wilson interval is used (rather than the naive Wald interval
+//! `p̂ ± z·√(p̂(1−p̂)/t)`) because its coverage stays honest at the extremes
+//! this workload lives at — addressability probabilities near 1.0, where the
+//! Wald interval collapses to zero width after a streak of successes and
+//! stops far too early.
+//!
+//! Everything here is pure `f64` arithmetic with no RNG and no allocation,
+//! so the stopping decision is bit-identical wherever it is evaluated — the
+//! property the engine's cross-thread determinism contract rests on.
+
+/// The inverse CDF (quantile function) of the standard normal distribution,
+/// evaluated with Acklam's rational approximation (absolute error below
+/// `1.15e-9` over the open unit interval — far tighter than any sampling
+/// noise the stopping rule faces).
+///
+/// Returns `f64::NAN` outside the open interval `(0, 1)`.
+#[must_use]
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    if !(p > 0.0 && p < 1.0) {
+        return f64::NAN;
+    }
+    // Coefficients of Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+    if p < P_LOW {
+        // Lower tail.
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        // Central region.
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        // Upper tail: symmetric to the lower one.
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The two-sided z quantile for a confidence level: `Φ⁻¹((1 + confidence)/2)`.
+///
+/// `z_for_confidence(0.95)` ≈ 1.95996 — the familiar "1.96 sigma" of a 95 %
+/// interval. Returns `f64::NAN` when `confidence` is outside `(0, 1)`.
+#[must_use]
+pub fn z_for_confidence(confidence: f64) -> f64 {
+    inverse_normal_cdf((1.0 + confidence) / 2.0)
+}
+
+/// The Wilson score interval for `successes` out of `trials` Bernoulli
+/// trials at quantile `z`, as `(lower, upper)` clamped to `[0, 1]`.
+///
+/// Centre and half-width:
+///
+/// ```text
+/// centre = (p̂ + z²/2t) / (1 + z²/t)
+/// half   = z·√(p̂(1−p̂)/t + z²/4t²) / (1 + z²/t)
+/// ```
+///
+/// Returns `(0.0, 1.0)` — the vacuous interval — when `trials` is zero, so a
+/// stopping rule built on this function can never fire before sampling.
+#[must_use]
+pub fn wilson_bounds(successes: usize, trials: usize, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let t = trials as f64;
+    let p_hat = successes as f64 / t;
+    let z2 = z * z;
+    let denominator = 1.0 + z2 / t;
+    let centre = (p_hat + z2 / (2.0 * t)) / denominator;
+    let half = z * (p_hat * (1.0 - p_hat) / t + z2 / (4.0 * t * t)).sqrt() / denominator;
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// The half-width of the Wilson score interval for `successes` out of
+/// `trials` at quantile `z` — the quantity the adaptive sampler compares
+/// against its `target_half_width`.
+///
+/// Returns `f64::INFINITY` when `trials` is zero (no evidence, no stopping).
+#[must_use]
+pub fn wilson_half_width(successes: usize, trials: usize, z: f64) -> f64 {
+    if trials == 0 {
+        return f64::INFINITY;
+    }
+    let t = trials as f64;
+    let p_hat = successes as f64 / t;
+    let z2 = z * z;
+    let denominator = 1.0 + z2 / t;
+    z * (p_hat * (1.0 - p_hat) / t + z2 / (4.0 * t * t)).sqrt() / denominator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantiles_match_the_textbook_values() {
+        // The classic two-sided quantiles, to the 4 decimals every table
+        // prints them at.
+        assert!((z_for_confidence(0.90) - 1.6449).abs() < 5e-4);
+        assert!((z_for_confidence(0.95) - 1.9600).abs() < 5e-4);
+        assert!((z_for_confidence(0.99) - 2.5758).abs() < 5e-4);
+        // Symmetry and the median.
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) + inverse_normal_cdf(0.025)).abs() < 1e-9);
+        // Tails stay finite and monotone deep into the approximation's tail
+        // branches.
+        assert!(inverse_normal_cdf(1e-12) < inverse_normal_cdf(1e-6));
+        assert!(inverse_normal_cdf(1e-6) < -4.0);
+        // Out-of-domain inputs are NaN, not garbage.
+        assert!(inverse_normal_cdf(0.0).is_nan());
+        assert!(inverse_normal_cdf(1.0).is_nan());
+        assert!(z_for_confidence(1.5).is_nan());
+    }
+
+    /// The standard normal CDF via `erf`-free numeric integration — a slow,
+    /// independent check that the rational approximation really inverts Φ.
+    fn normal_cdf(x: f64) -> f64 {
+        // Simpson's rule over [-12, x]; the mass below -12 is ~1.8e-33.
+        let lower = -12.0_f64;
+        if x <= lower {
+            return 0.0;
+        }
+        let steps = 20_000usize;
+        let h = (x - lower) / steps as f64;
+        let density = |t: f64| (-0.5 * t * t).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        let mut sum = density(lower) + density(x);
+        for i in 1..steps {
+            let t = lower + h * i as f64;
+            sum += density(t) * if i % 2 == 1 { 4.0 } else { 2.0 };
+        }
+        sum * h / 3.0
+    }
+
+    #[test]
+    fn inverse_cdf_inverts_the_integrated_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.999] {
+            let round_trip = normal_cdf(inverse_normal_cdf(p));
+            assert!((round_trip - p).abs() < 1e-6, "Φ(Φ⁻¹({p})) = {round_trip}");
+        }
+    }
+
+    /// Exact binomial PMF via a multiplicative recurrence (stable for the
+    /// trial counts exercised here).
+    fn binomial_pmf(trials: usize, p: f64) -> Vec<f64> {
+        let mut pmf = vec![0.0f64; trials + 1];
+        pmf[0] = (1.0 - p).powi(trials as i32);
+        for k in 1..=trials {
+            // pmf[k] = pmf[k-1] · (n-k+1)/k · p/(1-p), guarded for p = 1.
+            let ratio = (trials - k + 1) as f64 / k as f64;
+            pmf[k] = if (1.0 - p).abs() < f64::EPSILON {
+                if k == trials {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                pmf[k - 1] * ratio * p / (1.0 - p)
+            };
+        }
+        pmf
+    }
+
+    #[test]
+    fn wilson_coverage_matches_the_exhaustive_binomial_reference() {
+        // For every (trials, p) in a grid, sum the exact binomial
+        // probability of the success counts whose Wilson interval contains
+        // p. Wilson's known behaviour: coverage hugs the nominal level with
+        // occasional dips (never the catastrophic collapse of the Wald
+        // interval at the boundaries).
+        let z = z_for_confidence(0.95);
+        let mut worst: f64 = 1.0;
+        let mut total = 0.0f64;
+        let mut cells = 0usize;
+        for trials in [10usize, 25, 60, 150] {
+            for p_milli in [50usize, 200, 500, 800, 900, 950, 990] {
+                let p = p_milli as f64 / 1000.0;
+                let pmf = binomial_pmf(trials, p);
+                let coverage: f64 = (0..=trials)
+                    .filter(|&k| {
+                        let (lower, upper) = wilson_bounds(k, trials, z);
+                        lower <= p && p <= upper
+                    })
+                    .map(|k| pmf[k])
+                    .sum();
+                worst = worst.min(coverage);
+                total += coverage;
+                cells += 1;
+            }
+        }
+        let mean = total / cells as f64;
+        assert!(worst >= 0.85, "worst-case Wilson coverage {worst}");
+        assert!(mean >= 0.93, "mean Wilson coverage {mean}");
+    }
+
+    #[test]
+    fn wald_collapses_at_the_boundary_but_wilson_does_not() {
+        // The motivating case: a clean streak of successes. The Wald
+        // half-width is exactly zero (p̂(1−p̂) = 0), so a Wald stopping rule
+        // would fire after one chunk; the Wilson half-width stays honestly
+        // positive.
+        let z = z_for_confidence(0.95);
+        let trials = 256;
+        let wald_half = z * (1.0f64 * 0.0 / trials as f64).sqrt();
+        assert_eq!(wald_half, 0.0);
+        let wilson_half = wilson_half_width(trials, trials, z);
+        assert!(wilson_half > 0.005, "wilson half-width {wilson_half}");
+        // And the zero-trials guard: no evidence means an infinite
+        // half-width and the vacuous interval.
+        assert_eq!(wilson_half_width(0, 0, z), f64::INFINITY);
+        assert_eq!(wilson_bounds(0, 0, z), (0.0, 1.0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// For any success count and trial count, the Wilson bounds stay in
+        /// [0, 1], bracket the point estimate, and agree with the half-width
+        /// function away from the clamps.
+        #[test]
+        fn wilson_bounds_are_ordered_and_contain_the_estimate(
+            trials in 1usize..2_000,
+            success_per_mille in 0usize..=1_000,
+            confidence_index in 0usize..3,
+        ) {
+            let successes = (trials * success_per_mille) / 1_000;
+            let confidence = [0.90, 0.95, 0.99][confidence_index];
+            let z = z_for_confidence(confidence);
+            let (lower, upper) = wilson_bounds(successes, trials, z);
+            let p_hat = successes as f64 / trials as f64;
+            prop_assert!((0.0..=1.0).contains(&lower));
+            prop_assert!((0.0..=1.0).contains(&upper));
+            prop_assert!(lower <= upper);
+            prop_assert!(lower <= p_hat + 1e-12 && p_hat <= upper + 1e-12);
+            // The half-width function is the same interval's radius
+            // (before clamping, so compare against the unclamped centre).
+            let half = wilson_half_width(successes, trials, z);
+            prop_assert!(half >= 0.0 && half.is_finite());
+            prop_assert!(upper - lower <= 2.0 * half + 1e-12);
+        }
+
+        /// More evidence never widens the interval: scaling successes and
+        /// trials by the same factor shrinks the half-width.
+        #[test]
+        fn wilson_half_width_tightens_with_more_trials(
+            trials in 1usize..500,
+            success_per_mille in 0usize..=1_000,
+        ) {
+            let successes = (trials * success_per_mille) / 1_000;
+            let z = z_for_confidence(0.95);
+            let before = wilson_half_width(successes, trials, z);
+            let after = wilson_half_width(successes * 4, trials * 4, z);
+            prop_assert!(after <= before + 1e-12, "{after} > {before}");
+        }
+    }
+}

@@ -1,14 +1,16 @@
-//! Forward-compatibility coverage for the defect dimension of the codec:
-//! documents written before `SimConfig` carried a `DefectKind` (and before
-//! `PlatformReport` carried composite quantities) must keep decoding with
-//! the defect-free defaults, and mixed-version round trips must stay
-//! bit-identical to a fresh evaluation.
+//! Forward-compatibility coverage for the additive dimensions of the codec:
+//! documents written before `SimConfig` carried a `DefectKind` or the
+//! Monte-Carlo sampling knobs (and before `PlatformReport` carried
+//! composite quantities) must keep decoding with the pre-field defaults,
+//! and mixed-version round trips must stay bit-identical to a fresh
+//! evaluation.
 
 use decoder_sim::codec::{
     config_from_json, config_to_json, report_from_json, report_to_json, JsonValue,
 };
 use decoder_sim::{
-    CacheConfig, DefectKind, ReportCache, SimConfig, SimulationPlatform, CACHE_SCHEMA_VERSION,
+    CacheConfig, DefectKind, MonteCarloConfig, ReportCache, SimConfig, SimulationPlatform,
+    CACHE_SCHEMA_VERSION,
 };
 use nanowire_codes::{CodeKind, CodeSpec, LogicLevel};
 
@@ -53,6 +55,28 @@ fn pre_defect_configs_decode_as_defect_free() {
         ReportCache::fingerprint(&decoded),
         ReportCache::fingerprint(&expected)
     );
+}
+
+#[test]
+fn pre_adaptive_configs_decode_with_fixed_sampling_defaults() {
+    // The byte shape a PR 8-era writer produced: no "monte_carlo" key on
+    // the config object at all. It must decode to the historical
+    // fixed-sample default and stay identity-equal to a fresh config.
+    let expected = config(CodeKind::BalancedGray, 10);
+    let legacy = without_keys(&config_to_json(&expected), &["monte_carlo"]);
+    assert!(legacy.get_opt("monte_carlo").unwrap().is_none());
+    let decoded = config_from_json(&legacy).unwrap();
+    assert_eq!(decoded.monte_carlo(), MonteCarloConfig::default());
+    assert!(!decoded.monte_carlo().is_adaptive());
+    assert_eq!(decoded, expected);
+    assert_eq!(
+        ReportCache::fingerprint(&decoded),
+        ReportCache::fingerprint(&expected)
+    );
+    // A config stripped of *both* additive dimensions — the oldest wire
+    // shape still in the field — decodes too.
+    let oldest = without_keys(&config_to_json(&expected), &["defects", "monte_carlo"]);
+    assert_eq!(config_from_json(&oldest).unwrap(), expected);
 }
 
 #[test]
@@ -139,7 +163,7 @@ fn pr4_era_cache_snapshots_load_and_serve_bit_identically() {
             JsonValue::Object(vec![
                 (
                     "config".to_string(),
-                    without_keys(row.get("config").unwrap(), &["defects"]),
+                    without_keys(row.get("config").unwrap(), &["defects", "monte_carlo"]),
                 ),
                 (
                     "report".to_string(),

@@ -47,10 +47,7 @@ fn monte_carlo_is_bit_identical_across_thread_counts() {
     let variability = variability(CodeKind::Tree, 8, 10);
     let model = VariabilityModel::paper_default();
     let window = Volts::new(0.25);
-    let config = MonteCarloConfig {
-        samples: 1_000,
-        seed: 42,
-    };
+    let config = MonteCarloConfig::fixed(1_000, 42);
     let serial = monte_carlo_addressability(&variability, &model, window, config).unwrap();
     for threads in [1usize, 2, 4] {
         let parallel = engine(threads)
@@ -59,6 +56,38 @@ fn monte_carlo_is_bit_identical_across_thread_counts() {
         assert_eq!(
             serial, parallel,
             "outcome diverged at {threads} engine threads"
+        );
+    }
+}
+
+/// The adaptive stopping decision is evaluated in deterministic chunk order
+/// over thread-independent per-chunk counts, so `samples_used`, the profile,
+/// and the CI bounds must all be bit-identical at 1, 4 and 8 engine threads —
+/// the adaptive extension of the cross-thread determinism gate.
+#[test]
+fn adaptive_stopping_is_bit_identical_across_thread_counts() {
+    let variability = variability(CodeKind::Gray, 8, 16);
+    let model = VariabilityModel::paper_default();
+    let window = Volts::new(0.25);
+    let config = MonteCarloConfig::fixed(20_000, 42).with_target_half_width(0.05);
+    let reference = engine(1)
+        .monte_carlo_addressability(&variability, &model, window, config)
+        .unwrap();
+    assert!(
+        reference.samples_used < reference.samples,
+        "the target must stop sampling before the cap for this gate to bite"
+    );
+    for threads in [4usize, 8] {
+        let parallel = engine(threads)
+            .monte_carlo_addressability(&variability, &model, window, config)
+            .unwrap();
+        assert_eq!(
+            reference.samples_used, parallel.samples_used,
+            "adaptive stopping point diverged at {threads} engine threads"
+        );
+        assert_eq!(
+            reference, parallel,
+            "adaptive outcome diverged at {threads} engine threads"
         );
     }
 }
@@ -86,10 +115,7 @@ fn full_sweep_is_element_identical_across_thread_counts() {
 fn fixed_seed_outcome_is_pinned() {
     let variability = variability(CodeKind::Tree, 8, 10);
     let model = VariabilityModel::paper_default();
-    let config = MonteCarloConfig {
-        samples: 500,
-        seed: 42,
-    };
+    let config = MonteCarloConfig::fixed(500, 42);
     let outcome =
         monte_carlo_addressability(&variability, &model, Volts::new(0.25), config).unwrap();
     assert_eq!(outcome.samples, 500);
@@ -121,10 +147,7 @@ fn non_gaussian_disturbances_are_bit_identical_across_thread_counts() {
     let variability = variability(CodeKind::Gray, 8, 12);
     let model = VariabilityModel::paper_default();
     let window = Volts::new(0.25);
-    let config = MonteCarloConfig {
-        samples: 1_000,
-        seed: 7,
-    };
+    let config = MonteCarloConfig::fixed(1_000, 7);
     for kind in [
         DisturbanceKind::Laplace,
         DisturbanceKind::Correlated {
@@ -162,10 +185,7 @@ fn non_gaussian_disturbances_are_bit_identical_across_thread_counts() {
 fn config_carried_disturbance_reaches_the_sampler() {
     let code = CodeSpec::new(CodeKind::Gray, LogicLevel::BINARY, 8).unwrap();
     let base = SimConfig::paper_defaults(code).unwrap();
-    let config = MonteCarloConfig {
-        samples: 500,
-        seed: 3,
-    };
+    let config = MonteCarloConfig::fixed(500, 3);
     let engine = engine(2);
     // A Gaussian-configured SimConfig goes through the identical stream as
     // the plain entry point...

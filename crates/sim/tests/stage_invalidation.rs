@@ -97,6 +97,9 @@ fn varied(base: &SimConfig, field: ConfigField) -> SimConfig {
         ConfigField::Defects => base
             .clone()
             .with_defects(DefectKind::sampled(0.02, 0.01, 2_009).unwrap()),
+        ConfigField::MonteCarlo => base
+            .clone()
+            .with_monte_carlo(MonteCarloConfig::fixed(123, 9)),
     }
 }
 
@@ -144,10 +147,7 @@ fn expected_delta(stage: Stage, field: ConfigField) -> (u64, u64) {
 
 fn run_matrix(threads: usize) {
     let base = base();
-    let mc = MonteCarloConfig {
-        samples: 64,
-        seed: 17,
-    };
+    let mc = MonteCarloConfig::fixed(64, 17);
     for field in ConfigField::ALL {
         let engine = ExecutionEngine::new(EngineConfig {
             threads,
